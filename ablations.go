@@ -1,0 +1,221 @@
+package dsmnc
+
+import (
+	"fmt"
+
+	"dsmnc/stats"
+	"dsmnc/workload"
+)
+
+// Ablation experiments for the design choices the paper discusses but
+// does not plot: the O (dirty-shared) protocol state of §3.2, the
+// counter-decrement refinement of §3.4, the NC size axis of Figure 2's
+// qualitative design space, and the adaptive-policy parameters of §6.2.
+
+// AblationOState compares the base victim-cache system under MESIR
+// against MOESIR (with the O state): the paper reports "very little
+// benefit" for the added protocol complexity.
+func AblationOState(opt Options) Experiment {
+	mesir := VB(16 << 10)
+	mesir.Name = "vb-MESIR"
+	moesir := VB(16 << 10)
+	moesir.Name = "vb-MOESIR"
+	moesir.MOESI = true
+	return ratioExperiment("ablate-ostate",
+		"MESIR vs MOESIR (dirty-shared O state, paper §3.2)",
+		[]System{mesir, moesir}, opt)
+}
+
+// AblationDecrement compares vxp with and without decrementing the
+// victimization counters on false invalidations (paper §3.4: "we have
+// not observed that it is significant").
+func AblationDecrement(opt Options) Experiment {
+	plain := VXPFrac(16<<10, 5, 32)
+	plain.Name = "vxp5"
+	decr := VXPFrac(16<<10, 5, 32)
+	decr.Name = "vxp5-decr"
+	decr.DecrementCounters = true
+	ncp := NCPFrac(16<<10, 5)
+	ncpDecr := NCPFrac(16<<10, 5)
+	ncpDecr.Name = "ncp5-decr"
+	ncpDecr.DecrementCounters = true
+	return ratioExperiment("ablate-decr",
+		"Relocation-counter decrement on false invalidations (paper §3.4)",
+		[]System{ncp, ncpDecr, plain, decr}, opt)
+}
+
+// AblationNCSize sweeps the victim NC size: the RDC design-space axis of
+// the paper's Figure 2.
+func AblationNCSize(opt Options) Experiment {
+	var systems []System
+	for _, kb := range []int{1, 4, 16, 64, 256} {
+		s := VB(kb << 10)
+		s.Name = fmt.Sprintf("vb%dK", kb)
+		systems = append(systems, s)
+	}
+	return ratioExperiment("ablate-ncsize",
+		"Victim NC size sweep (design space of Figure 2)",
+		systems, opt)
+}
+
+// AblationIndexWays sweeps NC associativity for the victim cache (the
+// paper fixes it at 4-way; this quantifies that choice).
+func AblationIndexWays(opt Options) Experiment {
+	var systems []System
+	for _, ways := range []int{1, 2, 4, 8} {
+		s := VB(16 << 10)
+		s.NCWays = ways
+		s.Name = fmt.Sprintf("vb-%dway", ways)
+		systems = append(systems, s)
+	}
+	return ratioExperiment("ablate-ncways",
+		"Victim NC associativity sweep",
+		systems, opt)
+}
+
+// AblationThreshold sweeps fixed relocation thresholds around the
+// paper's 32 (and 64 from Figure 11) for the ncp system.
+func AblationThreshold(opt Options) Experiment {
+	var systems []System
+	for _, thr := range []uint32{8, 16, 32, 64, 128} {
+		s := NCPFrac(16<<10, 5)
+		s.Adaptive = false
+		s.Threshold = thr
+		s.Name = fmt.Sprintf("ncp5-t%d", thr)
+		systems = append(systems, s)
+	}
+	return ratioExperiment("ablate-threshold",
+		"Fixed relocation-threshold sweep for ncp5",
+		systems, opt)
+}
+
+// Ablations maps ablation ids to their drivers; cmd/dsmfig exposes them
+// alongside the paper's figures.
+func Ablations() map[string]func(Options) Experiment {
+	return map[string]func(Options) Experiment{
+		"ablate-ostate":     AblationOState,
+		"ablate-decr":       AblationDecrement,
+		"ablate-ncsize":     AblationNCSize,
+		"ablate-ncways":     AblationIndexWays,
+		"ablate-threshold":  AblationThreshold,
+		"ablate-hops":       AblationHops,
+		"ablate-dir":        AblationDirectory,
+		"ablate-migration":  AblationMigration,
+		"ablate-contention": AblationContention,
+	}
+}
+
+// AblationHops quantifies the paper's constant-latency simplification
+// (§4: "two- and three-hop transactions have different latencies"): the
+// remote read stall of the base and vb systems under the constant
+// 30-cycle model versus the hop-aware 30/45 model, normalized to the
+// constant-model base system.
+func AblationHops(opt Options) Experiment {
+	benches := workload.All(opt.Scale)
+	systems := []System{Base(), VB(16 << 10)}
+	results := matrix(benches, systems, opt)
+	hop := stats.HopModel{Lat: stats.DefaultHopLatencies()}
+	exp := Experiment{
+		ID:      "ablate-hops",
+		Title:   "Constant vs hop-aware remote latency (paper §4)",
+		Metric:  "normalized stall",
+		Systems: []string{"base-const", "base-hops", "vb-const", "vb-hops"},
+	}
+	for r, b := range benches {
+		row := Row{Bench: b.Name}
+		denom := float64(results[r][0].Stall().Total())
+		for c := range systems {
+			res := results[r][c]
+			hop.Tech = res.Model.Tech
+			constV := ratioValue(res)
+			hopV := constV
+			hopV.Stall = hop.RemoteReadStall(&res.Counters)
+			if denom > 0 {
+				constV.Norm = float64(res.Stall().Total()) / denom
+				hopV.Norm = float64(hopV.Stall.Total()) / denom
+			}
+			row.Values = append(row.Values, constV, hopV)
+		}
+		exp.Rows = append(exp.Rows, row)
+	}
+	return exp
+}
+
+// AblationDirectory tests the paper's §3.4 scalability claim: under a
+// Dir_4B limited-pointer directory, broadcast-mode entries lose
+// per-cluster presence, so R-NUMA's directory counters (ncp) count every
+// miss as capacity — noisy relocation evidence — while vxp's
+// victim-cache counters are untouched.
+func AblationDirectory(opt Options) Experiment {
+	limited := func(s System, name string) System {
+		s.Name = name
+		s.DirPointers = 4
+		return s
+	}
+	ncp := NCPFrac(16<<10, 5)
+	vxp := VXPFrac(16<<10, 5, 32)
+	vxp.Name = "vxp5"
+	return ratioExperiment("ablate-dir",
+		"Full-map vs Dir_4B limited-pointer directory (paper §3.4)",
+		[]System{
+			ncp, limited(NCPFrac(16<<10, 5), "ncp5-dir4B"),
+			vxp, limited(VXPFrac(16<<10, 5, 32), "vxp5-dir4B"),
+		}, opt)
+}
+
+// AblationMigration tests the paper's closing conjecture (§7): OS page
+// migration/replication alone (the SGI-Origin approach), versus the
+// paper's 16 KB victim NC, versus their combination — "a small, very
+// fast NC could shield the page migration and replication policies from
+// the noise of conflict misses".
+func AblationMigration(opt Options) Experiment {
+	origin := Origin()
+	vb := VB(16 << 10)
+	both := VB(16 << 10)
+	both.Name = "vb+origin"
+	both.Migration = true
+	return ratioExperiment("ablate-migration",
+		"Page migration/replication vs victim NC (paper §7 conjecture)",
+		[]System{Base(), origin, vb, both}, opt)
+}
+
+// AblationContention answers the question the paper's §4 model leaves
+// open: does contention change the system ranking? An analytic M/M/1
+// correction (stats.ContentionModel) inflates bus and network latencies
+// by their converged utilizations; Norm is the contention-inflated stall
+// normalized to the contention-free infinite-DRAM baseline.
+func AblationContention(opt Options) Experiment {
+	benches := workload.All(opt.Scale)
+	systems := []System{Base(), NCD(), VB(16 << 10), VBPFrac(16<<10, 5)}
+	all := append([]System{InfiniteDRAM()}, systems...)
+	results := matrix(benches, all, opt)
+	exp := Experiment{
+		ID:     "ablate-contention",
+		Title:  "Contention-corrected remote read stalls (paper §4 simplification)",
+		Metric: "normalized stall",
+	}
+	for _, s := range systems {
+		exp.Systems = append(exp.Systems, s.Name+"-q")
+	}
+	for r, b := range benches {
+		row := Row{Bench: b.Name}
+		base := float64(results[r][0].Stall().Total())
+		for c := 1; c < len(all); c++ {
+			res := results[r][c]
+			cm := stats.ContentionModel{
+				Lat: opt.Latencies, Tech: res.Model.Tech,
+				Clusters:        opt.Geometry.Clusters,
+				ProcsPerCluster: opt.Geometry.ProcsPerCluster,
+			}
+			q := cm.Evaluate(&res.Counters)
+			v := ratioValue(res)
+			v.Stall = q.Stall
+			if base > 0 {
+				v.Norm = float64(q.Stall.Total()) / base
+			}
+			row.Values = append(row.Values, v)
+		}
+		exp.Rows = append(exp.Rows, row)
+	}
+	return exp
+}

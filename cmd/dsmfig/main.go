@@ -1,0 +1,102 @@
+// Command dsmfig regenerates the tables and figures of "The Effectiveness
+// of SRAM Network Caches in Clustered DSMs" (Moga & Dubois, HPCA 1998).
+//
+// Usage:
+//
+//	dsmfig -exp fig9 [-scale small|medium|large] [-format table|chart|csv]
+//	dsmfig -exp table1|table2|table3
+//	dsmfig -exp all
+//
+// Figures print one bar group per benchmark; see EXPERIMENTS.md for how
+// each experiment maps to the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dsmnc"
+	"dsmnc/workload"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id: table1|table2|table3|fig3..fig11|all")
+		scale  = flag.String("scale", "small", "workload scale: test|small|medium|large")
+		format = flag.String("format", "table", "output format: table|chart|csv")
+		width  = flag.Int("width", 48, "chart width in characters")
+		quiet  = flag.Bool("q", false, "suppress progress messages")
+	)
+	flag.Parse()
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := dsmnc.DefaultOptions()
+	switch *scale {
+	case "test":
+		opt.Scale = workload.ScaleTest
+	case "small":
+		opt.Scale = workload.ScaleSmall
+	case "medium":
+		opt.Scale = workload.ScaleMedium
+	case "large":
+		opt.Scale = workload.ScaleLarge
+	default:
+		fmt.Fprintf(os.Stderr, "dsmfig: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	switch *exp {
+	case "table1":
+		dsmnc.WriteTable1(os.Stdout, opt.Latencies)
+		return
+	case "table2":
+		dsmnc.WriteTable2(os.Stdout, opt.Latencies)
+		return
+	case "table3":
+		dsmnc.WriteTable3(os.Stdout, dsmnc.Table3(opt))
+		return
+	}
+
+	drivers := dsmnc.Experiments()
+	for id, fn := range dsmnc.Ablations() {
+		drivers[id] = fn
+	}
+	var ids []string
+	if *exp == "all" {
+		for id := range drivers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	} else {
+		if drivers[*exp] == nil {
+			fmt.Fprintf(os.Stderr, "dsmfig: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+
+	for _, id := range ids {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s at %s scale...\n", id, opt.Scale)
+		}
+		start := time.Now()
+		e := drivers[id](opt)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		switch *format {
+		case "chart":
+			e.WriteChart(os.Stdout, *width)
+		case "csv":
+			e.WriteCSV(os.Stdout)
+		default:
+			e.WriteTable(os.Stdout)
+		}
+	}
+}

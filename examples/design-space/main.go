@@ -1,0 +1,65 @@
+// design-space: sweep the remote-data-cache design space for one
+// workload — NC organization x NC size x page-cache size — and print the
+// frontier the paper's Figure 2 sketches qualitatively: remote read
+// stall as a function of how the RDC budget is spent.
+//
+//	go run ./examples/design-space [benchmark]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dsmnc"
+	"dsmnc/workload"
+)
+
+func main() {
+	opt := dsmnc.DefaultOptions()
+	opt.Scale = workload.ScaleSmall
+
+	name := "FMM"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	bench := workload.ByName(name, opt.Scale)
+	if bench == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (one of %v)\n", name, workload.Names())
+		os.Exit(2)
+	}
+
+	fmt.Printf("design space for %s (%s), %.2f MB shared\n\n",
+		bench.Name, bench.Params, float64(bench.SharedBytes)/(1<<20))
+
+	baseline := dsmnc.Run(bench, dsmnc.InfiniteDRAM(), opt)
+	norm := float64(baseline.Stall().Total())
+
+	var systems []dsmnc.System
+	// Pure SRAM NCs of growing size.
+	for _, kb := range []int{1, 4, 16, 64} {
+		systems = append(systems, named(dsmnc.VB(kb<<10), fmt.Sprintf("vb%dK", kb)))
+	}
+	// DRAM NC.
+	systems = append(systems, dsmnc.NCD())
+	// 16 KB victim NC with growing page caches.
+	for _, frac := range []int{9, 7, 5, 3} {
+		systems = append(systems, dsmnc.VBPFrac(16<<10, frac))
+	}
+	systems = append(systems, dsmnc.NCS())
+
+	fmt.Printf("%-8s %16s %16s %10s\n", "system", "stall(norm)", "traffic(blk)", "relocs")
+	for _, sys := range systems {
+		res := dsmnc.Run(bench, sys, opt)
+		fmt.Printf("%-8s %16.3f %16d %10d\n",
+			res.System,
+			float64(res.Stall().Total())/norm,
+			res.Traffic().Total(),
+			res.Counters.Relocations)
+	}
+	fmt.Println("\nstall normalized to an infinite DRAM NC (as in the paper's Fig. 9)")
+}
+
+func named(s dsmnc.System, name string) dsmnc.System {
+	s.Name = name
+	return s
+}

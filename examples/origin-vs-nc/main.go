@@ -1,0 +1,68 @@
+// origin-vs-nc: test the paper's closing conjecture (§7).
+//
+// The SGI Origin dropped the network cache entirely, betting on OS page
+// migration and replication. The paper closes by noting that "a small,
+// very fast NC could shield the page migration and replication policies
+// from the noise of conflict misses". This example runs four machines —
+// bare, Origin-style, victim-NC, and the combination — over the paper's
+// benchmarks and reports stalls and OS page-operation counts.
+//
+//	go run ./examples/origin-vs-nc [benchmark ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dsmnc"
+	"dsmnc/workload"
+)
+
+func main() {
+	opt := dsmnc.DefaultOptions()
+	opt.Scale = workload.ScaleSmall
+
+	names := workload.Names()
+	if len(os.Args) > 1 {
+		names = os.Args[1:]
+	}
+
+	systems := []dsmnc.System{
+		dsmnc.Base(),
+		dsmnc.Origin(),
+		dsmnc.VB(16 << 10),
+		combined(),
+	}
+
+	for _, name := range names {
+		bench := workload.ByName(name, opt.Scale)
+		if bench == nil {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("%s (%s)\n", bench.Name, bench.Params)
+		fmt.Printf("  %-10s %14s %10s %10s %12s %12s\n",
+			"system", "rd-stall(cyc)", "migrations", "replicas", "replicaHits", "miss+ovh %")
+		for _, sys := range systems {
+			res := dsmnc.Run(bench, sys, opt)
+			fmt.Printf("  %-10s %14d %10d %10d %12d %12.3f\n",
+				res.System,
+				res.Stall().Total(),
+				res.Counters.Migrations,
+				res.Counters.Replications,
+				res.Counters.ReplicaHits.Total(),
+				res.MissRatios().Total())
+		}
+		fmt.Println()
+	}
+	fmt.Println("If the conjecture holds, vb+origin beats both parents: the NC")
+	fmt.Println("absorbs the conflict misses that would otherwise trigger (and")
+	fmt.Println("waste) OS page operations.")
+}
+
+func combined() dsmnc.System {
+	s := dsmnc.VB(16 << 10)
+	s.Name = "vb+origin"
+	s.Migration = true
+	return s
+}

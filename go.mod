@@ -1,0 +1,3 @@
+module dsmnc
+
+go 1.24

@@ -1,0 +1,55 @@
+package cache
+
+import "dsmnc/memsys"
+
+// Infinite is a cache with unbounded capacity, used for the NCS and
+// infinite-DRAM-NC reference systems in Figures 9-11: with it, the
+// directory sees only necessary misses.
+type Infinite struct {
+	lines map[memsys.Block]State
+}
+
+// NewInfinite returns an empty infinite cache.
+func NewInfinite() *Infinite {
+	return &Infinite{lines: make(map[memsys.Block]State)}
+}
+
+// Lookup returns the state of b and whether it is present.
+func (c *Infinite) Lookup(b memsys.Block) (State, bool) {
+	st, ok := c.lines[b]
+	return st, ok
+}
+
+// Fill inserts or updates b. Nothing is ever evicted.
+func (c *Infinite) Fill(b memsys.Block, st State) {
+	if st == Invalid {
+		delete(c.lines, b)
+		return
+	}
+	c.lines[b] = st
+}
+
+// Evict removes b, returning its former state.
+func (c *Infinite) Evict(b memsys.Block) State {
+	st := c.lines[b]
+	delete(c.lines, b)
+	return st
+}
+
+// EvictPage removes all blocks of p, returning the removed (block, state)
+// pairs via fn.
+func (c *Infinite) EvictPage(p memsys.Page, fn func(memsys.Block, State)) {
+	first := memsys.FirstBlock(p)
+	for i := 0; i < memsys.BlocksPerPage; i++ {
+		b := first + memsys.Block(i)
+		if st, ok := c.lines[b]; ok {
+			delete(c.lines, b)
+			if fn != nil {
+				fn(b, st)
+			}
+		}
+	}
+}
+
+// Count returns the number of cached blocks.
+func (c *Infinite) Count() int { return len(c.lines) }

@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"testing"
+
+	"dsmnc/internal/cache"
+	"dsmnc/internal/core"
+	"dsmnc/memsys"
+	"dsmnc/internal/pagecache"
+	"dsmnc/stats"
+)
+
+// fakeHome is a scripted HomeService for unit-testing the cluster in
+// isolation: every page is homed on cluster `homeAt`, fetches answer with
+// a fixed class, and all calls are recorded.
+type fakeHome struct {
+	homeAt     int
+	class      stats.MissClass
+	capCount   uint32
+	exclusive  bool
+	sole       bool
+	fetches    []memsys.Block
+	upgrades   []memsys.Block
+	writebacks []memsys.Block
+	resets     []memsys.Page
+}
+
+func (f *fakeHome) Fetch(c int, b memsys.Block, write bool) FetchReply {
+	f.fetches = append(f.fetches, b)
+	return FetchReply{Class: f.class, CapacityCount: f.capCount}
+}
+func (f *fakeHome) Upgrade(c int, b memsys.Block)      { f.upgrades = append(f.upgrades, b) }
+func (f *fakeHome) WriteBack(c int, b memsys.Block)    { f.writebacks = append(f.writebacks, b) }
+func (f *fakeHome) IsExclusive(int, memsys.Block) bool { return f.exclusive }
+func (f *fakeHome) SoleSharer(int, memsys.Block) bool  { return f.sole }
+func (f *fakeHome) HomeOf(memsys.Page) int             { return f.homeAt }
+func (f *fakeHome) ResetRelocationCounter(p memsys.Page, c int) {
+	f.resets = append(f.resets, p)
+}
+
+// newTestCluster builds cluster 0 with 2 processors and a tiny L1
+// (2 sets x 2 ways).
+func newTestCluster(h *fakeHome, nc core.NC, pc *pagecache.PageCache, mode CounterMode) *Cluster {
+	cfg := Config{
+		ID:    0,
+		Procs: 2,
+		L1:    cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
+		NC:    nc,
+		PC:    pc,
+		Home:  h,
+	}
+	cfg.Counters = mode
+	return New(cfg)
+}
+
+func addr(page, blk int) memsys.Addr {
+	return memsys.Addr(page)*memsys.PageBytes + memsys.Addr(blk)*memsys.BlockBytes
+}
+
+func TestNewValidation(t *testing.T) {
+	h := &fakeHome{}
+	mustPanic := func(cfg Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("New did not panic")
+			}
+		}()
+		New(cfg)
+	}
+	// NC-set counters without a set-counter NC.
+	mustPanic(Config{
+		ID: 0, Procs: 1,
+		L1:       cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
+		NC:       core.NoNC{},
+		PC:       pagecache.New(1, pagecache.NewFixedPolicy(1)),
+		Counters: CountersNCSet,
+		Home:     h,
+	})
+	// Counters without a page cache.
+	mustPanic(Config{
+		ID: 0, Procs: 1,
+		L1:       cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
+		Counters: CountersDirectory,
+		Home:     h,
+	})
+	// A nil NC defaults to NoNC.
+	cl := New(Config{
+		ID: 3, Procs: 1,
+		L1:   cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
+		Home: h,
+	})
+	if cl.ID() != 3 || cl.NC() == nil {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestRemoteReadFillsRemoteMaster(t *testing.T) {
+	h := &fakeHome{homeAt: 9} // everything remote
+	cl := newTestCluster(h, core.NoNC{}, nil, CountersNone)
+	cl.Access(0, addr(0, 0), false, 9)
+	ln := cl.Bus().Probe(0, memsys.BlockOf(addr(0, 0)))
+	if ln == nil || ln.State != cache.RemoteMaster {
+		t.Fatalf("remote clean fill state = %v, want R (MESIR §3.2)", ln)
+	}
+	if cl.C.RemoteByClass[stats.Cold].Read != 1 {
+		t.Fatal("remote fetch not counted")
+	}
+}
+
+func TestLocalReadFillsExclusiveWhenSole(t *testing.T) {
+	h := &fakeHome{homeAt: 0, sole: true}
+	cl := newTestCluster(h, core.NoNC{}, nil, CountersNone)
+	cl.Access(0, addr(0, 0), false, 0)
+	if st := cl.Bus().Probe(0, memsys.BlockOf(addr(0, 0))).State; st != cache.Exclusive {
+		t.Fatalf("sole local fill state = %v, want E", st)
+	}
+	// Write hit on E consults the directory (silent E->M would let the
+	// system state drift) but counts no remote traffic.
+	cl.Access(0, addr(0, 0), true, 0)
+	if len(h.upgrades) != 1 {
+		t.Fatal("E->M did not notify home")
+	}
+	if cl.C.Upgrades.Total() != 0 {
+		t.Fatal("local upgrade counted as remote traffic")
+	}
+	if st := cl.Bus().Probe(0, memsys.BlockOf(addr(0, 0))).State; st != cache.Modified {
+		t.Fatal("E->M failed")
+	}
+}
+
+func TestWriteHitOnRemoteMasterUpgrades(t *testing.T) {
+	h := &fakeHome{homeAt: 9}
+	cl := newTestCluster(h, core.NoNC{}, nil, CountersNone)
+	cl.Access(0, addr(0, 0), false, 9) // R
+	cl.Access(0, addr(0, 0), true, 9)  // upgrade
+	if len(h.upgrades) != 1 {
+		t.Fatal("no directory upgrade")
+	}
+	if cl.C.Upgrades.Write != 1 {
+		t.Fatal("remote upgrade traffic not counted")
+	}
+	// Exclusive clusters skip the directory.
+	h.exclusive = true
+	cl.Access(1, addr(1, 0), false, 9)
+	cl.Access(1, addr(1, 0), true, 9)
+	if len(h.upgrades) != 1 {
+		t.Fatal("exclusive cluster consulted the directory anyway")
+	}
+}
+
+func TestMOESIDowngradeKeepsDirtyInOwner(t *testing.T) {
+	h := &fakeHome{homeAt: 9}
+	cfg := Config{
+		ID: 0, Procs: 2,
+		L1:    cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
+		NC:    core.NewVictim(core.VictimConfig{Bytes: 4 * memsys.BlockBytes, Ways: 4}),
+		Home:  h,
+		MOESI: true,
+	}
+	cl := New(cfg)
+	a := addr(0, 0)
+	b := memsys.BlockOf(a)
+	cl.Access(0, a, true, 9)  // P0: M
+	cl.Access(1, a, false, 9) // P1 reads: P0 -> O, no capture
+	if st := cl.Bus().Probe(0, b).State; st != cache.Owned {
+		t.Fatalf("supplier state = %v, want O", st)
+	}
+	if cl.C.DowngradeWB != 0 {
+		t.Fatal("MOESI still generated a downgrade write-back")
+	}
+	if cl.NC().Contains(b) {
+		t.Fatal("MOESI polluted the victim cache")
+	}
+	// O->M write hit invalidates the sibling Shared copy locally.
+	cl.Access(0, a, true, 9)
+	if st := cl.Bus().Probe(0, b).State; st != cache.Modified {
+		t.Fatal("O->M failed")
+	}
+	if cl.Bus().Probe(1, b) != nil {
+		t.Fatal("sibling copy survived O->M")
+	}
+	// O->M needs no directory transaction: the cluster already holds
+	// system-level ownership (the O data never left).
+	if len(h.upgrades) != 0 {
+		t.Fatal("O->M consulted the directory")
+	}
+}
+
+func TestMESIDowngradeCapturedOrWrittenBack(t *testing.T) {
+	h := &fakeHome{homeAt: 9}
+	cl := newTestCluster(h, core.NoNC{}, nil, CountersNone)
+	a := addr(0, 0)
+	cl.Access(0, a, true, 9)
+	cl.Access(1, a, false, 9)
+	if cl.C.DowngradeWB != 1 {
+		t.Fatal("downgrade not recorded")
+	}
+	if cl.C.WritebacksHome != 1 {
+		t.Fatal("downgrade write-back did not cross the network (no NC)")
+	}
+}
+
+func TestVictimChainFallsThroughToPC(t *testing.T) {
+	h := &fakeHome{homeAt: 9}
+	pc := pagecache.New(2, pagecache.NewFixedPolicy(1000))
+	cl := newTestCluster(h, core.NoNC{}, pc, CountersDirectory)
+	// Map page 0 by hand, then let a dirty victim land in it.
+	pc.Relocate(0)
+	a := addr(0, 0)
+	b := memsys.BlockOf(a)
+	cl.Access(0, a, true, 9) // M
+	// Conflict-evict: blocks 0, 2, 4 of page 0 share L1 set 0.
+	cl.Access(0, addr(0, 2), false, 9)
+	cl.Access(0, addr(0, 4), false, 9)
+	if !pc.Lookup(b).Dirty {
+		t.Fatal("dirty victim did not deposit into the page cache")
+	}
+	if cl.C.WritebacksHome != 0 {
+		t.Fatal("deposited victim crossed the network anyway")
+	}
+}
+
+func TestFlushDirtyDowngradesToR(t *testing.T) {
+	h := &fakeHome{homeAt: 9}
+	cl := newTestCluster(h, core.NoNC{}, nil, CountersNone)
+	a := addr(0, 0)
+	b := memsys.BlockOf(a)
+	cl.Access(0, a, true, 9)
+	cl.FlushDirty(b)
+	if st := cl.Bus().Probe(0, b).State; st != cache.RemoteMaster {
+		t.Fatalf("flushed state = %v, want R (keeps replacement mastership)", st)
+	}
+	if cl.C.WritebacksHome != 1 {
+		t.Fatal("flush did not write back")
+	}
+	// A second flush finds nothing dirty: no extra write-back.
+	cl.FlushDirty(b)
+	if cl.C.WritebacksHome != 1 {
+		t.Fatal("stale flush wrote back again")
+	}
+}
+
+func TestInvalidateBlockReportsFalseInvalidation(t *testing.T) {
+	h := &fakeHome{homeAt: 9}
+	cl := newTestCluster(h, core.NoNC{}, nil, CountersNone)
+	a := addr(0, 0)
+	b := memsys.BlockOf(a)
+	cl.Access(0, a, false, 9)
+	if !cl.InvalidateBlock(b) {
+		t.Fatal("real invalidation reported no copy")
+	}
+	if cl.InvalidateBlock(b) {
+		t.Fatal("false invalidation reported a copy")
+	}
+}
+
+func TestDecrementCountersOnFalseInval(t *testing.T) {
+	h := &fakeHome{homeAt: 9}
+	nc := core.NewVictim(core.VictimConfig{
+		Bytes: 4 * memsys.BlockBytes, Ways: 4,
+		Indexing: cache.ByPage, SetCounters: true,
+	})
+	pc := pagecache.New(2, pagecache.NewFixedPolicy(1000))
+	cfg := Config{
+		ID: 0, Procs: 2,
+		L1:                cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
+		NC:                nc,
+		PC:                pc,
+		Counters:          CountersNCSet,
+		Home:              h,
+		DecrementCounters: true,
+	}
+	cl := New(cfg)
+	a := addr(0, 0)
+	b := memsys.BlockOf(a)
+	// Victimize b into the NC: set counter 1.
+	cl.Access(0, a, false, 9)
+	cl.Access(0, addr(0, 2), false, 9)
+	cl.Access(0, addr(0, 4), false, 9)
+	set := -1
+	for s := 0; s < 4; s++ {
+		if nc.SetCounter(s) > 0 {
+			set = s
+			break
+		}
+	}
+	if set < 0 {
+		t.Fatal("no victimization counted")
+	}
+	before := nc.SetCounter(set)
+	// Evict everything so the cluster truly does not hold b, then send a
+	// false invalidation.
+	cl.Bus().InvalidateAll(b)
+	nc.Invalidate(b)
+	cl.InvalidateBlock(b)
+	if nc.SetCounter(set) != before-1 {
+		t.Fatalf("counter = %d, want %d (decrement on false invalidation)",
+			nc.SetCounter(set), before-1)
+	}
+}
+
+func TestRelocationFlushesAndResets(t *testing.T) {
+	h := &fakeHome{homeAt: 9, class: stats.Capacity, capCount: 100}
+	pc := pagecache.New(1, pagecache.NewFixedPolicy(32))
+	cl := newTestCluster(h, core.NoNC{}, pc, CountersDirectory)
+	// First remote fetch triggers relocation (capCount 100 > 32).
+	cl.Access(0, addr(0, 0), false, 9)
+	if cl.C.Relocations != 1 {
+		t.Fatalf("relocations = %d", cl.C.Relocations)
+	}
+	if len(h.resets) == 0 || h.resets[0] != 0 {
+		t.Fatal("relocation did not reset the directory counter")
+	}
+	if !pc.IsMapped(0) {
+		t.Fatal("page not mapped")
+	}
+	// Relocating a second page evicts the first (1 frame), flushing it.
+	cl.Access(0, addr(1, 0), false, 9)
+	if cl.C.PageEvictions != 1 {
+		t.Fatalf("page evictions = %d", cl.C.PageEvictions)
+	}
+	if pc.IsMapped(0) || !pc.IsMapped(1) {
+		t.Fatal("LRM replacement wrong")
+	}
+}
+
+func TestHasBlockAndHasDirty(t *testing.T) {
+	h := &fakeHome{homeAt: 9}
+	pc := pagecache.New(1, pagecache.NewFixedPolicy(1000))
+	cl := newTestCluster(h, core.NoNC{}, pc, CountersDirectory)
+	a := addr(0, 0)
+	b := memsys.BlockOf(a)
+	if cl.HasBlock(b) || cl.HasDirty(b) {
+		t.Fatal("empty cluster holds a block")
+	}
+	cl.Access(0, a, true, 9)
+	if !cl.HasBlock(b) || !cl.HasDirty(b) {
+		t.Fatal("written block not found")
+	}
+	// Move the dirty copy to the PC and check visibility there.
+	pc.Relocate(0)
+	cl.Access(0, addr(0, 2), false, 9)
+	cl.Access(0, addr(0, 4), false, 9)
+	if cl.Bus().HasBlock(b) {
+		t.Fatal("block still in L1")
+	}
+	if !cl.HasBlock(b) || !cl.HasDirty(b) {
+		t.Fatal("PC-resident dirty block invisible")
+	}
+}

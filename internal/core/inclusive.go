@@ -1,0 +1,117 @@
+package core
+
+import (
+	"dsmnc/internal/cache"
+	"dsmnc/memsys"
+	"dsmnc/stats"
+)
+
+// InclusiveNC models the large DRAM network cache with full inclusion
+// (NCD; Sequent NUMA-Q style, paper §3.1). Every remote block cached by a
+// processor must have an NC frame, so every NC eviction force-invalidates
+// the processor caches; and being DRAM, it adds a tag-check penalty to
+// every cache miss to remote data (Table 1).
+type InclusiveNC struct {
+	tags  *cache.SetAssoc
+	evBuf []Eviction
+}
+
+// NewInclusive builds an NCD-style network cache.
+func NewInclusive(bytes, ways int) *InclusiveNC {
+	return &InclusiveNC{tags: cache.New(cache.Config{Bytes: bytes, Ways: ways})}
+}
+
+// Tech returns NCTechDRAM.
+func (n *InclusiveNC) Tech() stats.NCTech { return stats.NCTechDRAM }
+
+// Probe snoops the NC; hits keep the frame (inclusion), write hits mark
+// it Modified as the dirty-inclusion anchor.
+func (n *InclusiveNC) Probe(b memsys.Block, write bool) ProbeResult {
+	ln := n.tags.Lookup(b)
+	if ln == nil {
+		return ProbeResult{}
+	}
+	dirty := ln.State.Dirty()
+	n.tags.Touch(b)
+	if write {
+		ln.State = cache.Modified
+	}
+	return ProbeResult{Hit: true, Dirty: dirty}
+}
+
+// OnFill allocates a frame for the incoming block (write fills as the
+// dirty anchor); the recycled frame's block is force-invalidated in the
+// processor caches (full inclusion).
+func (n *InclusiveNC) OnFill(b memsys.Block, write bool) []Eviction {
+	st := cache.Shared
+	if write {
+		st = cache.Modified
+	}
+	victim := n.tags.Fill(b, st)
+	n.evBuf = n.evBuf[:0]
+	if victim.State.Valid() {
+		n.evBuf = append(n.evBuf, Eviction{
+			Block:             victim.Block,
+			Dirty:             victim.State.Dirty(),
+			ForceL1Invalidate: true,
+		})
+		return n.evBuf
+	}
+	return nil
+}
+
+// AcceptVictim records write-backs in the (inclusive) frame. Under full
+// inclusion the frame normally exists; if it was lost it is re-allocated
+// for dirty data so the write-back is not dropped.
+func (n *InclusiveNC) AcceptVictim(b memsys.Block, dirty bool) VictimResult {
+	if dirty {
+		victim := n.tags.Fill(b, cache.Modified)
+		res := VictimResult{Accepted: true, Set: n.tags.SetOf(b)}
+		n.evBuf = n.evBuf[:0]
+		if victim.State.Valid() {
+			n.evBuf = append(n.evBuf, Eviction{
+				Block:             victim.Block,
+				Dirty:             victim.State.Dirty(),
+				ForceL1Invalidate: true,
+			})
+			res.Evictions = n.evBuf
+		}
+		return res
+	}
+	if ln := n.tags.Lookup(b); ln != nil {
+		n.tags.Touch(b)
+		return VictimResult{Accepted: true, Set: n.tags.SetOf(b)}
+	}
+	return VictimResult{Set: -1}
+}
+
+// Invalidate removes b, reporting whether the frame was dirty.
+func (n *InclusiveNC) Invalidate(b memsys.Block) bool {
+	return n.tags.Evict(b).State.Dirty()
+}
+
+// EvictPage flushes page p, returning its dirty blocks.
+func (n *InclusiveNC) EvictPage(p memsys.Page) []memsys.Block {
+	var dirty []memsys.Block
+	for _, ln := range n.tags.EvictPage(p) {
+		if ln.State.Dirty() {
+			dirty = append(dirty, ln.Block)
+		}
+	}
+	return dirty
+}
+
+// Contains reports whether b is present.
+func (n *InclusiveNC) Contains(b memsys.Block) bool { return n.tags.Lookup(b) != nil }
+
+// Count returns the number of valid frames (testing).
+func (n *InclusiveNC) Count() int { return n.tags.Count() }
+
+// Downgrade marks a dirty frame of b clean, reporting whether one existed.
+func (n *InclusiveNC) Downgrade(b memsys.Block) bool {
+	if ln := n.tags.Lookup(b); ln != nil && ln.State.Dirty() {
+		ln.State = cache.Shared
+		return true
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"dsmnc/internal/cache"
+	"dsmnc/memsys"
+	"dsmnc/stats"
+)
+
+// InfiniteNC is the unbounded network cache used as a reference point:
+// NCS (infinite, fast SRAM) and the infinite DRAM NC that Figures 9-11
+// normalize against. With it the directory handles only necessary
+// misses, and dirty victims are absorbed forever (no write-back traffic).
+type InfiniteNC struct {
+	tech  stats.NCTech
+	lines *cache.Infinite
+}
+
+// NewInfinite builds an infinite NC of the given technology (NCTechSRAM
+// or NCTechDRAM).
+func NewInfinite(tech stats.NCTech) *InfiniteNC {
+	return &InfiniteNC{tech: tech, lines: cache.NewInfinite()}
+}
+
+// Tech returns the configured technology.
+func (n *InfiniteNC) Tech() stats.NCTech { return n.tech }
+
+// Probe snoops the NC; the frame always survives (capacity is infinite),
+// write hits become the Modified anchor.
+func (n *InfiniteNC) Probe(b memsys.Block, write bool) ProbeResult {
+	st, ok := n.lines.Lookup(b)
+	if !ok {
+		return ProbeResult{}
+	}
+	dirty := st.Dirty()
+	if write {
+		n.lines.Fill(b, cache.Modified)
+	}
+	return ProbeResult{Hit: true, Dirty: dirty}
+}
+
+// OnFill allocates the block; nothing is ever evicted.
+func (n *InfiniteNC) OnFill(b memsys.Block, write bool) []Eviction {
+	if write {
+		n.lines.Fill(b, cache.Modified)
+		return nil
+	}
+	if st, ok := n.lines.Lookup(b); !ok || !st.Dirty() {
+		n.lines.Fill(b, cache.Shared)
+	}
+	return nil
+}
+
+// AcceptVictim absorbs every victim. Dirty victims are written through:
+// the NC keeps a clean copy and the cluster sends the data home, so the
+// reference system never hoards other clusters' dirty blocks (which
+// would turn their owners' later local reads into three-hop coherence
+// fetches and distort the normalization baseline).
+func (n *InfiniteNC) AcceptVictim(b memsys.Block, dirty bool) VictimResult {
+	n.lines.Fill(b, cache.Shared)
+	return VictimResult{Accepted: true, Set: 0, WriteThrough: dirty}
+}
+
+// Invalidate removes b, reporting whether it was dirty.
+func (n *InfiniteNC) Invalidate(b memsys.Block) bool {
+	return n.lines.Evict(b).Dirty()
+}
+
+// EvictPage flushes page p, returning its dirty blocks.
+func (n *InfiniteNC) EvictPage(p memsys.Page) []memsys.Block {
+	var dirty []memsys.Block
+	n.lines.EvictPage(p, func(b memsys.Block, st cache.State) {
+		if st.Dirty() {
+			dirty = append(dirty, b)
+		}
+	})
+	return dirty
+}
+
+// Contains reports whether b is present.
+func (n *InfiniteNC) Contains(b memsys.Block) bool {
+	_, ok := n.lines.Lookup(b)
+	return ok
+}
+
+// Count returns the number of cached blocks (testing).
+func (n *InfiniteNC) Count() int { return n.lines.Count() }
+
+// Downgrade marks a dirty frame of b clean, reporting whether one existed.
+func (n *InfiniteNC) Downgrade(b memsys.Block) bool {
+	if st, ok := n.lines.Lookup(b); ok && st.Dirty() {
+		n.lines.Fill(b, cache.Shared)
+		return true
+	}
+	return false
+}

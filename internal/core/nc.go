@@ -1,0 +1,151 @@
+// Package core implements the paper's primary contribution: the network
+// cache (NC) organizations for clustered DSMs, in particular the network
+// *victim* cache for remote data (§3.1-3.4) and its integration of the
+// page-relocation counters (vxp).
+//
+// Five organizations are provided behind a single interface:
+//
+//	NoNC         — the base system (and the SGI-Origin philosophy)
+//	VictimNC     — allocate only on victimization; block- or page-indexed
+//	               (vb / vp); optional per-set victimization counters (vxp)
+//	RelaxedNC    — allocate on miss, inclusion relaxed for clean blocks,
+//	               kept for dirty blocks (nc; Fletcher et al. / R-NUMA)
+//	InclusiveNC  — large DRAM NC with full inclusion (NCD; NUMA-Q style)
+//	InfiniteNC   — unbounded NC in SRAM or DRAM flavour (NCS and the
+//	               normalization baseline of Figures 9-11)
+//
+// The cluster (package cluster) drives the interface; the NC never talks
+// to the directory itself, which is what makes the vxp counters scalable
+// (paper §3.4).
+package core
+
+import (
+	"dsmnc/memsys"
+	"dsmnc/stats"
+)
+
+// Eviction describes a frame the NC recycled and what the cluster must do
+// about it.
+type Eviction struct {
+	Block memsys.Block
+	// Dirty means the NC frame held the only up-to-date copy in the
+	// cluster; the cluster must write it to the page cache or home.
+	Dirty bool
+	// ForceL1Invalidate means inclusion requires the processor caches
+	// to drop their copies of the block (full inclusion, or dirty
+	// inclusion in the relaxed NC).
+	ForceL1Invalidate bool
+}
+
+// VictimResult reports the outcome of offering a victim to the NC.
+type VictimResult struct {
+	Accepted  bool
+	Evictions []Eviction // frames recycled to make room (reused buffer)
+	// Set is the NC set the victim was placed in (-1 if not accepted).
+	Set int
+	// SetCounter is the post-increment per-set victimization counter
+	// (vxp, paper §3.4); zero when counters are disabled.
+	SetCounter uint32
+	// WriteThrough means the NC kept only a clean copy of a dirty
+	// victim: the cluster must still send the dirty data home. The
+	// infinite reference NC behaves this way so that its unbounded
+	// capacity does not turn it into a machine-wide dirty sink.
+	WriteThrough bool
+}
+
+// ProbeResult reports the outcome of a bus snoop on the NC.
+type ProbeResult struct {
+	Hit   bool
+	Dirty bool // the NC copy was the cluster's only up-to-date copy
+	// Freed means the frame was released by the hit (victim caches move
+	// the block to the requesting cache), so the requester must assume
+	// mastership of the block.
+	Freed bool
+}
+
+// NC is a network cache as seen by the cluster bus.
+type NC interface {
+	// Tech reports the latency class of the organization.
+	Tech() stats.NCTech
+
+	// Probe snoops the NC for a bus read (write=false) or
+	// read-exclusive (write=true) of remote block b. Victim caches
+	// free the frame on any hit (the block moves to the requesting
+	// cache); allocate-on-miss caches free it only on writes.
+	Probe(b memsys.Block, write bool) ProbeResult
+
+	// OnFill informs the NC that a remote fill of b is entering a
+	// processor cache. Allocate-on-miss organizations allocate here;
+	// write fills allocate the frame as the dirty-inclusion anchor,
+	// which is what makes a small inclusive NC "a limiting factor for
+	// the amount of dirty remote data the cluster can hold" (§6.1.2).
+	OnFill(b memsys.Block, write bool) []Eviction
+
+	// AcceptVictim offers the NC a block victimized by a processor
+	// cache (an R-state replacement, an M write-back, or an M→S
+	// downgrade capture).
+	AcceptVictim(b memsys.Block, dirty bool) VictimResult
+
+	// Invalidate removes b (system-level invalidation or page flush of
+	// a single block). It reports whether the frame was dirty — the
+	// data dies with the invalidation, as in any invalidation protocol.
+	Invalidate(b memsys.Block) bool
+
+	// Downgrade marks a dirty copy of b clean (remote read
+	// intervention: the data was written back to home but the frame
+	// keeps serving local reads). It reports whether a dirty copy was
+	// found.
+	Downgrade(b memsys.Block) bool
+
+	// EvictPage removes every block of p (page relocation re-mapping),
+	// returning the dirty blocks that must be flushed.
+	EvictPage(p memsys.Page) []memsys.Block
+
+	// Contains reports whether b is present (testing and stats).
+	Contains(b memsys.Block) bool
+}
+
+// SetCounterNC is implemented by NCs that integrate the page-relocation
+// counters into their sets (the vxp organization).
+type SetCounterNC interface {
+	NC
+	// PredominantPage returns the page with the most frames in set s —
+	// the implicit relocation candidate (paper §3.4).
+	PredominantPage(s int) (memsys.Page, bool)
+	// ResetSetCounter zeroes the victimization counter of set s after
+	// a relocation has been triggered from it.
+	ResetSetCounter(s int)
+	// SetCounter returns the current counter of set s.
+	SetCounter(s int) uint32
+	// DecrementSetCounterFor applies the §3.4 correction: a late
+	// invalidation of block b, no longer held by the cluster, undoes
+	// the victimization count its earlier eviction contributed.
+	DecrementSetCounterFor(b memsys.Block)
+}
+
+// NoNC is the base system: no network cache at all.
+type NoNC struct{}
+
+// Tech returns NCTechNone.
+func (NoNC) Tech() stats.NCTech { return stats.NCTechNone }
+
+// Probe always misses.
+func (NoNC) Probe(memsys.Block, bool) ProbeResult { return ProbeResult{} }
+
+// OnFill does nothing.
+func (NoNC) OnFill(memsys.Block, bool) []Eviction { return nil }
+
+// AcceptVictim declines every victim.
+func (NoNC) AcceptVictim(memsys.Block, bool) VictimResult { return VictimResult{Set: -1} }
+
+// Invalidate does nothing.
+func (NoNC) Invalidate(memsys.Block) bool { return false }
+
+// Downgrade does nothing.
+func (NoNC) Downgrade(memsys.Block) bool { return false }
+
+// EvictPage does nothing.
+func (NoNC) EvictPage(memsys.Page) []memsys.Block { return nil }
+
+// Contains is always false.
+func (NoNC) Contains(memsys.Block) bool { return false }

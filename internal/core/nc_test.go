@@ -1,0 +1,438 @@
+package core
+
+import (
+	"testing"
+
+	"dsmnc/internal/cache"
+	"dsmnc/memsys"
+	"dsmnc/stats"
+)
+
+// blockInSet returns distinct blocks that map to the same set of a
+// 4-set block-indexed cache: b, b+4, b+8 ...
+func conflicting(base memsys.Block, sets, n int) []memsys.Block {
+	out := make([]memsys.Block, n)
+	for i := range out {
+		out[i] = base + memsys.Block(i*sets)
+	}
+	return out
+}
+
+func TestNoNC(t *testing.T) {
+	var n NoNC
+	if n.Tech() != stats.NCTechNone {
+		t.Fatal("NoNC tech")
+	}
+	if n.Probe(1, false).Hit {
+		t.Fatal("NoNC hit")
+	}
+	if n.OnFill(1, false) != nil {
+		t.Fatal("NoNC OnFill evicted")
+	}
+	if r := n.AcceptVictim(1, true); r.Accepted {
+		t.Fatal("NoNC accepted a victim")
+	}
+	if n.Invalidate(1) || n.Contains(1) || n.EvictPage(0) != nil {
+		t.Fatal("NoNC has state")
+	}
+}
+
+func newSmallVictim(idx cache.Indexing, counters bool) *VictimNC {
+	// 4 sets x 4 ways = 1 KB.
+	return NewVictim(VictimConfig{
+		Bytes: 16 * memsys.BlockBytes, Ways: 4, Indexing: idx, SetCounters: counters,
+	})
+}
+
+func TestVictimBasics(t *testing.T) {
+	v := newSmallVictim(cache.ByBlock, false)
+	if v.Tech() != stats.NCTechSRAM {
+		t.Fatal("victim NC tech")
+	}
+	// Victims are accepted; fills are not allocated.
+	if evs := v.OnFill(3, false); evs != nil {
+		t.Fatal("victim NC allocated on fill")
+	}
+	if v.Contains(3) {
+		t.Fatal("OnFill allocated")
+	}
+	r := v.AcceptVictim(3, false)
+	if !r.Accepted || !v.Contains(3) {
+		t.Fatal("victim not accepted")
+	}
+	// A probe hit frees the frame (exclusive two-level caching).
+	pr := v.Probe(3, false)
+	if !pr.Hit || pr.Dirty {
+		t.Fatalf("probe = %+v", pr)
+	}
+	if v.Contains(3) {
+		t.Fatal("probe hit did not free the victim frame")
+	}
+	// Dirty victims report dirty on probe.
+	v.AcceptVictim(5, true)
+	if pr := v.Probe(5, true); !pr.Hit || !pr.Dirty {
+		t.Fatalf("dirty probe = %+v", pr)
+	}
+}
+
+func TestVictimEvictionChain(t *testing.T) {
+	v := newSmallVictim(cache.ByBlock, false)
+	blocks := conflicting(0, 4, 5) // 5 conflicting victims into 4 ways
+	for i, b := range blocks[:4] {
+		r := v.AcceptVictim(b, i == 0) // first is dirty
+		if len(r.Evictions) != 0 {
+			t.Fatalf("premature eviction at %d", i)
+		}
+	}
+	r := v.AcceptVictim(blocks[4], false)
+	if len(r.Evictions) != 1 {
+		t.Fatalf("expected 1 eviction, got %d", len(r.Evictions))
+	}
+	ev := r.Evictions[0]
+	if ev.Block != blocks[0] || !ev.Dirty {
+		t.Fatalf("eviction = %+v, want dirty block %d", ev, blocks[0])
+	}
+	if ev.ForceL1Invalidate {
+		t.Fatal("victim cache must never force L1 invalidations (no inclusion)")
+	}
+}
+
+func TestVictimInvalidateAndEvictPage(t *testing.T) {
+	v := newSmallVictim(cache.ByPage, false)
+	p := memsys.Page(2)
+	first := memsys.FirstBlock(p)
+	v.AcceptVictim(first, true)
+	v.AcceptVictim(first+1, false)
+	if !v.Invalidate(first) {
+		t.Fatal("Invalidate lost dirty status")
+	}
+	v.AcceptVictim(first+2, true)
+	dirty := v.EvictPage(p)
+	if len(dirty) != 1 || dirty[0] != first+2 {
+		t.Fatalf("EvictPage dirty = %v", dirty)
+	}
+	if v.Count() != 0 {
+		t.Fatalf("Count = %d after page flush", v.Count())
+	}
+}
+
+func TestVictimPageIndexingGroupsPages(t *testing.T) {
+	v := newSmallVictim(cache.ByPage, true)
+	p := memsys.Page(1)
+	first := memsys.FirstBlock(p)
+	// Five blocks of one page go to one 4-way set: the fifth evicts.
+	var last VictimResult
+	for i := 0; i < 5; i++ {
+		last = v.AcceptVictim(first+memsys.Block(i), false)
+	}
+	if len(last.Evictions) != 1 {
+		t.Fatal("page-indexed set did not overflow at 5 blocks")
+	}
+	if last.SetCounter != 5 {
+		t.Fatalf("SetCounter = %d, want 5", last.SetCounter)
+	}
+	pp, ok := v.PredominantPage(last.Set)
+	if !ok || pp != p {
+		t.Fatalf("PredominantPage = (%d,%v), want (%d,true)", pp, ok, p)
+	}
+	v.ResetSetCounter(last.Set)
+	if v.SetCounter(last.Set) != 0 {
+		t.Fatal("ResetSetCounter did not reset")
+	}
+}
+
+func TestVictimPredominantPageMajority(t *testing.T) {
+	v := newSmallVictim(cache.ByPage, true)
+	// Find two pages that collide in the 4-set page-indexed cache
+	// (set placement follows pseudo-physical frame color).
+	pa := memsys.Page(1)
+	setA := v.AcceptVictim(memsys.FirstBlock(pa), false).Set
+	var pb memsys.Page
+	for q := memsys.Page(2); q < 64; q++ {
+		r := v.AcceptVictim(memsys.FirstBlock(q)+1, false)
+		if r.Set == setA {
+			pb = q
+			break
+		}
+		v.Invalidate(memsys.FirstBlock(q) + 1) // no collision: clean up
+	}
+	if pb == 0 {
+		t.Fatal("no colliding page found")
+	}
+	v.AcceptVictim(memsys.FirstBlock(pb)+2, false)
+	// pb holds two frames of the set versus pa's one.
+	pp, ok := v.PredominantPage(setA)
+	if !ok || pp != pb {
+		t.Fatalf("PredominantPage = (%d,%v), want (%d,true)", pp, ok, pb)
+	}
+	// An empty set has no predominant page.
+	for s := 0; s < 4; s++ {
+		if v.SetCounter(s) > 0 {
+			continue
+		}
+		if _, ok := v.PredominantPage(s); ok && s != setA {
+			t.Fatalf("set %d: untouched set returned a predominant page", s)
+		}
+	}
+	if v.SetCounter(-1) != 0 || v.SetCounter(99) != 0 {
+		t.Fatal("out-of-range SetCounter")
+	}
+}
+
+func TestRelaxedAllocatesOnFill(t *testing.T) {
+	n := NewRelaxed(16*memsys.BlockBytes, 4)
+	if n.Tech() != stats.NCTechSRAM {
+		t.Fatal("tech")
+	}
+	n.OnFill(3, false)
+	if !n.Contains(3) {
+		t.Fatal("relaxed NC did not allocate on fill")
+	}
+	// Read probe keeps the frame.
+	if pr := n.Probe(3, false); !pr.Hit {
+		t.Fatal("probe miss")
+	}
+	if !n.Contains(3) {
+		t.Fatal("read probe freed the frame (victim semantics in relaxed NC)")
+	}
+	// Clean victims of blocks the NC lost are declined.
+	if r := n.AcceptVictim(99, false); r.Accepted {
+		t.Fatal("relaxed NC accepted an unallocated clean victim")
+	}
+	// Dirty victims are always captured.
+	if r := n.AcceptVictim(99, true); !r.Accepted || !n.Contains(99) {
+		t.Fatal("relaxed NC dropped a dirty write-back")
+	}
+}
+
+func TestRelaxedCleanEvictionLeavesL1Alone(t *testing.T) {
+	n := NewRelaxed(16*memsys.BlockBytes, 4)
+	blocks := conflicting(0, 4, 5)
+	for _, b := range blocks[:4] {
+		n.OnFill(b, false)
+	}
+	evs := n.OnFill(blocks[4], false) // evicts a clean frame
+	if len(evs) != 0 {
+		t.Fatalf("clean eviction produced actions %+v (inclusion is relaxed for clean blocks)", evs)
+	}
+}
+
+func TestRelaxedDirtyInclusion(t *testing.T) {
+	n := NewRelaxed(16*memsys.BlockBytes, 4)
+	blocks := conflicting(0, 4, 5)
+	n.OnFill(blocks[0], false)
+	n.Probe(blocks[0], true) // write: frame becomes the dirty anchor
+	for _, b := range blocks[1:4] {
+		n.OnFill(b, false)
+	}
+	evs := n.OnFill(blocks[4], false)
+	if len(evs) != 1 {
+		t.Fatalf("dirty eviction missing: %+v", evs)
+	}
+	if !evs[0].Dirty || !evs[0].ForceL1Invalidate || evs[0].Block != blocks[0] {
+		t.Fatalf("dirty inclusion eviction = %+v", evs[0])
+	}
+}
+
+func TestInclusiveForcesL1OnEveryEviction(t *testing.T) {
+	n := NewInclusive(16*memsys.BlockBytes, 4)
+	if n.Tech() != stats.NCTechDRAM {
+		t.Fatal("NCD must be DRAM")
+	}
+	blocks := conflicting(0, 4, 5)
+	for _, b := range blocks[:4] {
+		n.OnFill(b, false)
+	}
+	evs := n.OnFill(blocks[4], false)
+	if len(evs) != 1 || !evs[0].ForceL1Invalidate {
+		t.Fatalf("full inclusion not enforced: %+v", evs)
+	}
+	if evs[0].Dirty {
+		t.Fatal("clean frame reported dirty")
+	}
+	// Dirty anchor path.
+	n.Probe(blocks[4], true)
+	evs = n.OnFill(blocks[1], false)
+	_ = evs
+	if r := n.AcceptVictim(blocks[4], true); !r.Accepted {
+		t.Fatal("write-back refused")
+	}
+}
+
+func TestRelaxedAndInclusivePageFlush(t *testing.T) {
+	for _, n := range []NC{NewRelaxed(16*memsys.BlockBytes, 4), NewInclusive(16*memsys.BlockBytes, 4)} {
+		p := memsys.Page(0)
+		first := memsys.FirstBlock(p)
+		n.OnFill(first, false)
+		n.AcceptVictim(first+1, true)
+		dirty := n.EvictPage(p)
+		if len(dirty) != 1 || dirty[0] != first+1 {
+			t.Fatalf("%T: EvictPage dirty = %v", n, dirty)
+		}
+		if n.Contains(first) {
+			t.Fatalf("%T: page flush left blocks", n)
+		}
+	}
+}
+
+func TestInfiniteNCAbsorbsEverything(t *testing.T) {
+	n := NewInfinite(stats.NCTechDRAM)
+	if n.Tech() != stats.NCTechDRAM {
+		t.Fatal("tech")
+	}
+	for i := memsys.Block(0); i < 10000; i++ {
+		n.OnFill(i, false)
+	}
+	if n.Count() != 10000 {
+		t.Fatalf("Count = %d", n.Count())
+	}
+	for i := memsys.Block(0); i < 10000; i++ {
+		if !n.Probe(i, false).Hit {
+			t.Fatalf("infinite NC missed block %d", i)
+		}
+	}
+	// Dirty victims are written through: the NC keeps a clean copy and
+	// tells the cluster to send the data home.
+	r := n.AcceptVictim(5, true)
+	if !r.Accepted || !r.WriteThrough {
+		t.Fatalf("dirty victim result = %+v, want write-through accept", r)
+	}
+	if pr := n.Probe(5, false); !pr.Hit || pr.Dirty {
+		t.Fatalf("probe = %+v, want clean hit", pr)
+	}
+	if r := n.AcceptVictim(6, false); r.WriteThrough {
+		t.Fatal("clean victim marked write-through")
+	}
+	// A write fill is the dirty anchor until the L1 copy comes back.
+	n.OnFill(7, true)
+	if pr := n.Probe(7, false); !pr.Dirty {
+		t.Fatal("write fill not recorded dirty")
+	}
+	if !n.Invalidate(7) {
+		t.Fatal("Invalidate lost dirty status")
+	}
+	p := memsys.Page(0)
+	n.OnFill(memsys.FirstBlock(p)+2, true)
+	if dirty := n.EvictPage(p); len(dirty) != 1 {
+		t.Fatalf("EvictPage dirty = %v", dirty)
+	}
+}
+
+// Interface conformance.
+var (
+	_ NC           = NoNC{}
+	_ NC           = (*VictimNC)(nil)
+	_ NC           = (*RelaxedNC)(nil)
+	_ NC           = (*InclusiveNC)(nil)
+	_ NC           = (*InfiniteNC)(nil)
+	_ SetCounterNC = (*VictimNC)(nil)
+)
+
+func TestWriteFillCreatesDirtyAnchor(t *testing.T) {
+	// A write fill allocates the frame as the dirty-inclusion anchor:
+	// evicting it must extract the block from the processor caches and
+	// write it back (paper §6.1.2's Radix effect).
+	for _, n := range []NC{NewRelaxed(16*memsys.BlockBytes, 4), NewInclusive(16*memsys.BlockBytes, 4)} {
+		blocks := conflicting(0, 4, 5)
+		n.OnFill(blocks[0], true) // write fill
+		for _, b := range blocks[1:4] {
+			n.OnFill(b, false)
+		}
+		evs := n.OnFill(blocks[4], false)
+		if len(evs) != 1 || !evs[0].Dirty || !evs[0].ForceL1Invalidate {
+			t.Fatalf("%T: write-fill anchor eviction = %+v", n, evs)
+		}
+	}
+	// The infinite NC records write fills as dirty without evicting.
+	inf := NewInfinite(stats.NCTechSRAM)
+	inf.OnFill(7, true)
+	if pr := inf.Probe(7, false); !pr.Hit || !pr.Dirty {
+		t.Fatalf("infinite write fill probe = %+v", pr)
+	}
+}
+
+func TestDowngradeAcrossOrganizations(t *testing.T) {
+	// Every NC must turn a dirty frame clean on a read intervention and
+	// report whether it had one.
+	ncs := map[string]NC{
+		"victim":    newSmallVictim(cache.ByBlock, false),
+		"relaxed":   NewRelaxed(16*memsys.BlockBytes, 4),
+		"inclusive": NewInclusive(16*memsys.BlockBytes, 4),
+		"infinite":  NewInfinite(stats.NCTechSRAM),
+	}
+	for name, n := range ncs {
+		if n.Downgrade(1) {
+			t.Errorf("%s: downgraded a missing block", name)
+		}
+		n.AcceptVictim(1, true)
+		if name == "infinite" {
+			// Write-through: the infinite NC never holds dirty victims;
+			// use a write fill as its dirty anchor instead.
+			n.OnFill(1, true)
+		}
+		if !n.Downgrade(1) {
+			t.Errorf("%s: dirty frame not downgraded", name)
+			continue
+		}
+		if n.Downgrade(1) {
+			t.Errorf("%s: clean frame downgraded again", name)
+		}
+		if pr := n.Probe(1, false); pr.Hit && pr.Dirty {
+			t.Errorf("%s: frame still dirty after downgrade", name)
+		}
+	}
+	if (NoNC{}).Downgrade(1) {
+		t.Error("NoNC downgraded")
+	}
+}
+
+func TestRelaxedAndInclusiveInvalidateCount(t *testing.T) {
+	rel := NewRelaxed(16*memsys.BlockBytes, 4)
+	rel.OnFill(3, false)
+	rel.AcceptVictim(7, true)
+	if rel.Count() != 2 {
+		t.Fatalf("relaxed Count = %d", rel.Count())
+	}
+	if rel.Invalidate(3) {
+		t.Fatal("clean invalidate reported dirty")
+	}
+	if !rel.Invalidate(7) {
+		t.Fatal("dirty invalidate lost status")
+	}
+	inc := NewInclusive(16*memsys.BlockBytes, 4)
+	inc.OnFill(3, true)
+	if inc.Count() != 1 {
+		t.Fatalf("inclusive Count = %d", inc.Count())
+	}
+	if !inc.Invalidate(3) {
+		t.Fatal("inclusive dirty invalidate lost status")
+	}
+}
+
+func TestVictimDecrementWithoutCounters(t *testing.T) {
+	v := newSmallVictim(cache.ByBlock, false) // counters disabled
+	v.DecrementSetCounterFor(3)               // must not panic
+	vc := newSmallVictim(cache.ByPage, true)
+	vc.AcceptVictim(memsys.FirstBlock(1), false)
+	set := vc.AcceptVictim(memsys.FirstBlock(1)+1, false).Set
+	vc.DecrementSetCounterFor(memsys.FirstBlock(1))
+	if vc.SetCounter(set) != 1 {
+		t.Fatalf("SetCounter = %d, want 1", vc.SetCounter(set))
+	}
+	vc.DecrementSetCounterFor(memsys.FirstBlock(1))
+	vc.DecrementSetCounterFor(memsys.FirstBlock(1)) // at zero: no-op
+	if vc.SetCounter(set) != 0 {
+		t.Fatal("counter went negative")
+	}
+}
+
+func TestInfiniteContains(t *testing.T) {
+	n := NewInfinite(stats.NCTechSRAM)
+	if n.Contains(9) {
+		t.Fatal("phantom block")
+	}
+	n.OnFill(9, false)
+	if !n.Contains(9) {
+		t.Fatal("filled block missing")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"dsmnc/internal/cache"
+	"dsmnc/memsys"
+	"dsmnc/stats"
+)
+
+// RelaxedNC is the nc organization of the paper: a small SRAM network
+// cache that allocates a frame at the time of the cache miss (like a
+// conventional next level) but relaxes inclusion for clean blocks —
+// a clean NC victimization leaves the processor caches alone (Fletcher
+// et al. [4], R-NUMA [3]). Inclusion is kept for dirty blocks: evicting
+// a dirty frame extracts the block from the processor caches and writes
+// it back, which is what makes the NC "a limiting factor for the amount
+// of dirty remote data the cluster can hold" in Figure 4's Radix result.
+type RelaxedNC struct {
+	tags  *cache.SetAssoc
+	evBuf []Eviction
+}
+
+// NewRelaxed builds an nc-style network cache.
+func NewRelaxed(bytes, ways int) *RelaxedNC {
+	return &RelaxedNC{tags: cache.New(cache.Config{Bytes: bytes, Ways: ways})}
+}
+
+// Tech returns NCTechSRAM.
+func (n *RelaxedNC) Tech() stats.NCTech { return stats.NCTechSRAM }
+
+// Probe snoops the NC. Read hits keep the frame (the NC is a copy-back
+// level, not a victim cache); write hits mark the frame Modified so it
+// anchors the dirty-inclusion property while a processor cache holds M.
+func (n *RelaxedNC) Probe(b memsys.Block, write bool) ProbeResult {
+	ln := n.tags.Lookup(b)
+	if ln == nil {
+		return ProbeResult{}
+	}
+	dirty := ln.State.Dirty()
+	n.tags.Touch(b)
+	if write {
+		ln.State = cache.Modified
+	}
+	return ProbeResult{Hit: true, Dirty: dirty}
+}
+
+// OnFill allocates a frame for the incoming remote block; a write fill
+// becomes the dirty-inclusion anchor. A recycled dirty frame carries the
+// dirty-inclusion obligation: the cluster must extract the block from
+// the processor caches and write it back. A recycled clean frame
+// requires nothing (relaxed inclusion).
+func (n *RelaxedNC) OnFill(b memsys.Block, write bool) []Eviction {
+	st := cache.Shared
+	if write {
+		st = cache.Modified
+	}
+	victim := n.tags.Fill(b, st)
+	n.evBuf = n.evBuf[:0]
+	if victim.State.Valid() && victim.State.Dirty() {
+		n.evBuf = append(n.evBuf, Eviction{
+			Block:             victim.Block,
+			Dirty:             true,
+			ForceL1Invalidate: true,
+		})
+		return n.evBuf
+	}
+	return nil
+}
+
+// AcceptVictim captures dirty write-backs (allocating if the clean frame
+// was victimized earlier); clean victims are not allocated — this is not
+// a victim cache — but a surviving frame keeps serving the block.
+func (n *RelaxedNC) AcceptVictim(b memsys.Block, dirty bool) VictimResult {
+	if dirty {
+		victim := n.tags.Fill(b, cache.Modified)
+		res := VictimResult{Accepted: true, Set: n.tags.SetOf(b)}
+		n.evBuf = n.evBuf[:0]
+		if victim.State.Valid() {
+			n.evBuf = append(n.evBuf, Eviction{
+				Block:             victim.Block,
+				Dirty:             victim.State.Dirty(),
+				ForceL1Invalidate: victim.State.Dirty(),
+			})
+			res.Evictions = n.evBuf
+		}
+		return res
+	}
+	if ln := n.tags.Lookup(b); ln != nil {
+		n.tags.Touch(b)
+		return VictimResult{Accepted: true, Set: n.tags.SetOf(b)}
+	}
+	return VictimResult{Set: -1}
+}
+
+// Invalidate removes b, reporting whether the frame was dirty.
+func (n *RelaxedNC) Invalidate(b memsys.Block) bool {
+	return n.tags.Evict(b).State.Dirty()
+}
+
+// EvictPage flushes page p, returning its dirty blocks.
+func (n *RelaxedNC) EvictPage(p memsys.Page) []memsys.Block {
+	var dirty []memsys.Block
+	for _, ln := range n.tags.EvictPage(p) {
+		if ln.State.Dirty() {
+			dirty = append(dirty, ln.Block)
+		}
+	}
+	return dirty
+}
+
+// Contains reports whether b is present.
+func (n *RelaxedNC) Contains(b memsys.Block) bool { return n.tags.Lookup(b) != nil }
+
+// Count returns the number of valid frames (testing).
+func (n *RelaxedNC) Count() int { return n.tags.Count() }
+
+// Downgrade marks a dirty frame of b clean, reporting whether one existed.
+func (n *RelaxedNC) Downgrade(b memsys.Block) bool {
+	if ln := n.tags.Lookup(b); ln != nil && ln.State.Dirty() {
+		ln.State = cache.Shared
+		return true
+	}
+	return false
+}

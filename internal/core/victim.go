@@ -1,0 +1,164 @@
+package core
+
+import (
+	"dsmnc/internal/cache"
+	"dsmnc/memsys"
+	"dsmnc/stats"
+)
+
+// VictimNC is the paper's network victim cache (§3.1, §3.4): frames are
+// allocated only when a processor cache victimizes a remote block, never
+// on the fill path, so the NC holds exactly the lines with the best
+// chance of incurring a later capacity miss. Inclusion is never
+// maintained, so NC conflicts can never degrade the processor caches and
+// the system can never perform worse than one without an NC.
+//
+// With page-address indexing (vp) every set doubles as intermediate
+// storage for the blocks of a remote page, and an optional per-set
+// victimization counter turns the cache into the page-relocation engine
+// of the vxp system.
+type VictimNC struct {
+	tags     *cache.SetAssoc
+	counters []uint32 // per-set victimization counters (nil unless vxp)
+	evBuf    []Eviction
+}
+
+// VictimConfig sizes a VictimNC.
+type VictimConfig struct {
+	Bytes    int
+	Ways     int
+	Indexing cache.Indexing
+	// SetCounters enables the per-set victimization counters of vxp.
+	SetCounters bool
+}
+
+// NewVictim builds a network victim cache.
+func NewVictim(cfg VictimConfig) *VictimNC {
+	v := &VictimNC{
+		tags: cache.New(cache.Config{Bytes: cfg.Bytes, Ways: cfg.Ways, Indexing: cfg.Indexing}),
+	}
+	if cfg.SetCounters {
+		v.counters = make([]uint32, v.tags.Sets())
+	}
+	return v
+}
+
+// Tech returns NCTechSRAM: the victim cache is built in the processor-
+// cache technology and snoops at bus speed.
+func (v *VictimNC) Tech() stats.NCTech { return stats.NCTechSRAM }
+
+// Probe looks up b; on a hit the frame is freed — the block moves to the
+// requesting processor cache (exclusive two-level caching, paper §7).
+func (v *VictimNC) Probe(b memsys.Block, write bool) ProbeResult {
+	ln := v.tags.Lookup(b)
+	if ln == nil {
+		return ProbeResult{}
+	}
+	dirty := ln.State.Dirty()
+	v.tags.Evict(b)
+	return ProbeResult{Hit: true, Dirty: dirty, Freed: true}
+}
+
+// OnFill does nothing: the victim cache never allocates on the fill path.
+func (v *VictimNC) OnFill(memsys.Block, bool) []Eviction { return nil }
+
+// AcceptVictim places the victimized block in the cache, bumping the
+// set's victimization counter when vxp counters are enabled.
+func (v *VictimNC) AcceptVictim(b memsys.Block, dirty bool) VictimResult {
+	st := cache.Shared
+	if dirty {
+		st = cache.Modified
+	}
+	set := v.tags.SetOf(b)
+	victim := v.tags.Fill(b, st)
+	res := VictimResult{Accepted: true, Set: set}
+	v.evBuf = v.evBuf[:0]
+	if victim.State.Valid() {
+		v.evBuf = append(v.evBuf, Eviction{Block: victim.Block, Dirty: victim.State.Dirty()})
+		res.Evictions = v.evBuf
+	}
+	if v.counters != nil {
+		v.counters[set]++
+		res.SetCounter = v.counters[set]
+	}
+	return res
+}
+
+// Invalidate removes b, reporting whether the frame was dirty.
+func (v *VictimNC) Invalidate(b memsys.Block) bool {
+	return v.tags.Evict(b).State.Dirty()
+}
+
+// EvictPage flushes page p, returning its dirty blocks.
+func (v *VictimNC) EvictPage(p memsys.Page) []memsys.Block {
+	var dirty []memsys.Block
+	for _, ln := range v.tags.EvictPage(p) {
+		if ln.State.Dirty() {
+			dirty = append(dirty, ln.Block)
+		}
+	}
+	return dirty
+}
+
+// Contains reports whether b is present.
+func (v *VictimNC) Contains(b memsys.Block) bool { return v.tags.Lookup(b) != nil }
+
+// Count returns the number of valid frames (testing).
+func (v *VictimNC) Count() int { return v.tags.Count() }
+
+// PredominantPage returns the page owning the most frames of set s: the
+// implicit relocation candidate indicated by the set's address tags.
+func (v *VictimNC) PredominantPage(s int) (memsys.Page, bool) {
+	lines := v.tags.SetLines(s)
+	if len(lines) == 0 {
+		return 0, false
+	}
+	counts := make(map[memsys.Page]int, len(lines))
+	var best memsys.Page
+	bestN := 0
+	for _, ln := range lines {
+		p := memsys.PageOfBlock(ln.Block)
+		counts[p]++
+		if counts[p] > bestN {
+			best, bestN = p, counts[p]
+		}
+	}
+	return best, true
+}
+
+// ResetSetCounter zeroes set s's victimization counter.
+func (v *VictimNC) ResetSetCounter(s int) {
+	if v.counters != nil && s >= 0 && s < len(v.counters) {
+		v.counters[s] = 0
+	}
+}
+
+// SetCounter returns set s's victimization counter.
+func (v *VictimNC) SetCounter(s int) uint32 {
+	if v.counters == nil || s < 0 || s >= len(v.counters) {
+		return 0
+	}
+	return v.counters[s]
+}
+
+// Downgrade marks a dirty frame of b clean, reporting whether one existed.
+func (v *VictimNC) Downgrade(b memsys.Block) bool {
+	if ln := v.tags.Lookup(b); ln != nil && ln.State.Dirty() {
+		ln.State = cache.Shared
+		return true
+	}
+	return false
+}
+
+// DecrementSetCounterFor undoes one victimization count of block b's set
+// (the §3.4 counter-decrement refinement): a late invalidation means the
+// next miss to b will be coherence, not capacity, so the count is
+// corrected.
+func (v *VictimNC) DecrementSetCounterFor(b memsys.Block) {
+	if v.counters == nil {
+		return
+	}
+	if s := v.tags.SetOf(b); v.counters[s] > 0 {
+		v.counters[s]--
+	}
+}

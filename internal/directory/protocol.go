@@ -1,0 +1,41 @@
+package directory
+
+import "dsmnc/memsys"
+
+// Protocol is the system-level coherence engine as the simulator sees
+// it. Two implementations exist: the full-map Directory (the paper's
+// baseline, which R-NUMA's relocation counters require) and the
+// limited-pointer LimitedDirectory (Dir_iB), under which the
+// victim-cache-resident counters of vxp keep working while the
+// directory-resident ones degrade — the paper's §3.4 scalability
+// argument.
+type Protocol interface {
+	// Access processes a block fetch (see Directory.Access).
+	Access(c int, b memsys.Block, write, countCapacity bool) AccessResult
+	// Upgrade grants write ownership, returning the clusters to
+	// invalidate.
+	Upgrade(c int, b memsys.Block) []int
+	// WriteBack records a dirty block arriving home.
+	WriteBack(c int, b memsys.Block)
+	// DirtyOwner returns the cluster holding the modified copy.
+	DirtyOwner(b memsys.Block) int
+	// IsExclusive reports whether c owns b.
+	IsExclusive(c int, b memsys.Block) bool
+	// SoleSharer reports whether c is the only recorded sharer.
+	SoleSharer(c int, b memsys.Block) bool
+	// EnableCounters turns on the R-NUMA relocation counters.
+	EnableCounters()
+	// Counter, ResetCounter and DecrementCounter manage the R-NUMA
+	// per-(page, cluster) relocation counters.
+	Counter(p memsys.Page, c int) uint32
+	ResetCounter(p memsys.Page, c int)
+	DecrementCounter(p memsys.Page, c int)
+	// InvalMessages returns the cumulative invalidation messages sent —
+	// the metric a limited directory pays broadcasts in.
+	InvalMessages() int64
+}
+
+var (
+	_ Protocol = (*Directory)(nil)
+	_ Protocol = (*LimitedDirectory)(nil)
+)

@@ -1,0 +1,284 @@
+// Package pagecache implements the main-memory page cache for remote data
+// (Simple COMA [21] / R-NUMA [3], paper §3.3): remote pages replicated
+// under local aliases at page granularity, with coherence kept at block
+// granularity. It also implements the relocation-threshold policies,
+// including the paper's adaptive policy (§6.2) that raises a node's
+// threshold whenever the page cache thrashes.
+//
+// The package models mechanism only — which pages are mapped, which
+// blocks of them are valid or dirty, and which page to replace (least
+// recently missed). What *triggers* a relocation lives elsewhere: the
+// R-NUMA capacity-miss counters in package directory, or the per-set
+// victimization counters of the network victim cache in package core.
+package pagecache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dsmnc/memsys"
+)
+
+// frame is one page-cache frame.
+type frame struct {
+	page     memsys.Page
+	valid    uint64 // per-block valid bits
+	dirty    uint64 // per-block dirty bits (implies valid)
+	lastMiss uint64 // recency of the last installing miss (LRM)
+	hits     uint16 // saturating per-frame hit counter (adaptive policy)
+}
+
+const hitSaturation = 0xffff
+
+// BlockState is the page cache's view of one block of a mapped page.
+type BlockState struct {
+	Mapped bool // the block's page has a frame
+	Valid  bool // the block holds data
+	Dirty  bool // the frame holds the only up-to-date copy in the cluster
+}
+
+// Evicted describes a page flushed out of the cache on replacement.
+type Evicted struct {
+	Page  memsys.Page
+	Dirty []memsys.Block // blocks that must be written back to home
+	Hits  int            // hits the frame collected during its lifetime
+}
+
+// PageCache is one cluster's page cache.
+type PageCache struct {
+	frames   int
+	byPage   map[memsys.Page]*frame
+	clock    uint64 // advances on installing misses (LRM recency)
+	policy   *Policy
+	dirtyBuf []memsys.Block
+}
+
+// New builds a page cache with the given number of page frames and
+// relocation-threshold policy. frames must be positive; policy must not
+// be nil (use NewFixedPolicy for the trivial one).
+func New(frames int, policy *Policy) *PageCache {
+	if frames <= 0 {
+		panic(fmt.Sprintf("pagecache: invalid frame count %d", frames))
+	}
+	if policy == nil {
+		panic("pagecache: nil policy")
+	}
+	policy.bindFrames(frames)
+	return &PageCache{
+		frames: frames,
+		byPage: make(map[memsys.Page]*frame, frames),
+		policy: policy,
+	}
+}
+
+// Frames returns the capacity in pages.
+func (pc *PageCache) Frames() int { return pc.frames }
+
+// Mapped returns how many frames are in use.
+func (pc *PageCache) Mapped() int { return len(pc.byPage) }
+
+// Policy returns the relocation-threshold policy.
+func (pc *PageCache) Policy() *Policy { return pc.policy }
+
+// Lookup returns the state of block b in the cache.
+func (pc *PageCache) Lookup(b memsys.Block) BlockState {
+	f := pc.byPage[memsys.PageOfBlock(b)]
+	if f == nil {
+		return BlockState{}
+	}
+	bit := uint64(1) << uint(memsys.BlockInPage(b))
+	return BlockState{
+		Mapped: true,
+		Valid:  f.valid&bit != 0,
+		Dirty:  f.dirty&bit != 0,
+	}
+}
+
+// RecordHit notes that a processor miss was satisfied by block b's frame,
+// feeding the adaptive policy's per-frame hit counters. LRM recency is
+// deliberately NOT updated: replacement is least-recently-*missed*, so a
+// page that hits forever but stops missing ages out.
+func (pc *PageCache) RecordHit(b memsys.Block) {
+	if f := pc.byPage[memsys.PageOfBlock(b)]; f != nil && f.hits < hitSaturation {
+		f.hits++
+	}
+}
+
+// Install records that a remote fetch deposited block b (dirty if the
+// fetch was for a write that will complete in the frame) into its mapped
+// page, and refreshes the page's LRM recency. Installing into an
+// unmapped page is a no-op.
+func (pc *PageCache) Install(b memsys.Block, dirty bool) {
+	f := pc.byPage[memsys.PageOfBlock(b)]
+	if f == nil {
+		return
+	}
+	bit := uint64(1) << uint(memsys.BlockInPage(b))
+	f.valid |= bit
+	if dirty {
+		f.dirty |= bit
+	} else {
+		f.dirty &^= bit
+	}
+	pc.clock++
+	f.lastMiss = pc.clock
+}
+
+// WriteDirty captures a local write-back of block b into its frame: the
+// dirty data stays in the cluster instead of crossing the network.
+// It reports whether the frame accepted the block.
+func (pc *PageCache) WriteDirty(b memsys.Block) bool { return pc.Deposit(b, true) }
+
+// Deposit stores a victimized block into its frame without refreshing the
+// page's LRM recency (a victimization is not a miss). Dirty deposits keep
+// the cluster's only copy local; clean deposits let the frame keep
+// serving a block the NC just dropped. It reports whether the page was
+// mapped.
+func (pc *PageCache) Deposit(b memsys.Block, dirty bool) bool {
+	f := pc.byPage[memsys.PageOfBlock(b)]
+	if f == nil {
+		return false
+	}
+	bit := uint64(1) << uint(memsys.BlockInPage(b))
+	f.valid |= bit
+	if dirty {
+		f.dirty |= bit
+	}
+	return true
+}
+
+// Invalidate drops block b (system-level invalidation), reporting whether
+// the frame copy was dirty.
+func (pc *PageCache) Invalidate(b memsys.Block) bool {
+	f := pc.byPage[memsys.PageOfBlock(b)]
+	if f == nil {
+		return false
+	}
+	bit := uint64(1) << uint(memsys.BlockInPage(b))
+	dirty := f.dirty&bit != 0
+	f.valid &^= bit
+	f.dirty &^= bit
+	return dirty
+}
+
+// Clean marks a dirty copy of block b clean (remote read intervention:
+// the data went home but the frame keeps serving reads). It reports
+// whether a dirty copy was found.
+func (pc *PageCache) Clean(b memsys.Block) bool {
+	f := pc.byPage[memsys.PageOfBlock(b)]
+	if f == nil {
+		return false
+	}
+	bit := uint64(1) << uint(memsys.BlockInPage(b))
+	if f.dirty&bit == 0 {
+		return false
+	}
+	f.dirty &^= bit
+	return true
+}
+
+// IsMapped reports whether page p has a frame.
+func (pc *PageCache) IsMapped(p memsys.Page) bool {
+	_, ok := pc.byPage[p]
+	return ok
+}
+
+// Relocate maps page p into the cache, evicting the least-recently-missed
+// page if all frames are busy. It returns the evicted page (if any) and
+// whether the adaptive policy raised the threshold as a result of the
+// reuse. Relocating an already-mapped page is a no-op.
+func (pc *PageCache) Relocate(p memsys.Page) (ev *Evicted, raised bool) {
+	if _, ok := pc.byPage[p]; ok {
+		return nil, false
+	}
+	var f *frame
+	if len(pc.byPage) >= pc.frames {
+		victim := pc.lrmVictim()
+		ev = pc.flush(victim)
+		raised = pc.policy.frameReused(ev.Hits, pc)
+		f = victim
+	} else {
+		f = &frame{}
+	}
+	pc.clock++
+	*f = frame{page: p, lastMiss: pc.clock}
+	pc.byPage[p] = f
+	return ev, raised
+}
+
+// Unmap removes page p without replacement pressure (used by tests and by
+// dynamic PC resizing), returning its flush record.
+func (pc *PageCache) Unmap(p memsys.Page) *Evicted {
+	f := pc.byPage[p]
+	if f == nil {
+		return nil
+	}
+	return pc.flush(f)
+}
+
+// lrmVictim picks the frame whose last installing miss is oldest.
+func (pc *PageCache) lrmVictim() *frame {
+	var victim *frame
+	for _, f := range pc.byPage {
+		if victim == nil || f.lastMiss < victim.lastMiss {
+			victim = f
+		}
+	}
+	return victim
+}
+
+// flush extracts a frame's dirty blocks and unmaps the page.
+func (pc *PageCache) flush(f *frame) *Evicted {
+	pc.dirtyBuf = pc.dirtyBuf[:0]
+	first := memsys.FirstBlock(f.page)
+	for d := f.dirty; d != 0; d &= d - 1 {
+		i := bits.TrailingZeros64(d)
+		pc.dirtyBuf = append(pc.dirtyBuf, first+memsys.Block(i))
+	}
+	ev := &Evicted{Page: f.page, Hits: int(f.hits)}
+	if len(pc.dirtyBuf) > 0 {
+		ev.Dirty = append([]memsys.Block(nil), pc.dirtyBuf...)
+	}
+	delete(pc.byPage, f.page)
+	return ev
+}
+
+// Resize changes the page-cache capacity to frames, evicting
+// least-recently-missed pages if it shrinks below the mapped count. The
+// paper names dynamic adjustability as the page cache's decisive
+// advantage over fixed network caches ("the page cache size can be
+// adjusted dynamically, whereas the NC size is configurable at best",
+// §8); this is that mechanism. Evicted pages are returned for the
+// caller to flush.
+func (pc *PageCache) Resize(frames int) []*Evicted {
+	if frames < 1 {
+		frames = 1
+	}
+	var evicted []*Evicted
+	for len(pc.byPage) > frames {
+		victim := pc.lrmVictim()
+		ev := pc.flush(victim)
+		pc.policy.frameReused(ev.Hits, pc)
+		evicted = append(evicted, ev)
+	}
+	pc.frames = frames
+	pc.policy.bindFrames(frames)
+	return evicted
+}
+
+// MappedPages returns the mapped pages (testing and reporting).
+func (pc *PageCache) MappedPages() []memsys.Page {
+	out := make([]memsys.Page, 0, len(pc.byPage))
+	for p := range pc.byPage {
+		out = append(out, p)
+	}
+	return out
+}
+
+// resetAllHitCounters supports the adaptive policy: when the threshold is
+// raised, all per-frame hit counters restart (paper §6.2).
+func (pc *PageCache) resetAllHitCounters() {
+	for _, f := range pc.byPage {
+		f.hits = 0
+	}
+}

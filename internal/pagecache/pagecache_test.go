@@ -1,0 +1,391 @@
+package pagecache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsmnc/memsys"
+)
+
+func newPC(frames int) *PageCache { return New(frames, NewFixedPolicy(32)) }
+
+func blockOf(p memsys.Page, i int) memsys.Block {
+	return memsys.FirstBlock(p) + memsys.Block(i)
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, NewFixedPolicy(1)) },
+		func() { New(4, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("New accepted invalid arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLookupInstallInvalidate(t *testing.T) {
+	pc := newPC(2)
+	b := blockOf(5, 3)
+	if st := pc.Lookup(b); st.Mapped || st.Valid || st.Dirty {
+		t.Fatalf("empty PC state = %+v", st)
+	}
+	// Install into an unmapped page is a no-op.
+	pc.Install(b, false)
+	if st := pc.Lookup(b); st.Mapped {
+		t.Fatal("install mapped a page")
+	}
+	pc.Relocate(5)
+	if st := pc.Lookup(b); !st.Mapped || st.Valid {
+		t.Fatalf("mapped page state = %+v (blocks start invalid)", st)
+	}
+	pc.Install(b, false)
+	if st := pc.Lookup(b); !st.Valid || st.Dirty {
+		t.Fatalf("installed state = %+v", st)
+	}
+	pc.Install(b, true)
+	if st := pc.Lookup(b); !st.Dirty {
+		t.Fatal("dirty install not recorded")
+	}
+	// A clean reinstall clears dirty (fresh copy fetched from home).
+	pc.Install(b, false)
+	if st := pc.Lookup(b); st.Dirty {
+		t.Fatal("clean reinstall left dirty bit")
+	}
+	if !pc.WriteDirty(b) {
+		t.Fatal("WriteDirty refused mapped block")
+	}
+	if dirty := pc.Invalidate(b); !dirty {
+		t.Fatal("Invalidate lost dirty status")
+	}
+	if st := pc.Lookup(b); st.Valid {
+		t.Fatal("invalidated block still valid")
+	}
+	if pc.Invalidate(blockOf(99, 0)) {
+		t.Fatal("Invalidate of unmapped block reported dirty")
+	}
+	if pc.WriteDirty(blockOf(99, 0)) {
+		t.Fatal("WriteDirty accepted unmapped block")
+	}
+}
+
+func TestRelocateIdempotent(t *testing.T) {
+	pc := newPC(2)
+	pc.Relocate(1)
+	pc.Install(blockOf(1, 0), true)
+	ev, raised := pc.Relocate(1)
+	if ev != nil || raised {
+		t.Fatal("re-relocating a mapped page did something")
+	}
+	if st := pc.Lookup(blockOf(1, 0)); !st.Valid {
+		t.Fatal("re-relocation cleared the frame")
+	}
+}
+
+func TestLRMReplacement(t *testing.T) {
+	pc := newPC(2)
+	pc.Relocate(1)
+	pc.Relocate(2)
+	// Page 1 misses again (install refreshes recency); page 2 only hits.
+	pc.Install(blockOf(2, 0), false)
+	pc.Install(blockOf(1, 0), false)
+	pc.RecordHit(blockOf(2, 0)) // hits must NOT refresh LRM recency
+	pc.RecordHit(blockOf(2, 0))
+	ev, _ := pc.Relocate(3)
+	if ev == nil || ev.Page != 2 {
+		t.Fatalf("evicted %+v, want page 2 (least recently missed)", ev)
+	}
+	if ev.Hits != 2 {
+		t.Fatalf("evicted hits = %d, want 2", ev.Hits)
+	}
+	if pc.Mapped() != 2 {
+		t.Fatalf("Mapped = %d, want 2", pc.Mapped())
+	}
+}
+
+func TestEvictionFlushesDirtyBlocks(t *testing.T) {
+	pc := newPC(1)
+	pc.Relocate(4)
+	pc.Install(blockOf(4, 1), true)
+	pc.WriteDirty(blockOf(4, 7))
+	pc.Install(blockOf(4, 9), false)
+	ev, _ := pc.Relocate(5)
+	if ev == nil || ev.Page != 4 {
+		t.Fatalf("evicted %+v", ev)
+	}
+	if len(ev.Dirty) != 2 {
+		t.Fatalf("dirty flush = %v, want blocks 1 and 7 of page 4", ev.Dirty)
+	}
+	want := map[memsys.Block]bool{blockOf(4, 1): true, blockOf(4, 7): true}
+	for _, b := range ev.Dirty {
+		if !want[b] {
+			t.Fatalf("unexpected dirty block %d", b)
+		}
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	pc := newPC(2)
+	pc.Relocate(3)
+	pc.WriteDirty(blockOf(3, 2))
+	ev := pc.Unmap(3)
+	if ev == nil || ev.Page != 3 || len(ev.Dirty) != 1 {
+		t.Fatalf("Unmap = %+v", ev)
+	}
+	if pc.Unmap(3) != nil {
+		t.Fatal("double unmap returned a record")
+	}
+	if pc.Mapped() != 0 {
+		t.Fatal("Unmap left the page mapped")
+	}
+}
+
+func TestMappedPages(t *testing.T) {
+	pc := newPC(3)
+	pc.Relocate(7)
+	pc.Relocate(9)
+	got := pc.MappedPages()
+	if len(got) != 2 {
+		t.Fatalf("MappedPages = %v", got)
+	}
+}
+
+func TestFixedPolicyNeverRaises(t *testing.T) {
+	pc := New(1, NewFixedPolicy(32))
+	for p := memsys.Page(0); p < 100; p++ {
+		if _, raised := pc.Relocate(p); raised {
+			t.Fatal("fixed policy raised the threshold")
+		}
+	}
+	if pc.Policy().Threshold() != 32 {
+		t.Fatal("fixed threshold drifted")
+	}
+	if pc.Policy().Adaptive() {
+		t.Fatal("fixed policy claims adaptive")
+	}
+	if pc.Policy().Reuses() != 99 {
+		t.Fatalf("Reuses = %d, want 99", pc.Policy().Reuses())
+	}
+}
+
+func TestAdaptivePolicyRaisesOnThrashing(t *testing.T) {
+	// 4 frames, window = 8 reuses. Relocate pages that never hit: every
+	// reuse contributes -breakEven, so after one window the threshold
+	// must rise by the step.
+	pol := NewAdaptivePolicy(32)
+	pc := New(4, pol)
+	page := memsys.Page(0)
+	for i := 0; i < 4+8; i++ { // fill 4, then 8 thrashing reuses
+		pc.Relocate(page)
+		page++
+	}
+	if pol.Threshold() != 32+8 {
+		t.Fatalf("threshold = %d, want 40 after one thrashing window", pol.Threshold())
+	}
+	if pol.Raises() != 1 {
+		t.Fatalf("Raises = %d, want 1", pol.Raises())
+	}
+	// Keep thrashing: threshold keeps climbing window by window.
+	for i := 0; i < 16; i++ {
+		pc.Relocate(page)
+		page++
+	}
+	if pol.Threshold() != 32+8*3 {
+		t.Fatalf("threshold = %d, want 56 after three windows", pol.Threshold())
+	}
+}
+
+func TestAdaptivePolicyQuietWhenPagesEarnKeep(t *testing.T) {
+	pol := NewAdaptivePolicy(32)
+	pc := New(2, pol)
+	page := memsys.Page(0)
+	pc.Relocate(page)
+	page++
+	pc.Relocate(page)
+	page++
+	for i := 0; i < 40; i++ {
+		// Before each reuse, give the victim more hits than break-even.
+		victimPage := page - 2
+		for h := 0; h < DefaultBreakEven+5; h++ {
+			pc.RecordHit(blockOf(victimPage, 0))
+		}
+		pc.Relocate(page)
+		page++
+	}
+	if pol.Threshold() != 32 {
+		t.Fatalf("threshold = %d, want 32 (no thrashing)", pol.Threshold())
+	}
+	if pol.Raises() != 0 {
+		t.Fatal("policy raised without thrashing")
+	}
+}
+
+func TestAdaptiveRaiseResetsHitCounters(t *testing.T) {
+	pol := NewAdaptivePolicyTuned(32, 8, DefaultBreakEven, 1) // window = frames = 2
+	pc := New(2, pol)
+	pc.Relocate(1)
+	pc.Relocate(2)
+	pc.RecordHit(blockOf(2, 0)) // some hits on the surviving page
+	pc.RecordHit(blockOf(2, 0))
+	// Two zero-hit reuses trigger a raise (window=2).
+	pc.Relocate(3)
+	_, raised := pc.Relocate(4)
+	if !raised && pol.Raises() == 0 {
+		t.Fatal("no raise")
+	}
+	// After the raise all hit counters are reset: evicting what remains
+	// must report zero hits.
+	ev := pc.Unmap(2)
+	if ev != nil && ev.Hits != 0 {
+		t.Fatalf("hits = %d after reset, want 0", ev.Hits)
+	}
+}
+
+func TestPolicyTunedParameters(t *testing.T) {
+	pol := NewAdaptivePolicyTuned(64, 16, 3, 1)
+	pc := New(1, pol)
+	if pol.Threshold() != 64 {
+		t.Fatal("initial threshold")
+	}
+	pc.Relocate(1)
+	pc.Relocate(2) // one reuse = one window; 0 hits < breakEven 3
+	if pol.Threshold() != 80 {
+		t.Fatalf("threshold = %d, want 80", pol.Threshold())
+	}
+}
+
+// Property: the page cache never maps more pages than frames, dirty
+// implies valid, and every evicted dirty list matches what was written.
+func TestPageCacheInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		pc := New(3, NewFixedPolicy(32))
+		shadowDirty := map[memsys.Block]bool{}
+		mapped := map[memsys.Page]bool{}
+		for _, op := range ops {
+			p := memsys.Page(op % 8)
+			blk := blockOf(p, int(op>>3)%64)
+			switch op % 5 {
+			case 0:
+				ev, _ := pc.Relocate(p)
+				if ev != nil {
+					delete(mapped, ev.Page)
+					for _, b := range ev.Dirty {
+						if !shadowDirty[b] {
+							return false // flushed a block never dirtied
+						}
+						delete(shadowDirty, b)
+					}
+					// Any remaining shadow-dirty blocks of the page were
+					// not flushed: error.
+					for b := range shadowDirty {
+						if memsys.PageOfBlock(b) == ev.Page {
+							return false
+						}
+					}
+				}
+				mapped[p] = true
+			case 1:
+				if mapped[p] {
+					pc.Install(blk, false)
+					delete(shadowDirty, blk)
+				} else {
+					pc.Install(blk, false)
+				}
+			case 2:
+				if pc.WriteDirty(blk) {
+					shadowDirty[blk] = true
+				}
+			case 3:
+				if pc.Invalidate(blk) != shadowDirty[blk] {
+					return false
+				}
+				delete(shadowDirty, blk)
+			case 4:
+				pc.RecordHit(blk)
+			}
+			if pc.Mapped() > 3 {
+				return false
+			}
+			// Dirty implies valid for a sampled block.
+			st := pc.Lookup(blk)
+			if st.Dirty && !st.Valid {
+				return false
+			}
+			if st.Dirty != shadowDirty[blk] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResize(t *testing.T) {
+	pc := New(4, NewFixedPolicy(32))
+	for p := memsys.Page(0); p < 4; p++ {
+		pc.Relocate(p)
+	}
+	pc.Install(blockOf(3, 0), false) // page 3 most recently missed
+	pc.WriteDirty(blockOf(0, 1))
+	// Shrink to 2 frames: the two least-recently-missed pages go,
+	// flushing dirty blocks.
+	evicted := pc.Resize(2)
+	if len(evicted) != 2 {
+		t.Fatalf("Resize evicted %d pages, want 2", len(evicted))
+	}
+	if pc.Frames() != 2 || pc.Mapped() != 2 {
+		t.Fatalf("frames=%d mapped=%d", pc.Frames(), pc.Mapped())
+	}
+	if !pc.IsMapped(3) {
+		t.Fatal("most recently missed page evicted")
+	}
+	var dirtyFlushed int
+	for _, ev := range evicted {
+		dirtyFlushed += len(ev.Dirty)
+	}
+	if dirtyFlushed != 1 {
+		t.Fatalf("dirty blocks flushed = %d, want 1", dirtyFlushed)
+	}
+	// Growing never evicts.
+	if evs := pc.Resize(8); len(evs) != 0 {
+		t.Fatal("grow evicted pages")
+	}
+	if pc.Frames() != 8 {
+		t.Fatal("grow did not take")
+	}
+	// Minimum of one frame.
+	pc.Resize(0)
+	if pc.Frames() != 1 {
+		t.Fatalf("Frames = %d, want 1", pc.Frames())
+	}
+	if pc.Mapped() > 1 {
+		t.Fatal("shrink to 1 left extra pages")
+	}
+}
+
+func TestClean(t *testing.T) {
+	pc := newPC(2)
+	if pc.Clean(blockOf(1, 0)) {
+		t.Fatal("cleaned an unmapped block")
+	}
+	pc.Relocate(1)
+	pc.Install(blockOf(1, 0), false)
+	if pc.Clean(blockOf(1, 0)) {
+		t.Fatal("cleaned an already-clean block")
+	}
+	pc.WriteDirty(blockOf(1, 0))
+	if !pc.Clean(blockOf(1, 0)) {
+		t.Fatal("Clean missed the dirty block")
+	}
+	st := pc.Lookup(blockOf(1, 0))
+	if !st.Valid || st.Dirty {
+		t.Fatalf("post-clean state = %+v", st)
+	}
+}

@@ -1,0 +1,137 @@
+// Package report renders simulation results as fixed-width text tables,
+// ASCII bar charts and CSV. It is deliberately generic — headers, rows
+// and bar groups — so the figure drivers in the root package stay free
+// of formatting concerns.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table writes a fixed-width text table with a header rule.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprint(w, cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+// CSV writes rows as comma-separated values with a header line. Cells
+// containing commas or quotes are quoted.
+func CSV(w io.Writer, headers []string, rows [][]string) {
+	writeLine := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, cell)
+		}
+		fmt.Fprintln(w)
+	}
+	writeLine(headers)
+	for _, row := range rows {
+		writeLine(row)
+	}
+}
+
+// Bar is one bar of a chart, optionally stacked into segments.
+type Bar struct {
+	Label    string
+	Value    float64
+	Segments []Segment // optional decomposition; Values must sum to Value
+}
+
+// Segment is one stacked component of a bar.
+type Segment struct {
+	Rune  rune
+	Value float64
+}
+
+// Group is one labeled group of bars (one benchmark's bars in a figure).
+type Group struct {
+	Label string
+	Bars  []Bar
+}
+
+// Chart writes an ASCII horizontal bar chart. Bars are scaled so the
+// longest one spans width characters. Stacked segments render with their
+// own fill runes.
+func Chart(w io.Writer, title string, groups []Group, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	fmt.Fprintf(w, "%s\n\n", title)
+	max := 0.0
+	labelW := 0
+	for _, g := range groups {
+		for _, b := range g.Bars {
+			if b.Value > max {
+				max = b.Value
+			}
+			if len(b.Label) > labelW {
+				labelW = len(b.Label)
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	for _, g := range groups {
+		fmt.Fprintf(w, "%s\n", g.Label)
+		for _, b := range g.Bars {
+			fmt.Fprintf(w, "  %-*s |", labelW, b.Label)
+			if len(b.Segments) == 0 {
+				n := int(b.Value / max * float64(width))
+				fmt.Fprint(w, strings.Repeat("#", n))
+			} else {
+				for _, s := range b.Segments {
+					n := int(s.Value / max * float64(width))
+					fmt.Fprint(w, strings.Repeat(string(s.Rune), n))
+				}
+			}
+			fmt.Fprintf(w, " %.3f\n", b.Value)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// F formats a float compactly (three decimals, trimmed).
+func F(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22222"},
+	})
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("rule wrong: %q", lines[1])
+	}
+	// Columns align: "value" starts at the same offset in every row.
+	col := strings.Index(lines[0], "value")
+	if lines[2][col:col+1] != "1" && !strings.HasPrefix(lines[2][col:], "1") {
+		t.Fatalf("misaligned row: %q", lines[2])
+	}
+	// A row with more cells than headers must not panic.
+	Table(&buf, []string{"x"}, [][]string{{"a", "extra"}})
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	CSV(&buf, []string{"a", "b"}, [][]string{
+		{"plain", "with,comma"},
+		{"with\"quote", "x"},
+	})
+	want := "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n"
+	if buf.String() != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", buf.String(), want)
+	}
+}
+
+func TestChart(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, "demo", []Group{
+		{Label: "g1", Bars: []Bar{
+			{Label: "a", Value: 2},
+			{Label: "bb", Value: 1, Segments: []Segment{{Rune: '#', Value: 0.5}, {Rune: '=', Value: 0.5}}},
+		}},
+	}, 10)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "g1") {
+		t.Fatalf("chart missing labels:\n%s", out)
+	}
+	// The max bar spans the full width.
+	if !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not scaled to width:\n%s", out)
+	}
+	if !strings.Contains(out, "=") {
+		t.Fatalf("segments not rendered:\n%s", out)
+	}
+	// Zero values must not divide by zero.
+	Chart(&buf, "zeros", []Group{{Label: "g", Bars: []Bar{{Label: "z", Value: 0}}}}, 0)
+}
+
+func TestF(t *testing.T) {
+	for v, want := range map[float64]string{
+		1.5:     "1.5",
+		2.0:     "2",
+		0.125:   "0.125",
+		3.14159: "3.142",
+	} {
+		if got := F(v); got != want {
+			t.Errorf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package sim assembles the whole clustered DSM: the clusters of package
+// cluster, the system directory of package directory, and the page
+// placement map. It implements cluster.HomeService — the "network" — and
+// drives reference traces through the machine, producing the event
+// counters that the paper's performance model (package stats) evaluates.
+package sim
+
+import (
+	"fmt"
+
+	"dsmnc/internal/cache"
+	"dsmnc/internal/cluster"
+	"dsmnc/internal/core"
+	"dsmnc/internal/directory"
+	"dsmnc/memsys"
+	"dsmnc/internal/migration"
+	"dsmnc/internal/pagecache"
+	"dsmnc/trace"
+	"dsmnc/stats"
+)
+
+// Config describes one system under evaluation.
+type Config struct {
+	Geometry memsys.Geometry
+	L1       cache.Config
+
+	// NewNC builds one cluster's network cache; nil means no NC.
+	NewNC func() core.NC
+	// NewPC builds one cluster's page cache; nil means no page cache.
+	NewPC func() *pagecache.PageCache
+	// Counters selects the relocation trigger (requires a page cache
+	// unless CountersNone).
+	Counters cluster.CounterMode
+
+	// Placement assigns pages to homes; nil means first-touch.
+	Placement memsys.PlacementPolicy
+
+	// NewDirectory builds the system coherence engine; nil means the
+	// full-map directory. Use directory.NewLimited for the Dir_iB
+	// scalability experiments.
+	NewDirectory func(clusters int) directory.Protocol
+
+	// Migration, when non-nil, enables SGI-Origin-style OS page
+	// migration and replication with the given thresholds. Requires a
+	// placement policy that supports re-homing (first-touch does).
+	Migration *migration.Config
+
+	// MOESI enables the dirty-shared O state (paper §3.2's option).
+	MOESI bool
+	// DecrementCounters enables the §3.4 counter-decrement refinement
+	// for both directory and NC-set relocation counters.
+	DecrementCounters bool
+}
+
+// System is one simulated machine.
+type System struct {
+	geo      memsys.Geometry
+	dir      directory.Protocol
+	place    memsys.PlacementPolicy
+	clusters []*cluster.Cluster
+	decrDir  bool // decrement directory counters on false invalidations
+	mig      *migration.Engine
+}
+
+// New builds a system from cfg.
+func New(cfg Config) *System {
+	if err := cfg.Geometry.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{
+		geo:   cfg.Geometry,
+		place: cfg.Placement,
+	}
+	if cfg.NewDirectory != nil {
+		s.dir = cfg.NewDirectory(cfg.Geometry.Clusters)
+	} else {
+		s.dir = directory.New(cfg.Geometry.Clusters)
+	}
+	if s.place == nil {
+		s.place = memsys.NewFirstTouch()
+	}
+	if cfg.Migration != nil {
+		s.mig = migration.NewEngine(*cfg.Migration)
+	}
+	if cfg.Counters == cluster.CountersDirectory {
+		s.dir.EnableCounters()
+		s.decrDir = cfg.DecrementCounters
+	}
+	s.clusters = make([]*cluster.Cluster, cfg.Geometry.Clusters)
+	for i := range s.clusters {
+		var nc core.NC = core.NoNC{}
+		if cfg.NewNC != nil {
+			nc = cfg.NewNC()
+		}
+		var pc *pagecache.PageCache
+		if cfg.NewPC != nil {
+			pc = cfg.NewPC()
+		}
+		s.clusters[i] = cluster.New(cluster.Config{
+			ID:                i,
+			Procs:             cfg.Geometry.ProcsPerCluster,
+			L1:                cfg.L1,
+			NC:                nc,
+			PC:                pc,
+			Counters:          cfg.Counters,
+			Home:              s,
+			MOESI:             cfg.MOESI,
+			DecrementCounters: cfg.DecrementCounters,
+		})
+	}
+	return s
+}
+
+// Geometry returns the machine topology.
+func (s *System) Geometry() memsys.Geometry { return s.geo }
+
+// Cluster returns cluster i.
+func (s *System) Cluster(i int) *cluster.Cluster { return s.clusters[i] }
+
+// Directory exposes the system coherence engine (testing and reporting).
+func (s *System) Directory() directory.Protocol { return s.dir }
+
+// Apply drives one reference through the machine.
+func (s *System) Apply(r trace.Ref) {
+	pid := int(r.PID)
+	c := s.geo.ClusterOf(pid)
+	page := memsys.PageOf(r.Addr)
+	home := s.place.Home(page, c)
+	write := r.Op == trace.Write
+	if s.mig != nil {
+		if write {
+			// A write to a replicated page collapses every replica
+			// first (OS shootdown), as the Origin does.
+			for _, rc := range s.mig.CollapseReplicas(page) {
+				s.clusters[rc].FlushPage(page)
+			}
+		} else if home != c && s.mig.HasReplica(c, page) {
+			// Reads of a replicated page are served from the local
+			// copy.
+			s.mig.RecordReplicaHit()
+			s.clusters[c].C.ReplicaHits.Inc(false)
+			home = c
+		}
+	}
+	s.clusters[c].Access(s.geo.LocalProc(pid), r.Addr, write, home)
+}
+
+// Run drains src through the machine, returning the reference count.
+func (s *System) Run(src trace.Source) int64 {
+	var n int64
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return n
+		}
+		s.Apply(r)
+		n++
+	}
+}
+
+// Totals aggregates the per-cluster event counters.
+func (s *System) Totals() stats.Counters {
+	var t stats.Counters
+	for _, cl := range s.clusters {
+		t.Add(&cl.C)
+	}
+	return t
+}
+
+// --- cluster.HomeService ---
+
+// Fetch performs a block fetch at b's home directory on behalf of a
+// cluster, applying invalidations and dirty flushes to the other
+// clusters. Capacity counting is suppressed for local fetches: R-NUMA's
+// relocation counters track capacity misses to remote data only.
+func (s *System) Fetch(c int, b memsys.Block, write bool) cluster.FetchReply {
+	home := s.HomeOf(memsys.PageOfBlock(b))
+	res := s.dir.Access(c, b, write, c != home)
+	if s.mig != nil && c != home {
+		page := memsys.PageOfBlock(b)
+		switch s.mig.OnRemoteMiss(c, page, write) {
+		case migration.Replicate:
+			s.clusters[c].C.Replications++
+		case migration.Migrate:
+			if rh, ok := s.place.(memsys.Rehomer); ok {
+				rh.Rehome(page, c)
+				s.clusters[c].C.Migrations++
+			}
+		}
+	}
+	remoteDirty := false
+	if write {
+		for _, oc := range res.Invalidate {
+			if oc == res.FlushOwner {
+				remoteDirty = true
+			}
+			s.invalidate(oc, b)
+		}
+	} else if res.FlushOwner != directory.NoOwner {
+		remoteDirty = true
+		s.clusters[res.FlushOwner].FlushDirty(b)
+	}
+	return cluster.FetchReply{
+		Class:         res.Class,
+		CapacityCount: res.CapacityCount,
+		RemoteDirty:   remoteDirty,
+	}
+}
+
+// Upgrade grants system-level write ownership, invalidating every other
+// sharer.
+func (s *System) Upgrade(c int, b memsys.Block) {
+	for _, oc := range s.dir.Upgrade(c, b) {
+		s.invalidate(oc, b)
+	}
+}
+
+// invalidate applies a system-level invalidation to cluster oc; a false
+// invalidation (the cluster had already victimized the block) optionally
+// decrements the R-NUMA relocation counter (§3.4).
+func (s *System) invalidate(oc int, b memsys.Block) {
+	if !s.clusters[oc].InvalidateBlock(b) && s.decrDir {
+		s.dir.DecrementCounter(memsys.PageOfBlock(b), oc)
+	}
+}
+
+// WriteBack delivers a dirty block to home memory.
+func (s *System) WriteBack(c int, b memsys.Block) { s.dir.WriteBack(c, b) }
+
+// IsExclusive reports whether cluster c owns b system-wide.
+func (s *System) IsExclusive(c int, b memsys.Block) bool { return s.dir.IsExclusive(c, b) }
+
+// SoleSharer reports whether cluster c is the only presence-bit holder.
+func (s *System) SoleSharer(c int, b memsys.Block) bool { return s.dir.SoleSharer(c, b) }
+
+// HomeOf returns the home cluster of an already-placed page.
+func (s *System) HomeOf(p memsys.Page) int {
+	h, ok := s.place.HomeIfPlaced(p)
+	if !ok {
+		panic(fmt.Sprintf("sim: page %d referenced before placement", p))
+	}
+	return h
+}
+
+// ResetRelocationCounter clears the R-NUMA counter for (p, c).
+func (s *System) ResetRelocationCounter(p memsys.Page, c int) {
+	s.dir.ResetCounter(p, c)
+}
+
+// CheckCoherence verifies global protocol invariants for the given block
+// set; tests call it after runs. It returns an error describing the first
+// violation found.
+func (s *System) CheckCoherence(blocks []memsys.Block) error {
+	for _, b := range blocks {
+		owner := s.dir.DirtyOwner(b)
+		if owner != directory.NoOwner {
+			if !s.clusters[owner].HasBlock(b) {
+				return fmt.Errorf("block %d: directory says cluster %d is dirty owner but it holds no copy", b, owner)
+			}
+			// No other cluster may hold a dirty copy.
+			for i, cl := range s.clusters {
+				if i != owner && cl.HasDirty(b) {
+					return fmt.Errorf("block %d: cluster %d dirty while owner is %d", b, i, owner)
+				}
+			}
+		}
+		// Freshness: a valid copy anywhere implies no *other* cluster
+		// owns newer (dirty) data — otherwise a local hit would read
+		// stale bytes.
+		for i, cl := range s.clusters {
+			if owner != directory.NoOwner && i != owner && cl.HasBlock(b) {
+				return fmt.Errorf("block %d: cluster %d holds a stale copy while cluster %d is dirty",
+					b, i, owner)
+			}
+		}
+	}
+	return nil
+}

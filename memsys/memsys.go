@@ -1,0 +1,183 @@
+// Package memsys defines the address geometry of the simulated machine:
+// byte addresses, cache blocks, virtual-memory pages, the cluster/processor
+// topology, and the first-touch page placement map that assigns every page
+// a home cluster.
+//
+// All other packages express addresses in terms of memsys.Addr (a byte
+// address), memsys.Block (a global block number) and memsys.Page (a global
+// page number). The paper's geometry is fixed at 64-byte blocks and 4 KB
+// pages; both are constants here because the SPLASH-2 study never varies
+// them and fixed shifts keep the simulator hot path branch-free.
+package memsys
+
+import "fmt"
+
+// Address geometry constants (paper §5.1: 64-byte blocks, 4 KB pages).
+const (
+	BlockShift    = 6               // log2 of the block size
+	BlockBytes    = 1 << BlockShift // bytes per cache block
+	PageShift     = 12              // log2 of the page size
+	PageBytes     = 1 << PageShift  // bytes per page
+	BlocksPerPage = PageBytes / BlockBytes
+)
+
+// Addr is a byte address in the single shared address space.
+type Addr uint64
+
+// Block is a global cache-block number (Addr >> BlockShift).
+type Block uint64
+
+// Page is a global page number (Addr >> PageShift).
+type Page uint64
+
+// BlockOf returns the block containing a.
+func BlockOf(a Addr) Block { return Block(a >> BlockShift) }
+
+// PageOf returns the page containing a.
+func PageOf(a Addr) Page { return Page(a >> PageShift) }
+
+// PageOfBlock returns the page containing block b.
+func PageOfBlock(b Block) Page { return Page(b >> (PageShift - BlockShift)) }
+
+// BlockInPage returns the index of block b within its page (0..63).
+func BlockInPage(b Block) int { return int(b) & (BlocksPerPage - 1) }
+
+// FirstBlock returns the first block of page p.
+func FirstBlock(p Page) Block { return Block(p) << (PageShift - BlockShift) }
+
+// Base returns the first byte address of block b.
+func (b Block) Base() Addr { return Addr(b) << BlockShift }
+
+// Base returns the first byte address of page p.
+func (p Page) Base() Addr { return Addr(p) << PageShift }
+
+// FrameOf returns the pseudo-physical page frame backing virtual page p.
+// Caches in real DSM nodes are physically indexed, and the OS hands out
+// frames with effectively random colors; hashing the page number
+// reproduces that and keeps power-of-two data-structure strides (Radix's
+// bucket regions, FFT's matrix rows) from aliasing whole arrays into a
+// single cache set. The hash is a fixed multiplicative mix, so runs stay
+// deterministic.
+func FrameOf(p Page) uint64 {
+	return (uint64(p) * 0x9e3779b97f4a7c15) >> 16
+}
+
+// PhysBlock returns the pseudo-physical block number of b: the frame of
+// its page concatenated with its block offset. Cache set indexing uses
+// this, preserving intra-page spatial contiguity while randomizing page
+// color.
+func PhysBlock(b Block) uint64 {
+	return FrameOf(PageOfBlock(b))<<(PageShift-BlockShift) | uint64(BlockInPage(b))
+}
+
+// Geometry describes the machine topology: Clusters bus-based SMP nodes
+// with ProcsPerCluster processors each. The paper evaluates 8 clusters of
+// 4 processors (32 processors total).
+type Geometry struct {
+	Clusters        int
+	ProcsPerCluster int
+}
+
+// DefaultGeometry is the paper's 8x4 configuration.
+func DefaultGeometry() Geometry { return Geometry{Clusters: 8, ProcsPerCluster: 4} }
+
+// Procs returns the total processor count.
+func (g Geometry) Procs() int { return g.Clusters * g.ProcsPerCluster }
+
+// ClusterOf returns the cluster that processor pid belongs to.
+func (g Geometry) ClusterOf(pid int) int { return pid / g.ProcsPerCluster }
+
+// LocalProc returns pid's index within its cluster.
+func (g Geometry) LocalProc(pid int) int { return pid % g.ProcsPerCluster }
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Clusters <= 0 || g.ProcsPerCluster <= 0 {
+		return fmt.Errorf("memsys: invalid geometry %dx%d", g.Clusters, g.ProcsPerCluster)
+	}
+	return nil
+}
+
+// PlacementPolicy assigns home clusters to pages.
+type PlacementPolicy interface {
+	// Home returns the home cluster of page p, assigning one on first
+	// use. requester is the cluster performing the access that caused
+	// the lookup (used by first-touch).
+	Home(p Page, requester int) int
+	// HomeIfPlaced returns the home of p without assigning one.
+	HomeIfPlaced(p Page) (int, bool)
+}
+
+// FirstTouch places each page on the cluster whose processor touches it
+// first (paper §5.2, Marchetti et al. [17]). The SPLASH-2 programs are
+// written so that first-touch is near-optimal.
+type FirstTouch struct {
+	home map[Page]int
+}
+
+// NewFirstTouch returns an empty first-touch placement map.
+func NewFirstTouch() *FirstTouch { return &FirstTouch{home: make(map[Page]int)} }
+
+// Home returns (and on first use assigns) the home cluster of p.
+func (ft *FirstTouch) Home(p Page, requester int) int {
+	if h, ok := ft.home[p]; ok {
+		return h
+	}
+	ft.home[p] = requester
+	return requester
+}
+
+// HomeIfPlaced returns the home of p if it has been assigned.
+func (ft *FirstTouch) HomeIfPlaced(p Page) (int, bool) {
+	h, ok := ft.home[p]
+	return h, ok
+}
+
+// Rehomer is implemented by placement policies that support OS page
+// migration: Rehome moves page p to cluster c.
+type Rehomer interface {
+	Rehome(p Page, c int)
+}
+
+// Rehome migrates page p to cluster c (OS page migration).
+func (ft *FirstTouch) Rehome(p Page, c int) { ft.home[p] = c }
+
+// Pages returns the number of placed pages.
+func (ft *FirstTouch) Pages() int { return len(ft.home) }
+
+// PagesOn returns how many pages are homed on cluster c.
+func (ft *FirstTouch) PagesOn(c int) int {
+	n := 0
+	for _, h := range ft.home {
+		if h == c {
+			n++
+		}
+	}
+	return n
+}
+
+// RoundRobin places pages round-robin across clusters by page number.
+// It is used by micro-benchmarks and tests that want placement to be
+// independent of access order.
+type RoundRobin struct {
+	Clusters int
+}
+
+// Home returns p's home cluster (p mod Clusters).
+func (rr RoundRobin) Home(p Page, _ int) int { return int(uint64(p) % uint64(rr.Clusters)) }
+
+// HomeIfPlaced always succeeds: round-robin placement is total.
+func (rr RoundRobin) HomeIfPlaced(p Page) (int, bool) {
+	return int(uint64(p) % uint64(rr.Clusters)), true
+}
+
+// Fixed places every page on a single cluster. Useful in unit tests.
+type Fixed struct {
+	Cluster int
+}
+
+// Home returns the fixed home cluster.
+func (f Fixed) Home(_ Page, _ int) int { return f.Cluster }
+
+// HomeIfPlaced always succeeds.
+func (f Fixed) HomeIfPlaced(_ Page) (int, bool) { return f.Cluster, true }

@@ -1,0 +1,149 @@
+package dsmnc
+
+import (
+	"fmt"
+	"io"
+
+	"dsmnc/internal/report"
+	"dsmnc/stats"
+)
+
+// WriteTable renders the experiment as a fixed-width table: one row per
+// benchmark, one column per system. Miss-ratio experiments show
+// read+write+relocation stacks; normalized experiments show the
+// normalized metric with the relocation share in parentheses.
+func (e Experiment) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s (%s)\n\n", e.ID, e.Title, e.Metric)
+	headers := append([]string{"benchmark"}, e.Systems...)
+	var rows [][]string
+	for _, row := range e.Rows {
+		cells := []string{row.Bench}
+		for _, v := range row.Values {
+			cells = append(cells, e.formatValue(v))
+		}
+		rows = append(rows, cells)
+	}
+	report.Table(w, headers, rows)
+	fmt.Fprintln(w)
+}
+
+func (e Experiment) formatValue(v Value) string {
+	if e.normalized() {
+		if v.Reloc > 0 {
+			return fmt.Sprintf("%.3f (r%.2f%%)", v.Norm, v.Reloc)
+		}
+		return fmt.Sprintf("%.3f", v.Norm)
+	}
+	s := fmt.Sprintf("%.3f", v.Read+v.Write)
+	if v.Write > 0.0005 {
+		s = fmt.Sprintf("%.3f+%.3fw", v.Read, v.Write)
+	}
+	if v.Reloc > 0.0005 {
+		s += fmt.Sprintf("+%.3fr", v.Reloc)
+	}
+	return s
+}
+
+func (e Experiment) normalized() bool {
+	return e.Metric == "normalized stall" || e.Metric == "normalized traffic"
+}
+
+// WriteChart renders the experiment as ASCII bar groups, one group per
+// benchmark, mirroring the paper's figures. Miss-ratio bars stack read
+// ('#'), write ('=') and relocation ('~') components.
+func (e Experiment) WriteChart(w io.Writer, width int) {
+	var groups []report.Group
+	for _, row := range e.Rows {
+		g := report.Group{Label: row.Bench}
+		for i, v := range row.Values {
+			b := report.Bar{Label: e.Systems[i]}
+			if e.normalized() {
+				b.Value = v.Norm
+			} else {
+				b.Value = v.Total()
+				b.Segments = []report.Segment{
+					{Rune: '#', Value: v.Read},
+					{Rune: '=', Value: v.Write},
+					{Rune: '~', Value: v.Reloc},
+				}
+			}
+			g.Bars = append(g.Bars, b)
+		}
+		groups = append(groups, g)
+	}
+	title := fmt.Sprintf("%s: %s (%s)", e.ID, e.Title, e.Metric)
+	report.Chart(w, title, groups, width)
+}
+
+// WriteCSV renders the experiment as CSV with one row per (benchmark,
+// system) pair, carrying the full metric decomposition.
+func (e Experiment) WriteCSV(w io.Writer) {
+	headers := []string{
+		"experiment", "benchmark", "system",
+		"read_miss_pct", "write_miss_pct", "reloc_pct",
+		"stall_memory", "stall_reloc",
+		"traffic_read", "traffic_write", "traffic_wb",
+		"normalized",
+	}
+	var rows [][]string
+	for _, row := range e.Rows {
+		for i, v := range row.Values {
+			rows = append(rows, []string{
+				e.ID, row.Bench, e.Systems[i],
+				report.F(v.Read), report.F(v.Write), report.F(v.Reloc),
+				fmt.Sprint(v.Stall.Memory), fmt.Sprint(v.Stall.Relocation),
+				fmt.Sprint(v.Traffic.ReadMisses), fmt.Sprint(v.Traffic.WriteMisses),
+				fmt.Sprint(v.Traffic.Writebacks),
+				report.F(v.Norm),
+			})
+		}
+	}
+	report.CSV(w, headers, rows)
+}
+
+// WriteTable3 renders the regenerated Table 3.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3: Characteristics of the benchmarks")
+	fmt.Fprintln(w)
+	headers := []string{"Benchmark", "Parameters", "Shared MB (paper)", "Shared MB (here)", "References", "Reads %"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name, r.Params,
+			fmt.Sprintf("%.2f", r.PaperMB),
+			fmt.Sprintf("%.2f", r.OurMB),
+			fmt.Sprint(r.Refs),
+			fmt.Sprintf("%.1f", r.ReadPct),
+		})
+	}
+	report.Table(w, headers, cells)
+	fmt.Fprintln(w)
+}
+
+// WriteTable1 renders the latency-component table (paper Table 1) under
+// the given latency set.
+func WriteTable1(w io.Writer, lat stats.Latencies) {
+	fmt.Fprintln(w, "Table 1: Latency components for remote data references")
+	fmt.Fprintln(w)
+	headers := []string{"Event", "System", "Components", "Cycles"}
+	var cells [][]string
+	for _, r := range stats.Table1(lat) {
+		cells = append(cells, []string{r.Event, r.System, r.Desc, fmt.Sprint(r.Cycles)})
+	}
+	report.Table(w, headers, cells)
+	fmt.Fprintln(w)
+}
+
+// WriteTable2 renders the event-latency table (paper Table 2).
+func WriteTable2(w io.Writer, lat stats.Latencies) {
+	fmt.Fprintln(w, "Table 2: Latencies for the events in Table 1 (10ns bus cycles)")
+	fmt.Fprintln(w)
+	report.Table(w, []string{"Event", "Latency"}, [][]string{
+		{"DRAM access", fmt.Sprint(lat.DRAMAccess)},
+		{"Tag checking", fmt.Sprint(lat.TagCheck)},
+		{"Cache-to-cache transfer", fmt.Sprint(lat.CacheToCache)},
+		{"Remote access", fmt.Sprint(lat.RemoteAccess)},
+		{"Page relocation", fmt.Sprint(lat.PageRelocation)},
+	})
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,153 @@
+package dsmnc
+
+// The repository's headline validation: the paper's conclusions, asserted
+// as orderings over a small-scale run of the real experiment drivers.
+// These are the claims EXPERIMENTS.md documents; if a workload or
+// protocol change breaks one, this test names it. Skipped under -short
+// (several minutes of simulation).
+
+import (
+	"testing"
+
+	"dsmnc/workload"
+)
+
+func shapeOptions() Options {
+	opt := DefaultOptions()
+	opt.Scale = workload.ScaleSmall
+	return opt
+}
+
+func benchIndex(exp Experiment, name string) int {
+	for i, row := range exp.Rows {
+		if row.Bench == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func sysIndex(exp Experiment, name string) int {
+	for i, s := range exp.Systems {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func norm(t *testing.T, exp Experiment, bench, sys string) float64 {
+	t.Helper()
+	r, c := benchIndex(exp, bench), sysIndex(exp, sys)
+	if r < 0 || c < 0 {
+		t.Fatalf("missing %s/%s in %s", bench, sys, exp.ID)
+	}
+	return exp.Rows[r].Values[c].Norm
+}
+
+// TestPaperShapesFig9 asserts the stall conclusions of §6.3 at small
+// scale.
+func TestPaperShapesFig9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes of simulation; run without -short")
+	}
+	exp := Fig9(shapeOptions())
+
+	// (a) FFT: no NC at all beats an infinite DRAM NC.
+	if v := norm(t, exp, "FFT", "base"); v >= 1 {
+		t.Errorf("FFT base = %.3f, want < 1 (necessary misses dominate)", v)
+	}
+	// (b) Regular class: the victim-cache page system beats NCD.
+	for _, bench := range []string{"Cholesky", "FFT", "LU", "Ocean"} {
+		vbp := norm(t, exp, bench, "vbp")
+		ncd := norm(t, exp, bench, "NCD")
+		if vbp >= ncd*1.02 {
+			t.Errorf("%s: vbp %.3f not below NCD %.3f (regular class)", bench, vbp, ncd)
+		}
+	}
+	// Irregular class: NCD beats the R-NUMA (ncp) page system.
+	for _, bench := range []string{"FMM", "Radix", "Raytrace"} {
+		ncp := norm(t, exp, bench, "ncp")
+		ncd := norm(t, exp, bench, "NCD")
+		if ncd >= ncp {
+			t.Errorf("%s: NCD %.3f not below ncp %.3f (irregular class)", bench, ncd, ncp)
+		}
+	}
+	// Barnes sides with the page caches despite being irregular (small
+	// data set).
+	if vbp, ncd := norm(t, exp, "Barnes", "vbp"), norm(t, exp, "Barnes", "NCD"); vbp >= ncd {
+		t.Errorf("Barnes: vbp %.3f not below NCD %.3f", vbp, ncd)
+	}
+	// (c) vbp <= ncp for every benchmark.
+	for _, row := range exp.Rows {
+		vbp := norm(t, exp, row.Bench, "vbp")
+		ncp := norm(t, exp, row.Bench, "ncp")
+		if vbp > ncp*1.01 {
+			t.Errorf("%s: vbp %.3f above ncp %.3f", row.Bench, vbp, ncp)
+		}
+	}
+	// (d) LU is the page-indexing loss.
+	if vpp, vbp := norm(t, exp, "LU", "vpp"), norm(t, exp, "LU", "vbp"); vpp <= vbp {
+		t.Errorf("LU: vpp %.3f not above vbp %.3f (page-index conflicts)", vpp, vbp)
+	}
+	// NCS bounds everything from below (small protocol slack allowed).
+	for _, row := range exp.Rows {
+		ncs := norm(t, exp, row.Bench, "NCS")
+		for i, v := range row.Values {
+			if v.Norm < ncs*0.98 {
+				t.Errorf("%s: %s (%.3f) beats NCS (%.3f)", row.Bench, exp.Systems[i], v.Norm, ncs)
+			}
+		}
+	}
+}
+
+// TestPaperShapesFig10 asserts the traffic conclusions of §6.4.
+func TestPaperShapesFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes of simulation; run without -short")
+	}
+	exp := Fig10(shapeOptions())
+	// The victim cache cuts Radix traffic dramatically versus ncp.
+	radixNcp := norm(t, exp, "Radix", "ncp")
+	radixVbp := norm(t, exp, "Radix", "vbp")
+	if radixVbp > radixNcp*0.7 {
+		t.Errorf("Radix traffic: vbp %.3f not well below ncp %.3f", radixVbp, radixNcp)
+	}
+	// NCD is the Radix traffic winner among finite systems.
+	if ncd := norm(t, exp, "Radix", "NCD"); ncd > radixVbp {
+		t.Errorf("Radix traffic: NCD %.3f above vbp %.3f", ncd, radixVbp)
+	}
+	// FFT traffic is insensitive to everything (±5%).
+	for i := range exp.Systems {
+		v := exp.Rows[benchIndex(exp, "FFT")].Values[i].Norm
+		if v < 0.95 || v > 1.10 {
+			t.Errorf("FFT traffic under %s = %.3f, want ~1", exp.Systems[i], v)
+		}
+	}
+}
+
+// TestPaperShapesFig11 asserts the vxp conclusions of §6.5.
+func TestPaperShapesFig11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes of simulation; run without -short")
+	}
+	exp := Fig11(shapeOptions())
+	// LU is the vxp loss (same mechanism as vpp).
+	lu := benchIndex(exp, "LU")
+	if exp.Rows[lu].Values[1].Norm <= exp.Rows[lu].Values[0].Norm {
+		t.Errorf("LU: vxp %.3f not above ncp %.3f", exp.Rows[lu].Values[1].Norm, exp.Rows[lu].Values[0].Norm)
+	}
+	// Radix improves markedly at threshold 64 vs 32.
+	rx := benchIndex(exp, "Radix")
+	t32, t64 := exp.Rows[rx].Values[1].Norm, exp.Rows[rx].Values[2].Norm
+	if t64 >= t32 {
+		t.Errorf("Radix: vxp t64 %.3f not below t32 %.3f", t64, t32)
+	}
+	// Cholesky: vxp performs at least as well as ncp (counter sharing
+	// does not hurt).
+	ch := benchIndex(exp, "Cholesky")
+	if exp.Rows[ch].Values[1].Norm > exp.Rows[ch].Values[0].Norm*1.05 {
+		t.Errorf("Cholesky: vxp %.3f well above ncp %.3f",
+			exp.Rows[ch].Values[1].Norm, exp.Rows[ch].Values[0].Norm)
+	}
+}

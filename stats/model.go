@@ -1,0 +1,114 @@
+package stats
+
+import "dsmnc/memsys"
+
+// NCTech is the technology of the network cache, which determines the
+// latency components of Table 1: an SRAM NC is snooped at bus speed and
+// supplies data cache-to-cache; a DRAM NC costs a DRAM access on hits and
+// adds a tag-check penalty to every cache miss to remote data.
+type NCTech uint8
+
+// Network cache technologies.
+const (
+	NCTechNone NCTech = iota // no NC: remote misses go straight to the network
+	NCTechSRAM               // small fast NC, peer of the processor caches
+	NCTechDRAM               // large slow NC in the remote-access critical path
+)
+
+// Model evaluates the paper's constant-latency performance model over a
+// set of counters.
+type Model struct {
+	Lat  Latencies
+	Tech NCTech
+}
+
+// DefaultModel uses Table 2 latencies.
+func DefaultModel(tech NCTech) Model {
+	return Model{Lat: DefaultLatencies(), Tech: tech}
+}
+
+// Stall is the remote read stall of Equation (1), split into the memory
+// component and the page-relocation overhead the figures stack on top.
+type Stall struct {
+	Memory     int64 // N_hit*L_hit + N_miss*L_miss terms, reads only
+	Relocation int64 // N_rel * T_rel
+}
+
+// Total returns the full remote read stall.
+func (s Stall) Total() int64 { return s.Memory + s.Relocation }
+
+// RemoteReadStall applies Equation (1) to the counters. Only read events
+// contribute to the memory term: under release consistency the remote
+// read stall dominates processor stalls (paper §6.3); relocations are
+// counted whatever triggered them.
+func (m Model) RemoteReadStall(c *Counters) Stall {
+	var s Stall
+	l := m.Lat
+	s.Memory += c.C2C.Read * l.CacheToCache
+	switch m.Tech {
+	case NCTechDRAM:
+		// Every cache miss to remote data checks the DRAM NC tags.
+		s.Memory += c.NCHits.Read * (l.DRAMAccess + l.TagCheck)
+		s.Memory += c.Remote().Read * (l.RemoteAccess + l.TagCheck)
+	default:
+		s.Memory += c.NCHits.Read * l.CacheToCache
+		s.Memory += c.Remote().Read * l.RemoteAccess
+	}
+	s.Memory += c.PCHits.Read * l.DRAMAccess
+	// Page relocations into the page cache and OS migration/replication
+	// events all cost one software page operation (interrupt + handler
+	// + TLB shootdown).
+	s.Relocation = (c.Relocations + c.Migrations + c.Replications) * l.PageRelocation
+	return s
+}
+
+// Traffic is the remote data traffic of Figure 10, in block transfers.
+type Traffic struct {
+	ReadMisses  int64 // data blocks fetched for reads
+	WriteMisses int64 // data blocks fetched for writes, plus ownership upgrades
+	Writebacks  int64 // dirty blocks sent home
+	PageCopies  int64 // whole-page transfers for OS migration/replication
+}
+
+// Total returns the total number of network block transfers.
+func (t Traffic) Total() int64 {
+	return t.ReadMisses + t.WriteMisses + t.Writebacks + t.PageCopies
+}
+
+// RemoteTraffic extracts the Figure 10 traffic account from the counters.
+func (m Model) RemoteTraffic(c *Counters) Traffic {
+	r := c.Remote()
+	return Traffic{
+		ReadMisses:  r.Read,
+		WriteMisses: r.Write + c.Upgrades.Write,
+		Writebacks:  c.WritebacksHome,
+		PageCopies:  (c.Migrations + c.Replications) * memsys.BlocksPerPage,
+	}
+}
+
+// Ratios are the per-reference percentages plotted in Figures 3-8.
+type Ratios struct {
+	ReadMissPct  float64 // remote read misses per shared reference, %
+	WriteMissPct float64 // remote write misses per shared reference, %
+	RelocPct     float64 // relocation overhead as equivalent misses, %
+}
+
+// Total returns the stacked bar height as plotted in the paper.
+func (r Ratios) Total() float64 { return r.ReadMissPct + r.WriteMissPct + r.RelocPct }
+
+// MissRatios computes cluster miss ratios as a percentage of all shared
+// references, with the relocation overhead scaled by 225/30 into an
+// equivalent amount of remote misses (Figure 7 caption).
+func (m Model) MissRatios(c *Counters) Ratios {
+	refs := float64(c.Refs.Total())
+	if refs == 0 {
+		return Ratios{}
+	}
+	r := c.Remote()
+	pageOps := c.Relocations + c.Migrations + c.Replications
+	return Ratios{
+		ReadMissPct:  100 * float64(r.Read) / refs,
+		WriteMissPct: 100 * float64(r.Write) / refs,
+		RelocPct:     100 * float64(pageOps) * m.Lat.RelocationCostFactor() / refs,
+	}
+}

@@ -1,0 +1,173 @@
+// Package stats holds the event counters collected by the simulator and
+// the paper's constant-latency performance model (§4, Tables 1 and 2):
+// the remote read stall of Equation (1), the page-relocation overhead
+// scaling, and the remote data-traffic account used in Figure 10.
+package stats
+
+import "fmt"
+
+// Latencies are the per-event costs of Table 2, in 10 ns bus cycles.
+type Latencies struct {
+	DRAMAccess     int64 // page-cache hit or DRAM NC array access
+	TagCheck       int64 // DRAM NC tag check, added to every remote miss
+	CacheToCache   int64 // SRAM NC or sibling-cache transfer
+	RemoteAccess   int64 // full network round trip to the home node
+	PageRelocation int64 // software relocation handler + TLB shootdown
+}
+
+// DefaultLatencies is Table 2 of the paper.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		DRAMAccess:     10,
+		TagCheck:       3,
+		CacheToCache:   1,
+		RemoteAccess:   30,
+		PageRelocation: 225,
+	}
+}
+
+// RelocationCostFactor is the factor the paper uses to express relocation
+// overhead as an equivalent number of remote misses (225/30, Figure 7).
+func (l Latencies) RelocationCostFactor() float64 {
+	return float64(l.PageRelocation) / float64(l.RemoteAccess)
+}
+
+// MissClass classifies a cluster miss at the directory (paper §2: remote
+// coherence and cold misses are "necessary"; the rest are capacity).
+type MissClass uint8
+
+// Miss classes.
+const (
+	Cold MissClass = iota
+	Coherence
+	Capacity
+	NumMissClasses
+)
+
+// String names the class.
+func (m MissClass) String() string {
+	switch m {
+	case Cold:
+		return "cold"
+	case Coherence:
+		return "coherence"
+	case Capacity:
+		return "capacity"
+	}
+	return fmt.Sprintf("MissClass(%d)", uint8(m))
+}
+
+// Necessary reports whether the miss could not have been avoided by any
+// amount of remote-data caching.
+func (m MissClass) Necessary() bool { return m == Cold || m == Coherence }
+
+// OpCount is a read/write pair of counters.
+type OpCount struct {
+	Read  int64
+	Write int64
+}
+
+// Total returns reads plus writes.
+func (o OpCount) Total() int64 { return o.Read + o.Write }
+
+// Add accumulates other into o.
+func (o *OpCount) Add(other OpCount) {
+	o.Read += other.Read
+	o.Write += other.Write
+}
+
+// Inc bumps the counter for a read (write=false) or write.
+func (o *OpCount) Inc(write bool) {
+	if write {
+		o.Write++
+	} else {
+		o.Read++
+	}
+}
+
+// Counters is the full event account of one simulation (or one cluster).
+// All counts are in events (block transfers for traffic counters).
+type Counters struct {
+	Refs OpCount // shared references issued
+
+	// Where misses were satisfied, inside the cluster.
+	L1Hits        OpCount                 // processor-cache hits (includes upgrades on write hits)
+	C2C           OpCount                 // supplied by a sibling cache on the bus (remote-home blocks)
+	LocalC2C      OpCount                 // sibling-cache supply for local-home blocks
+	NCHits        OpCount                 // supplied by the network cache
+	PCHits        OpCount                 // supplied by the page cache (mapped + valid block)
+	LocalMem      OpCount                 // home is local: satisfied by local memory
+	RemoteByClass [NumMissClasses]OpCount // left the cluster, by miss class
+	Remote3Hop    OpCount                 // remote accesses that needed a dirty intervention
+
+	Upgrades        OpCount // write upgrades needing the directory (remote home)
+	LocalDirtyFetch int64   // local-home fetches that retrieved a remote dirty copy
+	WritebacksHome  int64   // dirty blocks sent over the network to home
+	DowngradeWB     int64   // M->S downgrades (captured or sent home)
+	NCInserts       int64   // victims accepted by the NC
+	NCEvictions     int64   // NC frames recycled
+	NCForcedL1Evict int64   // L1 lines invalidated to keep NC inclusion
+	MastershipXfer  int64   // R-state handoffs between sibling caches
+
+	Relocations     int64 // pages relocated into the page cache
+	PageEvictions   int64 // page-cache frames recycled
+	PCFlushedDirty  int64 // dirty blocks written home during page eviction
+	ThresholdRaises int64 // adaptive-policy threshold increments
+
+	// OS page migration/replication (the SGI-Origin alternative).
+	Migrations     int64 // pages re-homed to this cluster
+	Replications   int64 // read-only replicas granted to this cluster
+	ReplicaHits    OpCount
+	ReplicaFlushes int64 // replica pages shot down in this cluster
+}
+
+// Remote returns total cluster misses that left the cluster, by op.
+func (c *Counters) Remote() OpCount {
+	var o OpCount
+	for i := range c.RemoteByClass {
+		o.Add(c.RemoteByClass[i])
+	}
+	return o
+}
+
+// RemoteNecessary returns the cold+coherence remote misses.
+func (c *Counters) RemoteNecessary() OpCount {
+	var o OpCount
+	o.Add(c.RemoteByClass[Cold])
+	o.Add(c.RemoteByClass[Coherence])
+	return o
+}
+
+// RemoteCapacity returns the capacity remote misses.
+func (c *Counters) RemoteCapacity() OpCount { return c.RemoteByClass[Capacity] }
+
+// Add accumulates other into c.
+func (c *Counters) Add(other *Counters) {
+	c.Refs.Add(other.Refs)
+	c.L1Hits.Add(other.L1Hits)
+	c.C2C.Add(other.C2C)
+	c.LocalC2C.Add(other.LocalC2C)
+	c.NCHits.Add(other.NCHits)
+	c.PCHits.Add(other.PCHits)
+	c.LocalMem.Add(other.LocalMem)
+	for i := range c.RemoteByClass {
+		c.RemoteByClass[i].Add(other.RemoteByClass[i])
+	}
+	c.Remote3Hop.Add(other.Remote3Hop)
+	c.Upgrades.Add(other.Upgrades)
+	c.LocalDirtyFetch += other.LocalDirtyFetch
+	c.WritebacksHome += other.WritebacksHome
+	c.DowngradeWB += other.DowngradeWB
+	c.NCInserts += other.NCInserts
+	c.NCEvictions += other.NCEvictions
+	c.NCForcedL1Evict += other.NCForcedL1Evict
+	c.MastershipXfer += other.MastershipXfer
+	c.Relocations += other.Relocations
+	c.PageEvictions += other.PageEvictions
+	c.PCFlushedDirty += other.PCFlushedDirty
+	c.ThresholdRaises += other.ThresholdRaises
+	c.Migrations += other.Migrations
+	c.Replications += other.Replications
+	c.ReplicaHits.Add(other.ReplicaHits)
+	c.ReplicaFlushes += other.ReplicaFlushes
+}

@@ -1,0 +1,295 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultLatencies(t *testing.T) {
+	l := DefaultLatencies()
+	// Table 2 of the paper, verbatim.
+	if l.DRAMAccess != 10 || l.TagCheck != 3 || l.CacheToCache != 1 ||
+		l.RemoteAccess != 30 || l.PageRelocation != 225 {
+		t.Fatalf("latencies %+v do not match Table 2", l)
+	}
+	if f := l.RelocationCostFactor(); math.Abs(f-7.5) > 1e-12 {
+		t.Fatalf("relocation cost factor = %v, want 7.5 (225/30)", f)
+	}
+}
+
+func TestMissClass(t *testing.T) {
+	if !Cold.Necessary() || !Coherence.Necessary() || Capacity.Necessary() {
+		t.Fatal("Necessary() wrong")
+	}
+	for c, want := range map[MissClass]string{Cold: "cold", Coherence: "coherence", Capacity: "capacity"} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+	if MissClass(9).String() == "" {
+		t.Error("unknown class empty string")
+	}
+}
+
+func TestOpCount(t *testing.T) {
+	var o OpCount
+	o.Inc(false)
+	o.Inc(true)
+	o.Inc(true)
+	if o.Read != 1 || o.Write != 2 || o.Total() != 3 {
+		t.Fatalf("OpCount = %+v", o)
+	}
+	var sum OpCount
+	sum.Add(o)
+	sum.Add(o)
+	if sum.Total() != 6 {
+		t.Fatalf("Add: %+v", sum)
+	}
+}
+
+func TestCountersRemoteAndAdd(t *testing.T) {
+	var c Counters
+	c.RemoteByClass[Cold] = OpCount{Read: 2, Write: 1}
+	c.RemoteByClass[Coherence] = OpCount{Read: 3}
+	c.RemoteByClass[Capacity] = OpCount{Read: 5, Write: 4}
+	if r := c.Remote(); r.Read != 10 || r.Write != 5 {
+		t.Fatalf("Remote() = %+v", r)
+	}
+	if n := c.RemoteNecessary(); n.Read != 5 || n.Write != 1 {
+		t.Fatalf("RemoteNecessary() = %+v", n)
+	}
+	if cap := c.RemoteCapacity(); cap.Read != 5 || cap.Write != 4 {
+		t.Fatalf("RemoteCapacity() = %+v", cap)
+	}
+	var sum Counters
+	sum.Add(&c)
+	sum.Add(&c)
+	if sum.Remote().Read != 20 {
+		t.Fatalf("Add did not accumulate: %+v", sum.Remote())
+	}
+}
+
+func TestRemoteReadStallSRAM(t *testing.T) {
+	m := DefaultModel(NCTechSRAM)
+	var c Counters
+	c.C2C = OpCount{Read: 4}
+	c.NCHits = OpCount{Read: 10, Write: 99} // writes must not count
+	c.PCHits = OpCount{Read: 7}
+	c.RemoteByClass[Capacity] = OpCount{Read: 3}
+	c.RemoteByClass[Cold] = OpCount{Read: 2}
+	c.Relocations = 2
+	s := m.RemoteReadStall(&c)
+	wantMem := int64(4*1 + 10*1 + 7*10 + 5*30)
+	if s.Memory != wantMem {
+		t.Fatalf("Memory = %d, want %d", s.Memory, wantMem)
+	}
+	if s.Relocation != 2*225 {
+		t.Fatalf("Relocation = %d, want 450", s.Relocation)
+	}
+	if s.Total() != wantMem+450 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+}
+
+func TestRemoteReadStallDRAM(t *testing.T) {
+	m := DefaultModel(NCTechDRAM)
+	var c Counters
+	c.NCHits = OpCount{Read: 10}
+	c.RemoteByClass[Cold] = OpCount{Read: 5}
+	s := m.RemoteReadStall(&c)
+	want := int64(10*(10+3) + 5*(30+3))
+	if s.Memory != want {
+		t.Fatalf("DRAM stall = %d, want %d (tag-check penalty on hits and misses)", s.Memory, want)
+	}
+}
+
+func TestRemoteReadStallNoNC(t *testing.T) {
+	m := DefaultModel(NCTechNone)
+	var c Counters
+	c.RemoteByClass[Cold] = OpCount{Read: 7}
+	if s := m.RemoteReadStall(&c); s.Memory != 7*30 {
+		t.Fatalf("no-NC stall = %d, want 210", s.Memory)
+	}
+}
+
+func TestRemoteTraffic(t *testing.T) {
+	m := DefaultModel(NCTechSRAM)
+	var c Counters
+	c.RemoteByClass[Capacity] = OpCount{Read: 3, Write: 2}
+	c.Upgrades = OpCount{Write: 4}
+	c.WritebacksHome = 6
+	tr := m.RemoteTraffic(&c)
+	if tr.ReadMisses != 3 || tr.WriteMisses != 6 || tr.Writebacks != 6 {
+		t.Fatalf("traffic = %+v", tr)
+	}
+	if tr.Total() != 15 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+}
+
+func TestMissRatios(t *testing.T) {
+	m := DefaultModel(NCTechSRAM)
+	var c Counters
+	if r := m.MissRatios(&c); r.Total() != 0 {
+		t.Fatal("zero refs must yield zero ratios, not NaN")
+	}
+	c.Refs = OpCount{Read: 700, Write: 300}
+	c.RemoteByClass[Capacity] = OpCount{Read: 10, Write: 5}
+	c.Relocations = 4
+	r := m.MissRatios(&c)
+	if math.Abs(r.ReadMissPct-1.0) > 1e-9 {
+		t.Fatalf("ReadMissPct = %v, want 1.0", r.ReadMissPct)
+	}
+	if math.Abs(r.WriteMissPct-0.5) > 1e-9 {
+		t.Fatalf("WriteMissPct = %v, want 0.5", r.WriteMissPct)
+	}
+	// 4 relocations * 7.5 equivalent misses / 1000 refs = 3%.
+	if math.Abs(r.RelocPct-3.0) > 1e-9 {
+		t.Fatalf("RelocPct = %v, want 3.0", r.RelocPct)
+	}
+	if math.Abs(r.Total()-4.5) > 1e-9 {
+		t.Fatalf("Total = %v, want 4.5", r.Total())
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1(DefaultLatencies())
+	if len(rows) != 9 {
+		t.Fatalf("Table1 has %d rows, want 9", len(rows))
+	}
+	want := map[string]int64{
+		"PC hit/SRAM NC & PC":  10,
+		"NC hit/DRAM NC":       13,
+		"NC hit/SRAM NC":       1,
+		"NC miss/No NC":        30,
+		"NC miss/DRAM NC":      33,
+		"NC miss/SRAM NC & PC": 30,
+	}
+	got := map[string]int64{}
+	for _, r := range rows {
+		got[r.Event+"/"+r.System] = r.Cycles
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Table1[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// Property: stall and traffic are monotone in every counter — adding
+// events never reduces modeled cost.
+func TestModelMonotonicity(t *testing.T) {
+	f := func(ncr, rem, pc, rel uint16) bool {
+		m := DefaultModel(NCTechSRAM)
+		var a, b Counters
+		a.NCHits.Read = int64(ncr)
+		a.RemoteByClass[Capacity].Read = int64(rem)
+		a.PCHits.Read = int64(pc)
+		a.Relocations = int64(rel)
+		b = a
+		b.NCHits.Read++
+		b.RemoteByClass[Capacity].Read++
+		b.Relocations++
+		return m.RemoteReadStall(&b).Total() > m.RemoteReadStall(&a).Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopModel(t *testing.T) {
+	hl := DefaultHopLatencies()
+	if hl.Remote2Hop != 30 || hl.Remote3Hop != 45 {
+		t.Fatalf("hop latencies %+v", hl)
+	}
+	m := HopModel{Lat: hl, Tech: NCTechSRAM}
+	var c Counters
+	c.RemoteByClass[Cold] = OpCount{Read: 10}
+	c.Remote3Hop = OpCount{Read: 4}
+	s := m.RemoteReadStall(&c)
+	want := int64(6*30 + 4*45)
+	if s.Memory != want {
+		t.Fatalf("hop stall = %d, want %d", s.Memory, want)
+	}
+	// Equivalent constant latency: (6*30+4*45)/10 = 36.
+	if eq := m.ConstantEquivalent(&c); eq != 36 {
+		t.Fatalf("ConstantEquivalent = %v, want 36", eq)
+	}
+	// No remote reads: falls back to the 2-hop figure.
+	var empty Counters
+	if eq := m.ConstantEquivalent(&empty); eq != 30 {
+		t.Fatalf("empty ConstantEquivalent = %v", eq)
+	}
+	// 3-hop count clamped to total (defensive).
+	c.Remote3Hop.Read = 99
+	s = m.RemoteReadStall(&c)
+	if s.Memory != 10*45 {
+		t.Fatalf("clamped stall = %d, want %d", s.Memory, 10*45)
+	}
+	// DRAM tech adds the tag check to both hop classes.
+	c.Remote3Hop.Read = 4
+	md := HopModel{Lat: hl, Tech: NCTechDRAM}
+	if s := md.RemoteReadStall(&c); s.Memory != 6*33+4*48 {
+		t.Fatalf("DRAM hop stall = %d", s.Memory)
+	}
+}
+
+func TestContentionModelIdleSystem(t *testing.T) {
+	m := ContentionModel{Lat: DefaultLatencies(), Tech: NCTechSRAM}
+	var c Counters
+	r := m.Evaluate(&c)
+	if r.Inflation != 1 || r.Stall.Total() != 0 {
+		t.Fatalf("empty counters inflated: %+v", r)
+	}
+	// A lightly loaded system barely inflates.
+	c.Refs = OpCount{Read: 1_000_000}
+	c.L1Hits = OpCount{Read: 999_000}
+	c.RemoteByClass[Cold] = OpCount{Read: 1_000}
+	r = m.Evaluate(&c)
+	if r.Inflation > 1.15 {
+		t.Fatalf("light load inflated %.3f", r.Inflation)
+	}
+	if r.BusRho <= 0 || r.NetRho <= 0 {
+		t.Fatal("utilizations not computed")
+	}
+}
+
+func TestContentionModelHeavyLoadInflates(t *testing.T) {
+	m := ContentionModel{Lat: DefaultLatencies(), Tech: NCTechSRAM}
+	var c Counters
+	c.Refs = OpCount{Read: 1_000_000}
+	// Half the references go remote: the network interface saturates.
+	c.RemoteByClass[Capacity] = OpCount{Read: 500_000}
+	c.L1Hits = OpCount{Read: 500_000}
+	r := m.Evaluate(&c)
+	if r.Inflation <= 1.2 {
+		t.Fatalf("heavy load inflation %.3f, want > 1.2", r.Inflation)
+	}
+	if r.NetRho < 0.3 {
+		t.Fatalf("NetRho = %.3f under heavy remote load", r.NetRho)
+	}
+	if r.Iterations < 2 {
+		t.Fatal("fixed point did not iterate")
+	}
+	// The utilization cap keeps the result finite.
+	if r.NetRho > 0.95+1e-9 {
+		t.Fatalf("rho exceeded cap: %v", r.NetRho)
+	}
+}
+
+func TestContentionMonotoneInLoad(t *testing.T) {
+	m := ContentionModel{Lat: DefaultLatencies(), Tech: NCTechSRAM}
+	prev := 0.0
+	for _, remote := range []int64{1000, 10_000, 100_000, 400_000} {
+		var c Counters
+		c.Refs = OpCount{Read: 1_000_000}
+		c.RemoteByClass[Capacity] = OpCount{Read: remote}
+		c.L1Hits = OpCount{Read: 1_000_000 - remote}
+		r := m.Evaluate(&c)
+		if r.Inflation < prev {
+			t.Fatalf("inflation not monotone: %v after %v", r.Inflation, prev)
+		}
+		prev = r.Inflation
+	}
+}

@@ -1,0 +1,28 @@
+package stats
+
+// Table 1 of the paper: the latency components of a remote data reference
+// for each system organization. This file encodes that table so it can be
+// printed by the harness and cross-checked against the model in tests.
+
+// Table1Row describes how one event class completes in one system class.
+type Table1Row struct {
+	Event  string // "PC hit", "PC miss", "NC hit", "NC miss"
+	System string // "No NC", "DRAM NC", "SRAM NC", "SRAM NC & PC"
+	Desc   string // prose description from the paper
+	Cycles int64  // cost under DefaultLatencies
+}
+
+// Table1 returns the latency-component table for the given latency set.
+func Table1(l Latencies) []Table1Row {
+	return []Table1Row{
+		{"PC hit", "SRAM NC & PC", "DRAM access", l.DRAMAccess},
+		{"PC miss", "SRAM NC & PC", "Remote access", l.RemoteAccess},
+		{"NC hit", "DRAM NC", "DRAM access + tag checking", l.DRAMAccess + l.TagCheck},
+		{"NC hit", "SRAM NC", "cache-to-cache transfer", l.CacheToCache},
+		{"NC hit", "SRAM NC & PC", "cache-to-cache transfer", l.CacheToCache},
+		{"NC miss", "No NC", "Remote access", l.RemoteAccess},
+		{"NC miss", "DRAM NC", "Remote access + tag checking", l.RemoteAccess + l.TagCheck},
+		{"NC miss", "SRAM NC", "Remote access", l.RemoteAccess},
+		{"NC miss", "SRAM NC & PC", "Remote access", l.RemoteAccess},
+	}
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dsmnc/memsys"
+)
+
+// Binary trace format:
+//
+//	header:  magic "DSMT" | version u8
+//	records: op+pid varint (pid<<1 | op), addr delta zig-zag varint
+//	footer:  none (EOF terminates)
+//
+// Addresses are delta-encoded per stream because traces are strongly
+// sequential; typical records are 2-4 bytes.
+
+var traceMagic = [4]byte{'D', 'S', 'M', 'T'}
+
+const codecVersion = 1
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("trace: malformed trace stream")
+
+// Writer encodes references to an io.Writer.
+type Writer struct {
+	w        *bufio.Writer
+	lastAddr uint64
+	wrote    int64
+	buf      [2 * binary.MaxVarintLen64]byte
+	started  bool
+}
+
+// NewWriter returns a Writer that writes the trace header lazily on the
+// first Write call.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write encodes one reference.
+func (tw *Writer) Write(r Ref) error {
+	if !tw.started {
+		if _, err := tw.w.Write(traceMagic[:]); err != nil {
+			return err
+		}
+		if err := tw.w.WriteByte(codecVersion); err != nil {
+			return err
+		}
+		tw.started = true
+	}
+	head := uint64(r.PID)<<1 | uint64(r.Op&1)
+	n := binary.PutUvarint(tw.buf[:], head)
+	delta := int64(uint64(r.Addr) - tw.lastAddr)
+	n += binary.PutVarint(tw.buf[n:], delta)
+	tw.lastAddr = uint64(r.Addr)
+	if _, err := tw.w.Write(tw.buf[:n]); err != nil {
+		return err
+	}
+	tw.wrote++
+	return nil
+}
+
+// Count returns the number of references written.
+func (tw *Writer) Count() int64 { return tw.wrote }
+
+// Flush flushes buffered output. Call it once after the last Write.
+func (tw *Writer) Flush() error {
+	if !tw.started {
+		// An empty trace still carries a header so readers can
+		// distinguish it from a truncated file.
+		if _, err := tw.w.Write(traceMagic[:]); err != nil {
+			return err
+		}
+		if err := tw.w.WriteByte(codecVersion); err != nil {
+			return err
+		}
+		tw.started = true
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a binary trace and implements Source.
+type Reader struct {
+	r        *bufio.Reader
+	lastAddr uint64
+	err      error
+	started  bool
+}
+
+// NewReader returns a Reader over r. Header validation happens on the
+// first Next call.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Err returns the first error encountered (io.EOF is not an error).
+func (tr *Reader) Err() error { return tr.err }
+
+// Next decodes the next reference.
+func (tr *Reader) Next() (Ref, bool) {
+	if tr.err != nil {
+		return Ref{}, false
+	}
+	if !tr.started {
+		var hdr [5]byte
+		if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+			tr.fail(err)
+			return Ref{}, false
+		}
+		if [4]byte(hdr[:4]) != traceMagic {
+			tr.err = fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
+			return Ref{}, false
+		}
+		if hdr[4] != codecVersion {
+			tr.err = fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr[4])
+			return Ref{}, false
+		}
+		tr.started = true
+	}
+	head, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		if err != io.EOF {
+			tr.fail(err)
+		}
+		return Ref{}, false
+	}
+	delta, err := binary.ReadVarint(tr.r)
+	if err != nil {
+		tr.fail(err) // a record with a head but no address is truncation
+		return Ref{}, false
+	}
+	tr.lastAddr += uint64(delta)
+	return Ref{
+		PID:  int32(head >> 1),
+		Op:   Op(head & 1),
+		Addr: memsys.Addr(tr.lastAddr),
+	}, true
+}
+
+func (tr *Reader) fail(err error) {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		tr.err = fmt.Errorf("%w: truncated", ErrBadTrace)
+		return
+	}
+	tr.err = err
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"dsmnc/memsys"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must never
+// panic and must either produce refs or report ErrBadTrace-class errors.
+func FuzzReader(f *testing.F) {
+	// Seed with a small valid trace and a few corruptions.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 16; i++ {
+		_ = w.Write(Ref{PID: int32(i % 4), Op: Op(i % 2), Addr: memsys.Addr(i * 72)})
+	}
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("DSMT\x01garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		n := 0
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+			n++
+			if n > 1<<20 {
+				t.Fatal("unbounded refs from bounded input")
+			}
+		}
+		// After exhaustion the reader must stay exhausted.
+		if _, ok := r.Next(); ok {
+			t.Fatal("reader resurrected")
+		}
+	})
+}
+
+// FuzzCodecRoundTrip encodes arbitrary refs and decodes them back.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(int16(3), uint64(4096), true)
+	f.Fuzz(func(t *testing.T, pid int16, addr uint64, write bool) {
+		if pid < 0 {
+			pid = -pid
+		}
+		op := Read
+		if write {
+			op = Write
+		}
+		in := Ref{PID: int32(pid), Op: op, Addr: memsys.Addr(addr)}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(&buf)
+		out, ok := r.Next()
+		if !ok || out != in {
+			t.Fatalf("round trip: %v -> (%v, %v)", in, out, ok)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package trace
+
+// Interleaver merges per-processor reference streams round-robin, the way
+// a trace-driven multiprocessor simulator consumes a parallel trace. Each
+// turn a processor contributes up to Quantum consecutive references; the
+// per-processor program order is preserved, which is all the paper's
+// constant-latency model requires (it does not model contention, §4).
+type Interleaver struct {
+	srcs    []Source
+	quantum int
+	cur     int // stream currently being drained
+	used    int // refs taken from cur this turn
+	done    []bool
+	left    int // streams not yet exhausted
+}
+
+// NewInterleaver merges srcs (indexed by processor) with the given quantum.
+// A quantum below 1 is treated as 1.
+func NewInterleaver(srcs []Source, quantum int) *Interleaver {
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &Interleaver{
+		srcs:    srcs,
+		quantum: quantum,
+		done:    make([]bool, len(srcs)),
+		left:    len(srcs),
+	}
+}
+
+// Next returns the next reference in round-robin order.
+func (il *Interleaver) Next() (Ref, bool) {
+	for il.left > 0 {
+		if il.done[il.cur] || il.used >= il.quantum {
+			il.advance()
+			continue
+		}
+		r, ok := il.srcs[il.cur].Next()
+		if !ok {
+			il.done[il.cur] = true
+			il.left--
+			il.advance()
+			continue
+		}
+		il.used++
+		return r, true
+	}
+	return Ref{}, false
+}
+
+func (il *Interleaver) advance() {
+	il.cur = (il.cur + 1) % len(il.srcs)
+	il.used = 0
+}

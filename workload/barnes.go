@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+
+	"dsmnc/memsys"
+)
+
+// Barnes models the SPLASH-2 Barnes-Hut N-body simulation (paper Table 3:
+// 16K bodies, 3.94 MB). Each force computation walks the octree: a hot
+// set of upper-level cells shared by everyone — sized just past the
+// 16 KB processor cache, matching the paper's observation that Barnes's
+// miss-ratio curve has a knee near 16 KB — plus a per-body scatter of
+// deep cells spread over all processors' cell regions, read a word or
+// two at a time (low spatial locality, irregular). Body updates are
+// local. The combination gives Barnes its paper profile: the victim NC
+// helps, but small page caches thrash until the adaptive threshold backs
+// them off (Figure 6).
+func Barnes(scale Scale) *Bench {
+	var bodies, steps int
+	switch scale {
+	case ScaleTest:
+		bodies, steps = 2048, 1
+	case ScaleSmall:
+		bodies, steps = 8192, 3
+	case ScaleMedium:
+		bodies, steps = 16384, 3 // 16K bodies, as in the paper
+	default:
+		bodies, steps = 32768, 3
+	}
+	const bodyBytes = 128
+	const cellBytes = 128
+	cells := bodies / 2
+	hotCells := 192 // ~24 KB of hot upper-tree cells
+	if hotCells > cells/2 {
+		hotCells = cells / 2
+	}
+	var l layout
+	bodyBase := l.region(int64(bodies) * bodyBytes)
+	cellBase := l.region(int64(cells) * cellBytes)
+
+	b := &Bench{
+		Name:        "Barnes",
+		Params:      fmt.Sprintf("%dK bodies", bodies/1024),
+		PaperMB:     3.94,
+		SharedBytes: l.used(),
+	}
+	b.run = func(e *Emitter) {
+		P := e.Procs()
+		bChunk := bodies / P
+		cChunk := cells / P
+		bodyAddr := func(i int) memsys.Addr { return bodyBase + memsys.Addr(i)*bodyBytes }
+		cellAddr := func(i int) memsys.Addr { return cellBase + memsys.Addr(i)*cellBytes }
+
+		// Init: owners first-touch their bodies and cell regions.
+		for p := 0; p < P; p++ {
+			e.WriteRange(p, bodyAddr(p*bChunk), int64(bChunk)*bodyBytes, memsys.PageBytes)
+			e.WriteRange(p, cellAddr(p*cChunk), int64(cChunk)*cellBytes, memsys.PageBytes)
+		}
+		e.Barrier()
+
+		for step := 0; step < steps; step++ {
+			// Tree build: each processor rewrites its cell region
+			// (insertion of its bodies).
+			for p := 0; p < P; p++ {
+				e.WriteRange(p, cellAddr(p*cChunk), int64(cChunk)*cellBytes, cellBytes)
+			}
+			e.Barrier()
+
+			// Force computation: per body, walk hot upper cells plus a
+			// scatter of deep cells, then update the body. Spatially
+			// adjacent bodies (groups of 8) walk nearly the same deep
+			// cells — the temporal locality that makes Barnes's miss
+			// curve knee near the 16 KB point rather than miss on
+			// every cell visit.
+			const group = 8
+			const deepCells = 12
+			const poolSize = 500
+			for p := 0; p < P; p++ {
+				// The processor's bodies live in one spatial region, so
+				// their tree walks revisit a shared pool of deep cells
+				// (clumped by skewPick) many times per step — remote
+				// capacity misses over a sparse cell set.
+				pr := newRNG(uint64(step*7927 + p*97 + 5))
+				pool := make([]int, poolSize)
+				for i := range pool {
+					pool[i] = hotCells + skewPick(pr, cells-hotCells)
+				}
+				jit := newRNG(uint64(step*104729 + p*31 + 5))
+				for i := p * bChunk; i < (p+1)*bChunk; i++ {
+					if i%group == 0 || i == p*bChunk {
+						// New walk for this body group.
+						jit = newRNG(uint64(step*104729 + i/group*613 + 5))
+					}
+					r := newRNG(jit.s) // replay the group's walk
+					e.Read(p, bodyAddr(i))
+					// Upper tree: a random-but-hot path.
+					for lvl := 0; lvl < 8; lvl++ {
+						e.Read(p, cellAddr(r.intn(hotCells)))
+					}
+					// Deep cells shared by the group: several fields of
+					// each 128 B record (two blocks, no page locality).
+					for k := 0; k < deepCells; k++ {
+						a := cellAddr(pool[r.intn(poolSize)])
+						for _, off := range [...]memsys.Addr{0, 16, 32, 64, 80, 96} {
+							e.Read(p, a+off)
+						}
+					}
+					// Per-body deviation from the group walk.
+					a := cellAddr(hotCells + int(uint64(uint32(i)*2654435761)%uint64(cells-hotCells)))
+					e.Read(p, a)
+					e.Read(p, a+32)
+					// Neighbor bodies in the own region.
+					e.Read(p, bodyAddr(p*bChunk+r.intn(bChunk)))
+					e.ReadRange(p, bodyAddr(i), bodyBytes, 32)
+					e.Write(p, bodyAddr(i))
+					e.Write(p, bodyAddr(i)+64)
+				}
+			}
+			e.Barrier()
+
+			// Position update: stream own bodies.
+			for p := 0; p < P; p++ {
+				lo := p * bChunk
+				e.ReadRange(p, bodyAddr(lo), int64(bChunk)*bodyBytes, 32)
+				e.WriteRange(p, bodyAddr(lo), int64(bChunk)*bodyBytes, 64)
+			}
+			e.Barrier()
+		}
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+
+	"dsmnc/memsys"
+)
+
+// Cholesky models the SPLASH-2 sparse Cholesky factorization of tk15.O
+// (paper Table 3: 21.37 MB). The factor is a sequence of supernodal
+// panels — contiguous runs of columns stored contiguously in memory —
+// processed off a task queue. Updating a panel streams through a
+// pseudo-random set of earlier (usually remote) panels with high spatial
+// locality *within* each panel but an irregular sequence *across* panels.
+// The large spatial locality makes the page cache effective despite the
+// irregular panel order, which is why Cholesky lands with the regular
+// applications in Figure 9 while showing only small victim-cache gains
+// in Figure 7.
+func Cholesky(scale Scale) *Bench {
+	var panels int
+	switch scale {
+	case ScaleTest:
+		panels = 64
+	case ScaleSmall:
+		panels = 96
+	case ScaleMedium:
+		panels = 128
+	default:
+		panels = 160
+	}
+	// Panel sizes decrease as the factorization proceeds, like a real
+	// supernodal factor. Widths vary pseudo-randomly between 4 and 16
+	// columns; heights shrink linearly.
+	r := newRNG(uint64(panels) * 2654435761)
+	panelBytes := make([]int64, panels)
+	panelBase := make([]memsys.Addr, panels)
+	var l layout
+	maxH := panels * 8
+	if maxH > 700 {
+		maxH = 700
+	}
+	step := maxH / (panels + 8)
+	if step < 1 {
+		step = 1
+	}
+	for s := 0; s < panels; s++ {
+		w := 4 + r.intn(13)
+		h := maxH - s*step
+		if h < w {
+			h = w
+		}
+		panelBytes[s] = int64(w) * int64(h) * 8
+		panelBase[s] = l.region(panelBytes[s])
+	}
+
+	b := &Bench{
+		Name:        "Cholesky",
+		Params:      fmt.Sprintf("tk15.O model, %d supernodes", panels),
+		PaperMB:     21.37,
+		SharedBytes: l.used(),
+	}
+	b.run = func(e *Emitter) {
+		P := e.Procs()
+		// Consecutive tasks are handed to the processors of one cluster,
+		// as a locality-aware task queue would: the window of source
+		// panels is then re-streamed within the cluster (remote
+		// capacity misses with high spatial locality — the page
+		// cache's friend).
+		quarter := P / 4
+		if quarter < 1 {
+			quarter = 1
+		}
+		owner := func(s int) int { return (s%4)%P + 4*((s/4)%quarter) }
+		// Init: task owners first-touch their panels.
+		for s := 0; s < panels; s++ {
+			e.WriteRange(owner(s), panelBase[s], panelBytes[s], memsys.PageBytes)
+		}
+		e.Barrier()
+
+		// Left-looking factorization off a task queue: panel s is
+		// updated by a pseudo-random set of earlier panels (the
+		// sparsity structure), then factorized in place.
+		for s := 0; s < panels; s++ {
+			p := owner(s)
+			rr := newRNG(uint64(s*48271 + 11))
+			nsrc := 4 + rr.intn(6)
+			if nsrc > s {
+				nsrc = s
+			}
+			// Sources come only from panels whose task super-block has
+			// completed (the factorization's dataflow dependencies),
+			// drawn from a recent window: supernode children cluster
+			// near their parent, so the window is re-streamed many
+			// times — remote capacity misses with high spatial
+			// locality.
+			done := s - s%P // first task of the running super-block
+			if nsrc > done {
+				nsrc = done
+			}
+			for k := 0; k < nsrc; k++ {
+				src := done - 1 - rr.intn(min(done, 12))
+				// Stream a prefix of the source panel (the rows below
+				// the current supernode) with full spatial locality —
+				// once per column sweep of the target, so the source
+				// is re-read at a spacing far beyond the processor
+				// cache (remote capacity misses).
+				span := panelBytes[src] / 2
+				if span > 32<<10 {
+					span = 32 << 10
+				}
+				upd := panelBytes[s]
+				if upd > span {
+					upd = span
+				}
+				for sweep := 0; sweep < 3; sweep++ {
+					e.ReadRange(p, panelBase[src], span, 8)
+					// Accumulate into the own panel.
+					e.ReadRange(p, panelBase[s], upd, 16)
+					e.WriteRange(p, panelBase[s], upd, 16)
+				}
+			}
+			// Factorize the panel in place.
+			e.ReadRange(p, panelBase[s], panelBytes[s], 8)
+			e.WriteRange(p, panelBase[s], panelBytes[s], 8)
+			if s%P == P-1 {
+				e.Barrier() // super-block retired: its panels are final
+			}
+		}
+		e.Barrier()
+	}
+	return b
+}

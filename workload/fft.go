@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+
+	"dsmnc/memsys"
+)
+
+// FFT models the SPLASH-2 six-step FFT (paper Table 3: 64K points,
+// 3.54 MB). The data set is a sqrt(n) x sqrt(n) matrix of complex
+// doubles (16 B); each processor owns a contiguous band of rows. The
+// phases are: local column FFTs, a blocked all-to-all transpose, local
+// FFTs, a transpose back, and a final local pass. Remote communication
+// is the transpose: every remote block is read exactly once per
+// transpose with perfect spatial locality, so necessary (cold) misses
+// dominate and extra NC capacity buys little — which is why the paper
+// finds FFT faster with *no* NC than with an infinite DRAM NC.
+func FFT(scale Scale) *Bench {
+	var m int // matrix dimension; n = m*m points
+	switch scale {
+	case ScaleTest:
+		m = 64
+	case ScaleSmall:
+		m = 128
+	case ScaleMedium:
+		m = 256 // 64K points, as in the paper
+	default:
+		m = 512
+	}
+	const elem = 16 // complex double
+	n := m * m
+	var l layout
+	src := l.region(int64(n) * elem)
+	dst := l.region(int64(n) * elem)
+	roots := l.region(int64(m) * elem)
+
+	b := &Bench{
+		Name:        "FFT",
+		Params:      fmt.Sprintf("%dK points", n/1024),
+		PaperMB:     3.54,
+		SharedBytes: l.used(),
+	}
+	b.run = func(e *Emitter) {
+		P := e.Procs()
+		rowsOf := func(p int) (lo, hi int) {
+			per := m / P
+			if per == 0 {
+				per = 1
+			}
+			lo = p * per
+			hi = lo + per
+			if p == P-1 {
+				hi = m
+			}
+			if lo > m {
+				lo, hi = m, m
+			}
+			return
+		}
+		rowAddr := func(base memsys.Addr, r, c int) memsys.Addr {
+			return base + memsys.Addr(r*m+c)*elem
+		}
+
+		// Init: owners first-touch their rows of both arrays and the
+		// shared root table (proc 0).
+		for p := 0; p < P; p++ {
+			lo, hi := rowsOf(p)
+			for r := lo; r < hi; r++ {
+				e.Write(p, rowAddr(src, r, 0))
+				e.Write(p, rowAddr(dst, r, 0))
+			}
+		}
+		e.WriteRange(0, roots, int64(m)*elem, memsys.PageBytes)
+		e.Barrier()
+
+		localPass := func(base memsys.Addr) {
+			for p := 0; p < P; p++ {
+				lo, hi := rowsOf(p)
+				for r := lo; r < hi; r++ {
+					for c := 0; c < m; c++ {
+						e.Read(p, rowAddr(base, r, c))
+						if c%4 == 0 {
+							e.Read(p, roots+memsys.Addr(c)*elem)
+						}
+						e.Write(p, rowAddr(base, r, c))
+					}
+				}
+			}
+			e.Barrier()
+		}
+
+		// Blocked transpose from -> to: each processor fills its own
+		// rows of `to`, reading 64-byte patches of every other
+		// processor's rows of `from` (4 complex elements per block).
+		const t = 4 // patch edge: 4 elements = 64 B
+		transpose := func(from, to memsys.Addr) {
+			for p := 0; p < P; p++ {
+				lo, hi := rowsOf(p)
+				for r0 := lo; r0 < hi; r0 += t {
+					for c0 := 0; c0 < m; c0 += t {
+						// Read the source patch: rows c0..c0+t of
+						// `from` at columns r0..r0+t — each row
+						// segment is one contiguous block.
+						for cr := c0; cr < c0+t && cr < m; cr++ {
+							e.ReadRange(p, rowAddr(from, cr, r0), t*elem, elem)
+						}
+						for rr := r0; rr < r0+t && rr < hi; rr++ {
+							e.WriteRange(p, rowAddr(to, rr, c0), t*elem, elem)
+						}
+					}
+				}
+			}
+			e.Barrier()
+		}
+
+		localPass(src)
+		transpose(src, dst)
+		localPass(dst)
+		transpose(dst, src)
+		localPass(src)
+	}
+	return b
+}

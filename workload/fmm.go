@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+
+	"dsmnc/memsys"
+)
+
+// FMM models the SPLASH-2 fast multipole method (paper Table 3: 16K
+// bodies, 29.23 MB — the second-largest data set). Its communication is
+// the cell-to-cell interaction lists: for every owned cell, a processor
+// reads the expansion of ~15 pseudo-random cells scattered over the whole
+// (large) cell array, one block per interaction. Unlike Barnes there is
+// no small hot set: the remote working set is large and sparse with
+// little reuse and low page utilization, so small NCs help only
+// moderately, page caches fragment, and the 512 KB DRAM NC wins
+// (Figure 9) — while the victim cache still beats the inclusive nc
+// organization (Figures 4, 7).
+func FMM(scale Scale) *Bench {
+	var bodies, cells, steps int
+	switch scale {
+	case ScaleTest:
+		bodies, cells, steps = 2048, 4096, 1
+	case ScaleSmall:
+		bodies, cells, steps = 8192, 16384, 2
+	case ScaleMedium:
+		bodies, cells, steps = 16384, 32768, 2 // 16K bodies, as in the paper
+	default:
+		bodies, cells, steps = 16384, 65536, 2
+	}
+	const bodyBytes = 128
+	const cellBytes = 128
+	var l layout
+	bodyBase := l.region(int64(bodies) * bodyBytes)
+	cellBase := l.region(int64(cells) * cellBytes)
+
+	b := &Bench{
+		Name:        "FMM",
+		Params:      fmt.Sprintf("%dK bodies", bodies/1024),
+		PaperMB:     29.23,
+		SharedBytes: l.used(),
+	}
+	b.run = func(e *Emitter) {
+		P := e.Procs()
+		bChunk := bodies / P
+		cChunk := cells / P
+		bodyAddr := func(i int) memsys.Addr { return bodyBase + memsys.Addr(i)*bodyBytes }
+		cellAddr := func(i int) memsys.Addr { return cellBase + memsys.Addr(i)*cellBytes }
+
+		// Init: owners first-touch bodies and cells.
+		for p := 0; p < P; p++ {
+			e.WriteRange(p, bodyAddr(p*bChunk), int64(bChunk)*bodyBytes, memsys.PageBytes)
+			e.WriteRange(p, cellAddr(p*cChunk), int64(cChunk)*cellBytes, memsys.PageBytes)
+		}
+		e.Barrier()
+
+		for step := 0; step < steps; step++ {
+			// Upward pass: each processor builds the expansions of its
+			// own cells (local streaming).
+			for p := 0; p < P; p++ {
+				lo := p * cChunk
+				e.ReadRange(p, cellAddr(lo), int64(cChunk)*cellBytes, cellBytes)
+				e.WriteRange(p, cellAddr(lo), int64(cChunk)*cellBytes, cellBytes)
+			}
+			e.Barrier()
+
+			// Interaction phase: per owned cell, read the expansions of
+			// ~12 cells drawn from the processor's interaction pool —
+			// the union of its cells' overlapping interaction lists.
+			// Pool cells are revisited many times per step at spacings
+			// far beyond the processor cache, so they are remote
+			// *capacity* misses; the pool itself is scattered over the
+			// whole (large) cell array with 2-3 cells per page — the
+			// sparse, fragmented working set that defeats small NCs
+			// and page caches while a 512 KB DRAM NC swallows it
+			// (paper Figure 9).
+			const interactions = 12
+			const poolSize = 600
+			for p := 0; p < P; p++ {
+				pr := newRNG(uint64(step*15485863 + p*257 + 3))
+				pool := make([]int, poolSize)
+				for i := range pool {
+					pool[i] = skewPick(pr, cells)
+				}
+				r := newRNG(uint64(step*6700417 + p*11 + 1))
+				for c := p * cChunk; c < (p+1)*cChunk; c++ {
+					for k := 0; k < interactions; k++ {
+						a := cellAddr(pool[r.intn(poolSize)])
+						for _, off := range [...]memsys.Addr{0, 16, 32, 64, 96} {
+							e.Read(p, a+off)
+						}
+					}
+					// Per-cell deviation outside the pool.
+					a := cellAddr(int(uint64(uint32(c)*2246822519) % uint64(cells)))
+					e.Read(p, a)
+					e.Read(p, a+64)
+					e.ReadRange(p, cellAddr(c), cellBytes, 32)
+					e.Write(p, cellAddr(c))
+					e.Write(p, cellAddr(c)+64)
+				}
+			}
+			e.Barrier()
+
+			// Downward/body pass: bodies read their leaf cell and a
+			// couple of scattered neighbors, then update locally.
+			for p := 0; p < P; p++ {
+				r := newRNG(uint64(step*104651 + p*13 + 7))
+				for i := p * bChunk; i < (p+1)*bChunk; i++ {
+					e.Read(p, bodyAddr(i))
+					e.Read(p, cellAddr(r.intn(cells)))
+					e.Write(p, bodyAddr(i))
+				}
+			}
+			e.Barrier()
+		}
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"dsmnc/memsys"
+)
+
+// LU models the SPLASH-2 blocked dense LU factorization (paper Table 3:
+// 512x512, 2.16 MB). The matrix is stored block-major (16x16 blocks of
+// doubles, 2 KB each) and blocks are 2D-scattered over the processors.
+// Every step factorizes the diagonal block, updates the perimeter row
+// and column, then updates the interior from the perimeter. The remote
+// working set of a processor — the perimeter blocks of the current step —
+// is small and streams with high spatial locality, so it fits a 16 KB
+// NC; page-address-indexed victim caches, by contrast, suffer conflicts
+// (paper §6.5: LU is the one benchmark where vxp loses).
+//
+// The paper modified LU so that first touch places pages at block owners
+// rather than at the initializing master; the init phase below touches
+// every block from its owner, reproducing that fix.
+func LU(scale Scale) *Bench {
+	var nb int // blocks per dimension
+	switch scale {
+	case ScaleTest:
+		nb = 8
+	case ScaleSmall:
+		nb = 12
+	case ScaleMedium:
+		nb = 24
+	default:
+		nb = 32 // 512x512, as in the paper
+	}
+	const bsize = 16                     // block edge, elements
+	const blockBytes = bsize * bsize * 8 // 2 KB
+	n := nb * bsize
+	var l layout
+	mat := l.region(int64(nb*nb) * blockBytes)
+
+	b := &Bench{
+		Name:        "LU",
+		Params:      fmt.Sprintf("%d x %d", n, n),
+		PaperMB:     2.16,
+		SharedBytes: l.used(),
+	}
+	b.run = func(e *Emitter) {
+		P := e.Procs()
+		// 2D processor grid, as square as possible.
+		pr := 1
+		for d := 1; d*d <= P; d++ {
+			if P%d == 0 {
+				pr = d
+			}
+		}
+		pcGrid := P / pr
+		owner := func(bi, bj int) int { return (bi%pr)*pcGrid + bj%pcGrid }
+		blockAddr := func(bi, bj int) memsys.Addr {
+			return mat + memsys.Addr((bi*nb+bj)*blockBytes)
+		}
+
+		// Init: owners touch their blocks (first-touch fix from §5.2).
+		for bi := 0; bi < nb; bi++ {
+			for bj := 0; bj < nb; bj++ {
+				p := owner(bi, bj)
+				e.Write(p, blockAddr(bi, bj))
+				e.Write(p, blockAddr(bi, bj)+blockBytes/2) // second page half
+			}
+		}
+		e.Barrier()
+
+		readBlock := func(p int, a memsys.Addr) { e.ReadRange(p, a, blockBytes, 8) }
+		updateBlock := func(p int, a memsys.Addr) {
+			e.ReadRange(p, a, blockBytes, 8)
+			e.WriteRange(p, a, blockBytes, 8)
+		}
+
+		for k := 0; k < nb; k++ {
+			// Factor the diagonal block.
+			diag := blockAddr(k, k)
+			dOwner := owner(k, k)
+			updateBlock(dOwner, diag)
+			e.Barrier()
+
+			// Perimeter row and column read the diagonal block.
+			for j := k + 1; j < nb; j++ {
+				p := owner(k, j)
+				readBlock(p, diag)
+				updateBlock(p, blockAddr(k, j))
+			}
+			for i := k + 1; i < nb; i++ {
+				p := owner(i, k)
+				readBlock(p, diag)
+				updateBlock(p, blockAddr(i, k))
+			}
+			e.Barrier()
+
+			// Interior update: A[i][j] -= A[i][k] * A[k][j].
+			for i := k + 1; i < nb; i++ {
+				for j := k + 1; j < nb; j++ {
+					p := owner(i, j)
+					readBlock(p, blockAddr(i, k))
+					readBlock(p, blockAddr(k, j))
+					e.WriteRange(p, blockAddr(i, j), blockBytes, 8)
+				}
+			}
+			e.Barrier()
+		}
+	}
+	return b
+}

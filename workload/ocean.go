@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+
+	"dsmnc/memsys"
+)
+
+// Ocean models the SPLASH-2 ocean simulation (paper Table 3: 258x258,
+// 15.52 MB): iterative 5-point stencil sweeps over a family of grids,
+// with each processor owning a contiguous band of rows. Communication is
+// the boundary rows exchanged with neighboring bands every sweep —
+// a small, dense, perfectly regular remote working set that is re-read
+// every iteration. This is the page cache's best case: the handful of
+// boundary pages relocate once and then serve hits forever, so systems
+// with page caches beat the 512 KB DRAM NC (paper §6.3).
+func Ocean(scale Scale) *Bench {
+	var n, grids, iters int
+	switch scale {
+	case ScaleTest:
+		n, grids, iters = 66, 4, 2
+	case ScaleSmall:
+		n, grids, iters = 130, 6, 8
+	case ScaleMedium:
+		n, grids, iters = 194, 8, 10
+	default:
+		n, grids, iters = 258, 10, 10 // paper's grid size
+	}
+	rowBytes := int64(n) * 8
+	var l layout
+	grid := make([]memsys.Addr, grids)
+	for g := range grid {
+		grid[g] = l.region(int64(n) * rowBytes)
+	}
+	redBase := l.region(memsys.PageBytes) // shared reduction scalars
+
+	b := &Bench{
+		Name:        "Ocean",
+		Params:      fmt.Sprintf("%d x %d", n, n),
+		PaperMB:     15.52,
+		SharedBytes: l.used(),
+	}
+	b.run = func(e *Emitter) {
+		P := e.Procs()
+		rowsOf := func(p int) (lo, hi int) {
+			per := n / P
+			if per == 0 {
+				per = 1
+			}
+			lo = p * per
+			hi = lo + per
+			if p == P-1 {
+				hi = n
+			}
+			if lo > n {
+				lo, hi = n, n
+			}
+			return
+		}
+		rowAddr := func(g, r int) memsys.Addr {
+			return grid[g] + memsys.Addr(int64(r)*rowBytes)
+		}
+
+		// Init: owners first-touch their row bands of every grid.
+		for p := 0; p < P; p++ {
+			lo, hi := rowsOf(p)
+			for g := 0; g < grids; g++ {
+				for r := lo; r < hi; r++ {
+					e.Write(p, rowAddr(g, r))
+				}
+			}
+		}
+		e.WriteRange(0, redBase, 64, 8)
+		e.Barrier()
+
+		// Each iteration runs two relaxation sweeps over the whole grid
+		// family: both read the neighbors' boundary rows, only the
+		// second writes the bands. The first boundary read after a
+		// neighbor's update is a coherence miss; the repeat read — a
+		// full grid-family later, long after L1 eviction — is a remote
+		// *capacity* miss, the reuse that network and page caches
+		// exist to capture.
+		const sweeps = 2
+		for it := 0; it < iters; it++ {
+			for s := 0; s < sweeps; s++ {
+				last := s == sweeps-1
+				for g := 0; g < grids; g++ {
+					for p := 0; p < P; p++ {
+						lo, hi := rowsOf(p)
+						if lo >= hi {
+							continue
+						}
+						// Boundary rows of the neighboring bands (remote
+						// when the neighbor band lives in another cluster).
+						if lo > 0 {
+							e.ReadRange(p, rowAddr(g, lo-1), rowBytes, 8)
+						}
+						if hi < n {
+							e.ReadRange(p, rowAddr(g, hi), rowBytes, 8)
+						}
+						// Sweep the own band; vertical-neighbor reads
+						// within the band stay in cache row-to-row and
+						// are folded into the sweep.
+						for r := lo; r < hi; r++ {
+							e.ReadRange(p, rowAddr(g, r), rowBytes, 8)
+							if last {
+								e.WriteRange(p, rowAddr(g, r), rowBytes, 8)
+							}
+						}
+					}
+				}
+				e.Barrier()
+			}
+			// Global error reduction: everyone reads and one writes.
+			for p := 0; p < P; p++ {
+				e.Read(p, redBase)
+				e.Write(p, redBase+memsys.Addr(8*(p%8)))
+			}
+			e.Barrier()
+		}
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+package workload
+
+// Characterization tests: each generator must exhibit the locality
+// profile its SPLASH-2 original is known for — that profile is what the
+// paper's conclusions key on (regular/high-spatial-locality vs
+// irregular/sparse), so it is asserted here rather than hoped for.
+
+import (
+	"testing"
+
+	"dsmnc/memsys"
+	"dsmnc/trace"
+)
+
+// profile summarizes a generated trace.
+type profile struct {
+	refs      int64
+	writeFrac float64
+	pages     int
+	blocks    int
+	// adjTransFrac is, among per-processor *block transitions* (the
+	// reference moved to a different block than the processor's
+	// previous one), the fraction that moved to the adjacent next
+	// block — the spatial-locality signature that separates streaming
+	// kernels from record-walking ones.
+	adjTransFrac float64
+	// pageUse is the mean number of distinct blocks touched per touched
+	// page (64 = fully dense).
+	pageUse float64
+}
+
+func profileOf(b *Bench) profile {
+	var p profile
+	var writes int64
+	lastBlock := map[int32]memsys.Block{}
+	pageBlocks := map[memsys.Page]map[memsys.Block]bool{}
+	var trans, adj int64
+	b.Emit(testGeo, 4, func(r trace.Ref) {
+		p.refs++
+		if r.Op == trace.Write {
+			writes++
+		}
+		blk := memsys.BlockOf(r.Addr)
+		if lb, ok := lastBlock[r.PID]; ok && blk != lb {
+			trans++
+			if blk == lb+1 {
+				adj++
+			}
+		}
+		lastBlock[r.PID] = blk
+		pg := memsys.PageOf(r.Addr)
+		m := pageBlocks[pg]
+		if m == nil {
+			m = make(map[memsys.Block]bool)
+			pageBlocks[pg] = m
+		}
+		m[blk] = true
+	})
+	p.writeFrac = float64(writes) / float64(p.refs)
+	p.pages = len(pageBlocks)
+	total := 0
+	for _, m := range pageBlocks {
+		total += len(m)
+	}
+	p.blocks = total
+	p.pageUse = float64(total) / float64(p.pages)
+	if trans > 0 {
+		p.adjTransFrac = float64(adj) / float64(trans)
+	}
+	return p
+}
+
+func TestRegularAppsHaveHighSpatialLocality(t *testing.T) {
+	// The paper's regular class: Cholesky, FFT, LU, Ocean. Their
+	// references stream: most block transitions move to the adjacent
+	// block, and touched pages are densely used. FFT's local passes
+	// interleave data with twiddle-table reads, which halves its raw
+	// adjacency without reducing its density, so it gets a lower bar.
+	for _, name := range []string{"Cholesky", "LU", "Ocean"} {
+		p := profileOf(ByName(name, ScaleTest))
+		if p.adjTransFrac < 0.55 {
+			t.Errorf("%s: adjacent-transition fraction %.2f < 0.55 (should stream)", name, p.adjTransFrac)
+		}
+		if p.pageUse < 48 {
+			t.Errorf("%s: page use %.1f/64 blocks (should be dense)", name, p.pageUse)
+		}
+	}
+	fft := profileOf(ByName("FFT", ScaleTest))
+	if fft.adjTransFrac < 0.20 {
+		t.Errorf("FFT: adjacent-transition fraction %.2f < 0.20", fft.adjTransFrac)
+	}
+	if fft.pageUse < 48 {
+		t.Errorf("FFT: page use %.1f/64 blocks (should be dense)", fft.pageUse)
+	}
+}
+
+func TestIrregularAppsHaveLowSpatialLocality(t *testing.T) {
+	// Barnes, FMM, Raytrace: scattered record accesses dominate.
+	for _, name := range []string{"Barnes", "FMM", "Raytrace"} {
+		p := profileOf(ByName(name, ScaleTest))
+		if p.adjTransFrac > 0.45 {
+			t.Errorf("%s: adjacent-transition fraction %.2f > 0.45 (should scatter)", name, p.adjTransFrac)
+		}
+	}
+}
+
+func TestRadixIsWriteScatter(t *testing.T) {
+	p := profileOf(ByName("Radix", ScaleTest))
+	if p.writeFrac < 0.10 {
+		t.Errorf("Radix write fraction %.2f too low", p.writeFrac)
+	}
+	// The permutation writes must scatter: per-processor *write*
+	// sequences rarely continue a block run. Measure writes only.
+	var writes, wruns int64
+	last := map[int32]memsys.Block{}
+	ByName("Radix", ScaleTest).Emit(testGeo, 4, func(r trace.Ref) {
+		if r.Op != trace.Write {
+			return
+		}
+		writes++
+		blk := memsys.BlockOf(r.Addr)
+		if lb, ok := last[r.PID]; ok && (blk == lb || blk == lb+1) {
+			wruns++
+		}
+		last[r.PID] = blk
+	})
+	if frac := float64(wruns) / float64(writes); frac > 0.5 {
+		t.Errorf("Radix write-run fraction %.2f: permutation writes not scattered", frac)
+	}
+}
+
+func TestReadWriteMixes(t *testing.T) {
+	// Raytrace is read-almost-only; LU/Ocean/FFT mix reads and writes;
+	// nothing is write-dominated except possibly Radix phases.
+	cases := map[string]struct{ lo, hi float64 }{
+		"Raytrace": {0.0, 0.10},
+		"Barnes":   {0.0, 0.15},
+		"FMM":      {0.0, 0.15},
+		"LU":       {0.25, 0.45},
+		"Ocean":    {0.15, 0.45},
+		"FFT":      {0.30, 0.55},
+		"Radix":    {0.10, 0.35},
+		"Cholesky": {0.20, 0.45},
+	}
+	for name, want := range cases {
+		p := profileOf(ByName(name, ScaleTest))
+		if p.writeFrac < want.lo || p.writeFrac > want.hi {
+			t.Errorf("%s: write fraction %.3f outside [%.2f, %.2f]",
+				name, p.writeFrac, want.lo, want.hi)
+		}
+	}
+}
+
+func TestFootprintsMatchDeclaredSize(t *testing.T) {
+	// Touched footprint should be a substantial part of the declared
+	// shared size (no dead regions), and never exceed it.
+	for _, b := range All(ScaleTest) {
+		p := profileOf(b)
+		touched := int64(p.pages) * memsys.PageBytes
+		if touched > b.SharedBytes {
+			t.Errorf("%s: touched %d > declared %d", b.Name, touched, b.SharedBytes)
+		}
+		if float64(touched) < 0.4*float64(b.SharedBytes) {
+			t.Errorf("%s: touched %d is under 40%% of declared %d (dead data)",
+				b.Name, touched, b.SharedBytes)
+		}
+	}
+}
+
+func TestSharingExists(t *testing.T) {
+	// Every benchmark must have blocks referenced by processors of more
+	// than one cluster (otherwise there is no DSM study at all).
+	for _, b := range All(ScaleTest) {
+		clustersOf := map[memsys.Block]map[int]bool{}
+		b.Emit(testGeo, 4, func(r trace.Ref) {
+			blk := memsys.BlockOf(r.Addr)
+			m := clustersOf[blk]
+			if m == nil {
+				m = make(map[int]bool)
+				clustersOf[blk] = m
+			}
+			m[testGeo.ClusterOf(int(r.PID))] = true
+		})
+		shared := 0
+		for _, m := range clustersOf {
+			if len(m) > 1 {
+				shared++
+			}
+		}
+		if shared == 0 {
+			t.Errorf("%s: no block is shared across clusters", b.Name)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+
+	"dsmnc/memsys"
+)
+
+// Raytrace models the SPLASH-2 ray tracer on the car scene (paper
+// Table 3: 34.86 MB, the largest data set). The scene — a BVH of nodes
+// plus triangle records — is built by the master processor, so first
+// touch homes it on cluster 0 and almost every scene access by the other
+// clusters is remote. Each ray walks the BVH from the root: the top
+// levels are hot and cache-resident, but the leaves and triangles form
+// an enormous, sparse, read-only remote working set with little reuse —
+// read traffic dominates (Figure 10), small NCs help modestly and page
+// caches fragment, leaving the 512 KB DRAM NC ahead (Figure 9).
+func Raytrace(scale Scale) *Bench {
+	var nodes, tris, raysPerProc int
+	switch scale {
+	case ScaleTest:
+		nodes, tris, raysPerProc = 4096, 4096, 256
+	case ScaleSmall:
+		nodes, tris, raysPerProc = 16384, 16384, 1024
+	case ScaleMedium:
+		nodes, tris, raysPerProc = 24576, 28672, 2600
+	default:
+		nodes, tris, raysPerProc = 65536, 65536, 4096
+	}
+	const nodeBytes = 64
+	const triBytes = 128
+	var l layout
+	nodeBase := l.region(int64(nodes) * nodeBytes)
+	triBase := l.region(int64(tris) * triBytes)
+	frameBase := l.region(1 << 20) // framebuffer, tiled per processor
+
+	b := &Bench{
+		Name:        "Raytrace",
+		Params:      fmt.Sprintf("car model, %dK rays", raysPerProc*32/1024),
+		PaperMB:     34.86,
+		SharedBytes: l.used(),
+	}
+	b.run = func(e *Emitter) {
+		P := e.Procs()
+		nodeAddr := func(i int) memsys.Addr { return nodeBase + memsys.Addr(i)*nodeBytes }
+		triAddr := func(i int) memsys.Addr { return triBase + memsys.Addr(i)*triBytes }
+		tileBytes := int64(1<<20) / int64(P)
+
+		// Scene load: the master first-touches the whole scene (the
+		// SPLASH raytracer reads the model file sequentially), homing
+		// it on cluster 0. Framebuffer tiles are touched by their
+		// owners.
+		e.WriteRange(0, nodeBase, int64(nodes)*nodeBytes, memsys.PageBytes)
+		e.WriteRange(0, triBase, int64(tris)*triBytes, memsys.PageBytes)
+		for p := 0; p < P; p++ {
+			e.WriteRange(p, frameBase+memsys.Addr(int64(p)*tileBytes), tileBytes, memsys.PageBytes)
+		}
+		e.Barrier()
+
+		// BVH level boundaries: level l spans [2^l-1, 2^(l+1)-1).
+		levels := 1
+		for (1 << levels) <= nodes {
+			levels++
+		}
+		// Rays are traced in coherent packets of 8: a packet shares its
+		// BVH path and candidate triangles (primary rays through
+		// adjacent pixels hit the same geometry), with a small per-ray
+		// deviation. Across packets the walk scatters over the whole
+		// scene — the sparse, read-only remote working set that makes
+		// Raytrace's read traffic dominate.
+		const packet = 8
+		const triPool = 1600
+		const nodePool = 1200
+		for p := 0; p < P; p++ {
+			// The processor's image tile sees one part of the scene:
+			// its rays revisit a per-processor pool of triangles and
+			// deep BVH nodes (skewed toward the foreground), far apart
+			// in time — remote capacity misses over a sparse, read-only
+			// set spanning most scene pages.
+			pr := newRNG(uint64(p*6364136223 + 29))
+			tpool := make([]int, triPool)
+			for i := range tpool {
+				tpool[i] = skewPick(pr, tris)
+			}
+			npool := make([]int, nodePool)
+			for i := range npool {
+				npool[i] = nodes/2 + skewPick(pr, nodes/2) // deep half of the BVH
+			}
+			for ray := 0; ray < raysPerProc; ray++ {
+				r := newRNG(uint64(p*2654435761 + ray/packet*7919 + 17))
+				// Walk root to a leaf: the upper levels revisit a tiny
+				// hot set, the lower levels come from the tile's pool.
+				for lvl := 0; lvl < levels; lvl++ {
+					lo := (1 << lvl) - 1
+					hi := (1 << (lvl + 1)) - 1
+					if hi > nodes {
+						hi = nodes
+					}
+					if lo >= hi {
+						break
+					}
+					var a memsys.Addr
+					if hi <= nodes/2 {
+						a = nodeAddr(lo + r.intn(hi-lo))
+					} else {
+						a = nodeAddr(npool[r.intn(nodePool)])
+					}
+					e.Read(p, a)
+					e.Read(p, a+32)
+				}
+				// Intersect the packet's candidate triangles from the
+				// tile's visible set.
+				for k := 0; k < 3; k++ {
+					e.ReadRange(p, triAddr(tpool[r.intn(triPool)]), triBytes, 16)
+				}
+				// Per-ray deviation: one extra node and triangle.
+				dev := newRNG(uint64(p*31 + ray + 1))
+				e.Read(p, nodeAddr(dev.intn(nodes)))
+				e.Read(p, triAddr(dev.intn(tris)))
+				// Shade: write the own framebuffer pixel.
+				e.Write(p, frameBase+memsys.Addr(int64(p)*tileBytes+int64(ray*4)%tileBytes))
+			}
+		}
+		e.Barrier()
+	}
+	return b
+}

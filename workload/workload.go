@@ -1,0 +1,283 @@
+// Package workload synthesizes the reference traces that drive the
+// simulator: one generator per SPLASH-2 benchmark of the paper's Table 3,
+// plus micro-workloads for testing.
+//
+// The paper used address traces of SPARC binaries; those traces are not
+// available, so each generator replays the *loop-nest address pattern* of
+// its kernel — the blocked sweeps of LU, the six-step transpose of FFT,
+// Ocean's stencils, Radix's permutation scatter, the octree walks of
+// Barnes/FMM, Cholesky's supernodal panels, Raytrace's BVH walks — over a
+// first-touch-placed shared address space. The study's conclusions hinge
+// on spatial locality, working-set size and shape, read/write mix and
+// sharing pattern, which is exactly what loop-nest replay reproduces
+// (see DESIGN.md §2 for the substitution argument).
+//
+// Every generator is SPMD: it emits per-processor reference streams
+// separated by barriers, and the Emitter interleaves them round-robin the
+// way the paper's trace-driven simulator consumed its traces.
+package workload
+
+import (
+	"fmt"
+
+	"dsmnc/memsys"
+	"dsmnc/trace"
+)
+
+// Scale selects how big a benchmark instance to generate.
+type Scale int
+
+// Scales. Test keeps unit tests fast; Medium is the default for figure
+// regeneration; Large is closest to the paper's problem sizes.
+const (
+	ScaleTest Scale = iota
+	ScaleSmall
+	ScaleMedium
+	ScaleLarge
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScaleLarge:
+		return "large"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// Bench is one benchmark instance: a named generator bound to a problem
+// size.
+type Bench struct {
+	Name    string  // paper's benchmark name
+	Params  string  // problem-size description at this scale
+	PaperMB float64 // shared-memory size reported in Table 3
+
+	// SharedBytes is the shared data-set size at this scale; the
+	// harness sizes proportional page caches (1/5, 1/7, 1/9) from it.
+	SharedBytes int64
+
+	run func(e *Emitter)
+}
+
+// Emit generates the benchmark's trace for geometry g, delivering the
+// interleaved references to sink. quantum is the round-robin interleaving
+// grain (references per processor turn); values below 1 mean 1.
+func (b *Bench) Emit(g memsys.Geometry, quantum int, sink func(trace.Ref)) {
+	e := NewEmitter(g.Procs(), quantum, sink)
+	b.run(e)
+	e.Barrier()
+}
+
+// Source returns the benchmark's trace as a pull Source. The entire trace
+// is buffered per barrier phase; prefer Emit for large runs.
+func (b *Bench) Source(g memsys.Geometry, quantum int) trace.Source {
+	var refs []trace.Ref
+	b.Emit(g, quantum, func(r trace.Ref) { refs = append(refs, r) })
+	return trace.NewSliceSource(refs)
+}
+
+// Emitter collects per-processor reference streams and interleaves them
+// round-robin into a sink. Generators call Read/Write per processor and
+// Barrier at synchronization points; the emitter also flushes on its own
+// when the buffered phase grows too large, preserving per-processor
+// program order either way.
+type Emitter struct {
+	bufs     [][]trace.Ref
+	sink     func(trace.Ref)
+	quantum  int
+	buffered int
+	flushAt  int
+	emitted  int64
+}
+
+// DefaultFlushAt bounds phase buffering (references across all
+// processors) before an automatic interleave-and-flush.
+const DefaultFlushAt = 1 << 22
+
+// NewEmitter builds an emitter for nproc processors.
+func NewEmitter(nproc, quantum int, sink func(trace.Ref)) *Emitter {
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &Emitter{
+		bufs:    make([][]trace.Ref, nproc),
+		sink:    sink,
+		quantum: quantum,
+		flushAt: DefaultFlushAt,
+	}
+}
+
+// Procs returns the number of processor streams.
+func (e *Emitter) Procs() int { return len(e.bufs) }
+
+// Emitted returns how many references have been delivered to the sink.
+func (e *Emitter) Emitted() int64 { return e.emitted }
+
+// Read emits a read by processor pid at address a.
+func (e *Emitter) Read(pid int, a memsys.Addr) {
+	e.bufs[pid] = append(e.bufs[pid], trace.Ref{PID: int32(pid), Op: trace.Read, Addr: a})
+	e.bump()
+}
+
+// Write emits a write by processor pid at address a.
+func (e *Emitter) Write(pid int, a memsys.Addr) {
+	e.bufs[pid] = append(e.bufs[pid], trace.Ref{PID: int32(pid), Op: trace.Write, Addr: a})
+	e.bump()
+}
+
+// ReadRange emits sequential reads covering [a, a+bytes) at the given
+// access granularity (e.g. 8 for doubles).
+func (e *Emitter) ReadRange(pid int, a memsys.Addr, bytes, grain int64) {
+	for off := int64(0); off < bytes; off += grain {
+		e.Read(pid, a+memsys.Addr(off))
+	}
+}
+
+// WriteRange emits sequential writes covering [a, a+bytes).
+func (e *Emitter) WriteRange(pid int, a memsys.Addr, bytes, grain int64) {
+	for off := int64(0); off < bytes; off += grain {
+		e.Write(pid, a+memsys.Addr(off))
+	}
+}
+
+func (e *Emitter) bump() {
+	e.buffered++
+	if e.buffered >= e.flushAt {
+		e.flush()
+	}
+}
+
+// Barrier flushes all buffered streams: every processor reaches the
+// barrier before any post-barrier reference is emitted.
+func (e *Emitter) Barrier() { e.flush() }
+
+func (e *Emitter) flush() {
+	if e.buffered == 0 {
+		return
+	}
+	pos := make([]int, len(e.bufs))
+	remaining := e.buffered
+	for remaining > 0 {
+		for p := range e.bufs {
+			buf := e.bufs[p]
+			for q := 0; q < e.quantum && pos[p] < len(buf); q++ {
+				e.sink(buf[pos[p]])
+				pos[p]++
+				remaining--
+				e.emitted++
+			}
+		}
+	}
+	for p := range e.bufs {
+		e.bufs[p] = e.bufs[p][:0]
+	}
+	e.buffered = 0
+}
+
+// layout is a bump allocator of page-aligned regions in the shared
+// address space.
+type layout struct {
+	next memsys.Addr
+}
+
+// region reserves bytes (rounded up to whole pages) and returns the base.
+func (l *layout) region(bytes int64) memsys.Addr {
+	base := l.next
+	pages := (bytes + memsys.PageBytes - 1) / memsys.PageBytes
+	l.next += memsys.Addr(pages) * memsys.PageBytes
+	return base
+}
+
+// used returns the total bytes reserved so far.
+func (l *layout) used() int64 { return int64(l.next) }
+
+// rng is a small deterministic PRNG (xorshift64*), so generators are
+// reproducible without importing math/rand state machinery per proc.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// skewPick returns an index in [0, n) with a tiered hot/cold skew
+// approximating the clumped object distributions of the irregular
+// SPLASH-2 applications: a quarter of picks land in the hottest 2%,
+// another quarter in the hottest 10%, another in the hottest 30%, and
+// the rest anywhere. The resulting per-page access counts form the
+// gradient that exercises relocation thresholds and page-cache
+// replacement the way full-length traces did.
+func skewPick(r *rng, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	pick := func(m int) int {
+		if m < 1 {
+			m = 1
+		}
+		return r.intn(m)
+	}
+	switch r.intn(4) {
+	case 0:
+		return pick(n / 50)
+	case 1:
+		return pick(n / 10)
+	case 2:
+		return pick(3 * n / 10)
+	default:
+		return r.intn(n)
+	}
+}
+
+// All returns the paper's eight benchmarks at the given scale, in the
+// order of Table 3.
+func All(scale Scale) []*Bench {
+	return []*Bench{
+		Barnes(scale),
+		Cholesky(scale),
+		FFT(scale),
+		FMM(scale),
+		LU(scale),
+		Ocean(scale),
+		Radix(scale),
+		Raytrace(scale),
+	}
+}
+
+// ByName returns the named benchmark at the given scale, or nil.
+func ByName(name string, scale Scale) *Bench {
+	for _, b := range All(scale) {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Names lists the benchmark names in Table 3 order.
+func Names() []string {
+	return []string{"Barnes", "Cholesky", "FFT", "FMM", "LU", "Ocean", "Radix", "Raytrace"}
+}

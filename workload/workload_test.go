@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"dsmnc/memsys"
+	"dsmnc/trace"
+)
+
+var testGeo = memsys.Geometry{Clusters: 8, ProcsPerCluster: 4}
+
+func TestEmitterInterleaving(t *testing.T) {
+	var got []trace.Ref
+	e := NewEmitter(2, 1, func(r trace.Ref) { got = append(got, r) })
+	e.Read(0, 0)
+	e.Read(0, 64)
+	e.Write(1, 128)
+	e.Barrier()
+	if len(got) != 3 {
+		t.Fatalf("emitted %d refs", len(got))
+	}
+	// Round-robin with quantum 1: P0, P1, P0.
+	wantPIDs := []int32{0, 1, 0}
+	for i, w := range wantPIDs {
+		if got[i].PID != w {
+			t.Fatalf("ref %d from P%d, want P%d", i, got[i].PID, w)
+		}
+	}
+	if e.Emitted() != 3 {
+		t.Fatalf("Emitted = %d", e.Emitted())
+	}
+}
+
+func TestEmitterAutoFlush(t *testing.T) {
+	var n int
+	e := NewEmitter(2, 1, func(trace.Ref) { n++ })
+	e.flushAt = 10
+	for i := 0; i < 25; i++ {
+		e.Read(0, memsys.Addr(i*64))
+	}
+	if n < 20 {
+		t.Fatalf("auto-flush did not run: %d delivered", n)
+	}
+	e.Barrier()
+	if n != 25 {
+		t.Fatalf("total = %d, want 25", n)
+	}
+}
+
+func TestEmitterRanges(t *testing.T) {
+	var got []trace.Ref
+	e := NewEmitter(1, 1, func(r trace.Ref) { got = append(got, r) })
+	e.ReadRange(0, 0, 64, 8)
+	e.WriteRange(0, 1024, 128, 64)
+	e.Barrier()
+	if len(got) != 8+2 {
+		t.Fatalf("ranges emitted %d refs, want 10", len(got))
+	}
+	if got[8].Op != trace.Write || got[8].Addr != 1024 {
+		t.Fatalf("write range wrong: %v", got[8])
+	}
+}
+
+func TestLayout(t *testing.T) {
+	var l layout
+	a := l.region(1)
+	b := l.region(memsys.PageBytes + 1)
+	c := l.region(100)
+	if a != 0 || b != memsys.PageBytes || c != 3*memsys.PageBytes {
+		t.Fatalf("regions at %d,%d,%d", a, b, c)
+	}
+	if l.used() != 4*memsys.PageBytes {
+		t.Fatalf("used = %d", l.used())
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(7), newRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	if newRNG(0).next() == 0 {
+		t.Fatal("zero seed not remapped")
+	}
+	r := newRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.intn(10); v < 0 || v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+	}
+	if newRNG(1).intn(0) != 0 {
+		t.Fatal("intn(0) != 0")
+	}
+}
+
+func TestAllBenchmarksGenerate(t *testing.T) {
+	for _, b := range All(ScaleTest) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			var reads, writes int64
+			procs := map[int32]bool{}
+			pages := map[memsys.Page]bool{}
+			b.Emit(testGeo, 4, func(r trace.Ref) {
+				if r.Op == trace.Write {
+					writes++
+				} else {
+					reads++
+				}
+				procs[r.PID] = true
+				pages[memsys.PageOf(r.Addr)] = true
+			})
+			total := reads + writes
+			if total < 10_000 {
+				t.Fatalf("only %d refs at test scale", total)
+			}
+			if total > 20_000_000 {
+				t.Fatalf("%d refs at test scale is too many", total)
+			}
+			if len(procs) != testGeo.Procs() {
+				t.Fatalf("only %d/%d processors emitted refs", len(procs), testGeo.Procs())
+			}
+			if writes == 0 || reads == 0 {
+				t.Fatalf("degenerate mix: %d reads, %d writes", reads, writes)
+			}
+			// The address footprint must be within the declared region.
+			if int64(len(pages))*memsys.PageBytes > b.SharedBytes {
+				t.Fatalf("touched %d pages > declared %d bytes", len(pages), b.SharedBytes)
+			}
+			if b.SharedBytes == 0 || b.PaperMB == 0 || b.Params == "" {
+				t.Fatal("metadata missing")
+			}
+		})
+	}
+}
+
+func TestBenchmarksDeterministic(t *testing.T) {
+	for _, name := range []string{"FFT", "Radix", "Barnes"} {
+		run := func() []trace.Ref {
+			var out []trace.Ref
+			ByName(name, ScaleTest).Emit(testGeo, 4, func(r trace.Ref) { out = append(out, r) })
+			return out
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s not deterministic", name)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if ByName("nosuch", ScaleTest) != nil {
+		t.Fatal("ByName invented a benchmark")
+	}
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("Names = %v", names)
+	}
+	for _, n := range names {
+		if ByName(n, ScaleTest) == nil {
+			t.Fatalf("ByName(%q) = nil", n)
+		}
+	}
+	all := All(ScaleTest)
+	if len(all) != 8 {
+		t.Fatal("All != 8 benchmarks")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	for s, want := range map[Scale]string{
+		ScaleTest: "test", ScaleSmall: "small", ScaleMedium: "medium", ScaleLarge: "large",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if Scale(99).String() == "" {
+		t.Error("unknown scale empty")
+	}
+}
+
+func TestScalesGrow(t *testing.T) {
+	for _, name := range Names() {
+		small := ByName(name, ScaleTest).SharedBytes
+		big := ByName(name, ScaleLarge).SharedBytes
+		if big <= small {
+			t.Errorf("%s: large (%d) not bigger than test (%d)", name, big, small)
+		}
+	}
+}
+
+func TestBenchSource(t *testing.T) {
+	src := Sequential(1024, 1).Source(memsys.Geometry{Clusters: 2, ProcsPerCluster: 2}, 1)
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("Source yielded nothing")
+	}
+}
+
+func TestMicroWorkloads(t *testing.T) {
+	g := memsys.Geometry{Clusters: 2, ProcsPerCluster: 2}
+	for _, b := range []*Bench{
+		Sequential(2048, 2),
+		RemoteStream(4096, 2),
+		PingPong(5),
+		HotScatter(1<<16, 100),
+	} {
+		n := 0
+		b.Emit(g, 1, func(trace.Ref) { n++ })
+		if n == 0 {
+			t.Errorf("%s emitted nothing", b.Name)
+		}
+	}
+}
+
+// Per-processor program order must survive interleaving in a real
+// benchmark generation.
+func TestPerProcOrderPreserved(t *testing.T) {
+	b := ByName("LU", ScaleTest)
+	var byProc [2][]trace.Ref
+	collect := func(quantum int) {
+		for i := range byProc {
+			byProc[i] = nil
+		}
+		b.Emit(testGeo, quantum, func(r trace.Ref) {
+			if r.PID < 2 {
+				byProc[r.PID] = append(byProc[r.PID], r)
+			}
+		})
+	}
+	collect(1)
+	p0q1 := append([]trace.Ref(nil), byProc[0]...)
+	collect(8)
+	if !reflect.DeepEqual(p0q1, byProc[0]) {
+		t.Fatal("P0 program order depends on interleaving quantum")
+	}
+}
