@@ -1,0 +1,31 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet fuzz check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The heavy acceptance tests (checked matrix, paper shapes) are
+# -short-gated: under the race detector they exceed go test's budget,
+# so the race pass runs the short suite and `test` covers the rest.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fuzz the hardened binary-trace decoder for a bounded burst.
+fuzz:
+	$(GO) test -run '^FuzzReader$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./trace
+
+# The checked acceptance matrix: every workload x every principal
+# system organization under the coherence invariant checker.
+check:
+	$(GO) test -run TestCheckedMatrixHasNoViolations .
+
+# Tier-1+ gate (ROADMAP.md): everything CI runs.
+ci: vet build test race fuzz

@@ -15,7 +15,7 @@ import (
 // AblationOState compares the base victim-cache system under MESIR
 // against MOESIR (with the O state): the paper reports "very little
 // benefit" for the added protocol complexity.
-func AblationOState(opt Options) Experiment {
+func AblationOState(opt Options) (Experiment, error) {
 	mesir := VB(16 << 10)
 	mesir.Name = "vb-MESIR"
 	moesir := VB(16 << 10)
@@ -29,7 +29,7 @@ func AblationOState(opt Options) Experiment {
 // AblationDecrement compares vxp with and without decrementing the
 // victimization counters on false invalidations (paper §3.4: "we have
 // not observed that it is significant").
-func AblationDecrement(opt Options) Experiment {
+func AblationDecrement(opt Options) (Experiment, error) {
 	plain := VXPFrac(16<<10, 5, 32)
 	plain.Name = "vxp5"
 	decr := VXPFrac(16<<10, 5, 32)
@@ -46,7 +46,7 @@ func AblationDecrement(opt Options) Experiment {
 
 // AblationNCSize sweeps the victim NC size: the RDC design-space axis of
 // the paper's Figure 2.
-func AblationNCSize(opt Options) Experiment {
+func AblationNCSize(opt Options) (Experiment, error) {
 	var systems []System
 	for _, kb := range []int{1, 4, 16, 64, 256} {
 		s := VB(kb << 10)
@@ -60,7 +60,7 @@ func AblationNCSize(opt Options) Experiment {
 
 // AblationIndexWays sweeps NC associativity for the victim cache (the
 // paper fixes it at 4-way; this quantifies that choice).
-func AblationIndexWays(opt Options) Experiment {
+func AblationIndexWays(opt Options) (Experiment, error) {
 	var systems []System
 	for _, ways := range []int{1, 2, 4, 8} {
 		s := VB(16 << 10)
@@ -75,7 +75,7 @@ func AblationIndexWays(opt Options) Experiment {
 
 // AblationThreshold sweeps fixed relocation thresholds around the
 // paper's 32 (and 64 from Figure 11) for the ncp system.
-func AblationThreshold(opt Options) Experiment {
+func AblationThreshold(opt Options) (Experiment, error) {
 	var systems []System
 	for _, thr := range []uint32{8, 16, 32, 64, 128} {
 		s := NCPFrac(16<<10, 5)
@@ -91,8 +91,8 @@ func AblationThreshold(opt Options) Experiment {
 
 // Ablations maps ablation ids to their drivers; cmd/dsmfig exposes them
 // alongside the paper's figures.
-func Ablations() map[string]func(Options) Experiment {
-	return map[string]func(Options) Experiment{
+func Ablations() map[string]func(Options) (Experiment, error) {
+	return map[string]func(Options) (Experiment, error){
 		"ablate-ostate":     AblationOState,
 		"ablate-decr":       AblationDecrement,
 		"ablate-ncsize":     AblationNCSize,
@@ -110,16 +110,20 @@ func Ablations() map[string]func(Options) Experiment {
 // remote read stall of the base and vb systems under the constant
 // 30-cycle model versus the hop-aware 30/45 model, normalized to the
 // constant-model base system.
-func AblationHops(opt Options) Experiment {
+func AblationHops(opt Options) (Experiment, error) {
 	benches := workload.All(opt.Scale)
 	systems := []System{Base(), VB(16 << 10)}
-	results := matrix(benches, systems, opt)
+	results, failed, err := matrix(benches, systems, opt)
+	if err != nil {
+		return Experiment{}, err
+	}
 	hop := stats.HopModel{Lat: stats.DefaultHopLatencies()}
 	exp := Experiment{
 		ID:      "ablate-hops",
 		Title:   "Constant vs hop-aware remote latency (paper §4)",
 		Metric:  "normalized stall",
 		Systems: []string{"base-const", "base-hops", "vb-const", "vb-hops"},
+		Failed:  failed,
 	}
 	for r, b := range benches {
 		row := Row{Bench: b.Name}
@@ -138,7 +142,7 @@ func AblationHops(opt Options) Experiment {
 		}
 		exp.Rows = append(exp.Rows, row)
 	}
-	return exp
+	return exp, nil
 }
 
 // AblationDirectory tests the paper's §3.4 scalability claim: under a
@@ -146,7 +150,7 @@ func AblationHops(opt Options) Experiment {
 // per-cluster presence, so R-NUMA's directory counters (ncp) count every
 // miss as capacity — noisy relocation evidence — while vxp's
 // victim-cache counters are untouched.
-func AblationDirectory(opt Options) Experiment {
+func AblationDirectory(opt Options) (Experiment, error) {
 	limited := func(s System, name string) System {
 		s.Name = name
 		s.DirPointers = 4
@@ -168,7 +172,7 @@ func AblationDirectory(opt Options) Experiment {
 // paper's 16 KB victim NC, versus their combination — "a small, very
 // fast NC could shield the page migration and replication policies from
 // the noise of conflict misses".
-func AblationMigration(opt Options) Experiment {
+func AblationMigration(opt Options) (Experiment, error) {
 	origin := Origin()
 	vb := VB(16 << 10)
 	both := VB(16 << 10)
@@ -184,15 +188,22 @@ func AblationMigration(opt Options) Experiment {
 // correction (stats.ContentionModel) inflates bus and network latencies
 // by their converged utilizations; Norm is the contention-inflated stall
 // normalized to the contention-free infinite-DRAM baseline.
-func AblationContention(opt Options) Experiment {
+func AblationContention(opt Options) (Experiment, error) {
 	benches := workload.All(opt.Scale)
 	systems := []System{Base(), NCD(), VB(16 << 10), VBPFrac(16<<10, 5)}
 	all := append([]System{InfiniteDRAM()}, systems...)
-	results := matrix(benches, all, opt)
+	results, failed, err := matrix(benches, all, opt)
+	if err != nil {
+		return Experiment{}, err
+	}
+	for i := range failed {
+		failed[i].Col-- // baseline column is not part of the experiment
+	}
 	exp := Experiment{
 		ID:     "ablate-contention",
 		Title:  "Contention-corrected remote read stalls (paper §4 simplification)",
 		Metric: "normalized stall",
+		Failed: failed,
 	}
 	for _, s := range systems {
 		exp.Systems = append(exp.Systems, s.Name+"-q")
@@ -217,5 +228,5 @@ func AblationContention(opt Options) Experiment {
 		}
 		exp.Rows = append(exp.Rows, row)
 	}
-	return exp
+	return exp, nil
 }

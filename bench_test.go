@@ -23,11 +23,14 @@ func benchOptions() Options {
 	return opt
 }
 
-func benchExperiment(b *testing.B, fn func(Options) Experiment) {
+func benchExperiment(b *testing.B, fn func(Options) (Experiment, error)) {
 	b.Helper()
 	opt := benchOptions()
 	for i := 0; i < b.N; i++ {
-		exp := fn(opt)
+		exp, err := fn(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(exp.Rows) == 0 {
 			b.Fatal("experiment produced no rows")
 		}
@@ -91,7 +94,10 @@ func BenchmarkSimulator(b *testing.B) {
 		b.Run(sys.Name, func(b *testing.B) {
 			var refs int64
 			for i := 0; i < b.N; i++ {
-				res := Run(bench, sys, opt)
+				res, err := Run(bench, sys, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
 				refs += res.Refs
 			}
 			b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/s")
@@ -120,7 +126,10 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 // system (L1 + bus + NC + directory) on an L1-hit-heavy stream.
 func BenchmarkApplyHotPath(b *testing.B) {
 	opt := benchOptions()
-	machine := Build(workload.Sequential(1024, 1), VB(16<<10), opt)
+	machine, err := Build(workload.Sequential(1024, 1), VB(16<<10), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
 	r := trace.Ref{PID: 0, Op: trace.Read, Addr: 0}
 	machine.Apply(r) // warm the line
 	b.ResetTimer()

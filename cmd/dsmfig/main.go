@@ -29,6 +29,8 @@ func main() {
 		format = flag.String("format", "table", "output format: table|chart|csv")
 		width  = flag.Int("width", 48, "chart width in characters")
 		quiet  = flag.Bool("q", false, "suppress progress messages")
+		keep   = flag.Bool("keepgoing", false, "record failing cells and continue instead of aborting the sweep")
+		cellTO = flag.Duration("timeout", 0, "per-cell time limit (e.g. 5m); 0 means none")
 	)
 	flag.Parse()
 	if *exp == "" {
@@ -37,6 +39,8 @@ func main() {
 	}
 
 	opt := dsmnc.DefaultOptions()
+	opt.KeepGoing = *keep
+	opt.CellTimeout = *cellTO
 	switch *scale {
 	case "test":
 		opt.Scale = workload.ScaleTest
@@ -86,7 +90,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "running %s at %s scale...\n", id, opt.Scale)
 		}
 		start := time.Now()
-		e := drivers[id](opt)
+		e, err := drivers[id](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsmfig: %s: %v\n", id, err)
+			os.Exit(1)
+		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
 		}
@@ -97,6 +105,9 @@ func main() {
 			e.WriteCSV(os.Stdout)
 		default:
 			e.WriteTable(os.Stdout)
+		}
+		for _, f := range e.Failed {
+			fmt.Fprintf(os.Stderr, "dsmfig: %s: cell FAILED %s\n", id, f)
 		}
 	}
 }

@@ -38,6 +38,7 @@ func main() {
 		decrement  = flag.Bool("decrement", false, "decrement relocation counters on false invalidations (§3.4)")
 		dirPtrs    = flag.Int("dirptrs", 0, "use a Dir_iB limited-pointer directory with this many pointers")
 		migrate    = flag.Bool("migrate", false, "enable OS page migration/replication (SGI-Origin style)")
+		checkInv   = flag.Bool("check", false, "attach the coherence invariant checker (fails on the first protocol violation)")
 		perCluster = flag.Bool("percluster", false, "print the per-cluster event breakdown")
 		list       = flag.Bool("list", false, "list benchmarks and systems")
 	)
@@ -115,6 +116,7 @@ func main() {
 	sys.DecrementCounters = *decrement
 	sys.DirPointers = *dirPtrs
 	sys.Migration = *migrate
+	opt.Check = *checkInv
 
 	var res dsmnc.Result
 	if *traceFile != "" {
@@ -126,7 +128,12 @@ func main() {
 		}
 		fmt.Printf("trace     : %s\n", *traceFile)
 	} else {
-		res = dsmnc.Run(b, sys, opt)
+		var err error
+		res, err = dsmnc.Run(b, sys, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsmsim: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Printf("benchmark : %s (%s), %.2f MB shared (paper: %.2f MB)\n",
 			b.Name, b.Params, float64(b.SharedBytes)/(1<<20), b.PaperMB)
 	}
@@ -181,6 +188,7 @@ func runTraceFile(path string, sys dsmnc.System, opt dsmnc.Options) (dsmnc.Resul
 		}
 		defer f.Close()
 		r := trace.NewReader(f)
+		r.SetLimits(opt.Geometry.Procs(), memsys.MaxAddr)
 		pages := map[memsys.Page]bool{}
 		for {
 			ref, ok := r.Next()
@@ -204,9 +212,6 @@ func runTraceFile(path string, sys dsmnc.System, opt dsmnc.Options) (dsmnc.Resul
 	}
 	defer f.Close()
 	r := trace.NewReader(f)
-	res := dsmnc.RunTrace(r, path, bytes, sys, opt)
-	if err := r.Err(); err != nil {
-		return dsmnc.Result{}, err
-	}
-	return res, nil
+	r.SetLimits(opt.Geometry.Procs(), memsys.MaxAddr)
+	return dsmnc.RunTrace(r, path, bytes, sys, opt)
 }

@@ -11,25 +11,35 @@
 //
 // Quick start:
 //
-//	res := dsmnc.Run(workload.FFT(workload.ScaleSmall), dsmnc.VB(16<<10), dsmnc.DefaultOptions())
+//	res, err := dsmnc.Run(workload.FFT(workload.ScaleSmall), dsmnc.VB(16<<10), dsmnc.DefaultOptions())
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println(res.MissRatios())
 package dsmnc
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"dsmnc/internal/cache"
 	"dsmnc/internal/cluster"
 	"dsmnc/internal/core"
 	"dsmnc/internal/directory"
-	"dsmnc/memsys"
 	"dsmnc/internal/migration"
 	"dsmnc/internal/pagecache"
 	"dsmnc/internal/sim"
-	"dsmnc/trace"
+	"dsmnc/memsys"
 	"dsmnc/stats"
+	"dsmnc/trace"
 	"dsmnc/workload"
 )
+
+// ErrConfig marks an invalid system or options configuration caught by
+// Build/BuildFor before any simulation runs.
+var ErrConfig = errors.New("dsmnc: invalid configuration")
 
 // CounterMode selects what drives page relocation; it re-exports the
 // cluster package's type so callers outside the module can configure it.
@@ -214,6 +224,18 @@ type Options struct {
 	Scale     workload.Scale
 	Quantum   int // trace interleaving grain
 	Latencies stats.Latencies
+
+	// Check attaches the coherence invariant checker to every built
+	// machine: runs validate protocol invariants after each reference
+	// and fail with sim.ErrProtocol on the first violation.
+	Check bool
+	// KeepGoing makes sweeps record per-cell failures in
+	// Experiment.Failed and carry on, instead of failing the whole
+	// experiment on the first bad cell.
+	KeepGoing bool
+	// CellTimeout bounds each (workload, system) cell of a sweep; zero
+	// means no bound. Timed-out cells fail with context.DeadlineExceeded.
+	CellTimeout time.Duration
 }
 
 // DefaultOptions is the paper's base configuration: 8 clusters x 4
@@ -252,24 +274,28 @@ func (r Result) Traffic() stats.Traffic { return r.Model.RemoteTraffic(&r.Counte
 
 // Build constructs the simulator for one (bench, system) pair. Most
 // callers want Run; Build is exposed for custom drivers.
-func Build(b *workload.Bench, s System, opt Options) *sim.System {
+func Build(b *workload.Bench, s System, opt Options) (*sim.System, error) {
 	return BuildFor(b.SharedBytes, s, opt)
 }
 
 // BuildFor constructs the simulator for a system and a workload of the
 // given shared-data size (used to size fractional page caches). Use it
 // when driving the machine from a trace file rather than a generator.
-func BuildFor(sharedBytes int64, s System, opt Options) *sim.System {
+// Invalid configurations — unknown NC kinds, a fractional page cache
+// with no data-set size to take the fraction of — fail with an
+// ErrConfig-wrapped error.
+func BuildFor(sharedBytes int64, s System, opt Options) (*sim.System, error) {
 	cfg := sim.Config{
 		Geometry:          opt.Geometry,
 		L1:                cache.Config{Bytes: opt.L1Bytes, Ways: opt.L1Ways},
 		Counters:          s.Counters,
 		MOESI:             s.MOESI,
 		DecrementCounters: s.DecrementCounters,
+		Check:             opt.Check,
 	}
 	if s.DirPointers > 0 {
 		ptrs := s.DirPointers
-		cfg.NewDirectory = func(clusters int) directory.Protocol {
+		cfg.NewDirectory = func(clusters int) (directory.Protocol, error) {
 			return directory.NewLimited(clusters, ptrs)
 		}
 	}
@@ -280,13 +306,13 @@ func BuildFor(sharedBytes int64, s System, opt Options) *sim.System {
 	switch s.NC {
 	case NCNone:
 	case NCRelaxed:
-		cfg.NewNC = func() core.NC { return core.NewRelaxed(s.NCBytes, s.NCWays) }
+		cfg.NewNC = func() (core.NC, error) { return core.NewRelaxed(s.NCBytes, s.NCWays) }
 	case NCVictimBlock:
-		cfg.NewNC = func() core.NC {
+		cfg.NewNC = func() (core.NC, error) {
 			return core.NewVictim(core.VictimConfig{Bytes: s.NCBytes, Ways: s.NCWays})
 		}
 	case NCVictimPage:
-		cfg.NewNC = func() core.NC {
+		cfg.NewNC = func() (core.NC, error) {
 			return core.NewVictim(core.VictimConfig{
 				Bytes: s.NCBytes, Ways: s.NCWays,
 				Indexing:    cache.ByPage,
@@ -294,17 +320,27 @@ func BuildFor(sharedBytes int64, s System, opt Options) *sim.System {
 			})
 		}
 	case NCInclusiveDRAM:
-		cfg.NewNC = func() core.NC { return core.NewInclusive(s.NCBytes, s.NCWays) }
+		cfg.NewNC = func() (core.NC, error) { return core.NewInclusive(s.NCBytes, s.NCWays) }
 	case NCInfiniteSRAM:
-		cfg.NewNC = func() core.NC { return core.NewInfinite(stats.NCTechSRAM) }
+		cfg.NewNC = func() (core.NC, error) { return core.NewInfinite(stats.NCTechSRAM), nil }
 	case NCInfiniteDRAM:
-		cfg.NewNC = func() core.NC { return core.NewInfinite(stats.NCTechDRAM) }
+		cfg.NewNC = func() (core.NC, error) { return core.NewInfinite(stats.NCTechDRAM), nil }
 	default:
-		panic(fmt.Sprintf("dsmnc: unknown NC kind %d", s.NC))
+		return nil, fmt.Errorf("%w: unknown NC kind %d in system %q", ErrConfig, s.NC, s.Name)
 	}
 
 	pcBytes := s.PCBytes
+	if s.PCFraction < 0 {
+		return nil, fmt.Errorf("%w: system %q has negative page-cache fraction %d",
+			ErrConfig, s.Name, s.PCFraction)
+	}
 	if s.PCFraction > 0 {
+		if sharedBytes <= 0 {
+			// Without a data-set size, a fractional page cache would
+			// silently degenerate to a single frame and thrash.
+			return nil, fmt.Errorf("%w: system %q sizes its page cache as 1/%d of the data set, but the shared-data size is %d",
+				ErrConfig, s.Name, s.PCFraction, sharedBytes)
+		}
 		pcBytes = sharedBytes / int64(s.PCFraction)
 	}
 	if pcBytes > 0 {
@@ -314,7 +350,7 @@ func BuildFor(sharedBytes int64, s System, opt Options) *sim.System {
 		}
 		threshold := s.Threshold
 		adaptive := s.Adaptive
-		cfg.NewPC = func() *pagecache.PageCache {
+		cfg.NewPC = func() (*pagecache.PageCache, error) {
 			var pol *pagecache.Policy
 			if adaptive {
 				pol = pagecache.NewAdaptivePolicy(threshold)
@@ -324,18 +360,77 @@ func BuildFor(sharedBytes int64, s System, opt Options) *sim.System {
 			return pagecache.New(frames, pol)
 		}
 	}
-	return sim.New(cfg)
+	machine, err := sim.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrConfig, err)
+	}
+	return machine, nil
 }
 
 // Run simulates workload b on system s and returns the event account.
-func Run(b *workload.Bench, s System, opt Options) Result {
-	machine := Build(b, s, opt)
+func Run(b *workload.Bench, s System, opt Options) (Result, error) {
+	return RunContext(context.Background(), b, s, opt)
+}
+
+// RunContext is Run with cancellation: the simulation stops with ctx's
+// error shortly after the context ends. Sweeps use it to bound runaway
+// cells.
+func RunContext(ctx context.Context, b *workload.Bench, s System, opt Options) (Result, error) {
+	machine, err := Build(b, s, opt)
+	if err != nil {
+		return Result{}, err
+	}
 	var n int64
-	b.Emit(opt.Geometry, opt.Quantum, func(r trace.Ref) {
-		machine.Apply(r)
-		n++
-	})
-	return finish(machine, s, b.Name, n, opt)
+	if ctx.Done() == nil {
+		// Fast path: nothing can cancel us, drive the machine straight
+		// from the generator.
+		var firstErr error
+		b.Emit(opt.Geometry, opt.Quantum, func(r trace.Ref) {
+			if firstErr != nil {
+				return
+			}
+			if err := machine.Apply(r); err != nil {
+				firstErr = err
+				return
+			}
+			n++
+		})
+		if firstErr != nil {
+			return Result{}, firstErr
+		}
+	} else {
+		// Cancelable path: generate in a goroutine and pull through a
+		// channel so the simulation loop can observe ctx.
+		ch := make(chan trace.Ref, 4096)
+		go func() {
+			defer close(ch)
+			stopped := false
+			b.Emit(opt.Geometry, opt.Quantum, func(r trace.Ref) {
+				if stopped {
+					return
+				}
+				select {
+				case ch <- r:
+				case <-ctx.Done():
+					stopped = true
+				}
+			})
+		}()
+		n, err = machine.RunContext(ctx, chanSource(ch))
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return finish(machine, s, b.Name, n, opt), nil
+}
+
+// chanSource adapts a reference channel to trace.Source.
+type chanSource <-chan trace.Ref
+
+// Next receives the next reference.
+func (c chanSource) Next() (trace.Ref, bool) {
+	r, ok := <-c
+	return r, ok
 }
 
 func finish(machine *sim.System, s System, bench string, refs int64, opt Options) Result {
@@ -355,9 +450,17 @@ func finish(machine *sim.System, s System, bench string, refs int64, opt Options
 
 // RunTrace simulates an arbitrary trace source on system s. sharedBytes
 // sizes fractional page caches (pass the trace's data-set footprint, or
-// 0 if the system uses an absolute PCBytes).
-func RunTrace(src trace.Source, name string, sharedBytes int64, s System, opt Options) Result {
-	machine := BuildFor(sharedBytes, s, opt)
-	n := machine.Run(src)
-	return finish(machine, s, name, n, opt)
+// 0 if the system uses an absolute PCBytes). Decode errors from sources
+// exposing Err() — like trace.Reader or the fault injector — surface
+// once the stream ends.
+func RunTrace(src trace.Source, name string, sharedBytes int64, s System, opt Options) (Result, error) {
+	machine, err := BuildFor(sharedBytes, s, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	n, err := machine.Run(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return finish(machine, s, name, n, opt), nil
 }

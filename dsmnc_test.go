@@ -1,6 +1,7 @@
 package dsmnc
 
 import (
+	"errors"
 	"testing"
 
 	"dsmnc/memsys"
@@ -12,6 +13,24 @@ func testOptions() Options {
 	opt := DefaultOptions()
 	opt.Scale = workload.ScaleTest
 	return opt
+}
+
+func mustRun(t *testing.T, b *workload.Bench, sys System, opt Options) Result {
+	t.Helper()
+	res, err := Run(b, sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustExp(t *testing.T, fn func(Options) (Experiment, error), opt Options) Experiment {
+	t.Helper()
+	exp, err := fn(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
 }
 
 func TestDefaultOptionsMatchPaper(t *testing.T) {
@@ -59,7 +78,7 @@ func TestSystemPresets(t *testing.T) {
 func TestRunProducesConsistentCounts(t *testing.T) {
 	opt := testOptions()
 	b := workload.FFT(opt.Scale)
-	res := Run(b, Base(), opt)
+	res := mustRun(t, b, Base(), opt)
 	if res.Refs == 0 || res.Counters.Refs.Total() != res.Refs {
 		t.Fatalf("refs %d vs counters %d", res.Refs, res.Counters.Refs.Total())
 	}
@@ -78,8 +97,8 @@ func TestRunProducesConsistentCounts(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	opt := testOptions()
 	b := workload.Radix(opt.Scale)
-	a := Run(b, VB(16<<10), opt)
-	bb := Run(b, VB(16<<10), opt)
+	a := mustRun(t, b, VB(16<<10), opt)
+	bb := mustRun(t, b, VB(16<<10), opt)
 	if a.Counters != bb.Counters {
 		t.Fatal("identical runs diverged")
 	}
@@ -91,9 +110,9 @@ func TestRunDeterministic(t *testing.T) {
 func TestVictimNeverWorseAndNCSOnlyNecessary(t *testing.T) {
 	opt := testOptions()
 	for _, b := range workload.All(opt.Scale) {
-		base := Run(b, Base(), opt)
-		vb := Run(b, VB(16<<10), opt)
-		ncs := Run(b, NCS(), opt)
+		base := mustRun(t, b, Base(), opt)
+		vb := mustRun(t, b, VB(16<<10), opt)
+		ncs := mustRun(t, b, NCS(), opt)
 
 		br := base.Counters.Remote().Total()
 		vr := vb.Counters.Remote().Total()
@@ -119,8 +138,8 @@ func TestVictimNeverWorseAndNCSOnlyNecessary(t *testing.T) {
 func TestVictimBeatsInclusionOnRadix(t *testing.T) {
 	opt := testOptions()
 	b := workload.Radix(opt.Scale)
-	nc := Run(b, NC(16<<10), opt)
-	vb := Run(b, VB(16<<10), opt)
+	nc := mustRun(t, b, NC(16<<10), opt)
+	vb := mustRun(t, b, VB(16<<10), opt)
 	ncMiss := nc.MissRatios().Total()
 	vbMiss := vb.MissRatios().Total()
 	if vbMiss >= ncMiss {
@@ -133,8 +152,8 @@ func TestVictimBeatsInclusionOnRadix(t *testing.T) {
 func TestFFTBaseBeatsInfiniteDRAM(t *testing.T) {
 	opt := testOptions()
 	b := workload.FFT(opt.Scale)
-	base := Run(b, Base(), opt)
-	inf := Run(b, InfiniteDRAM(), opt)
+	base := mustRun(t, b, Base(), opt)
+	inf := mustRun(t, b, InfiniteDRAM(), opt)
 	if base.Stall().Total() >= inf.Stall().Total() {
 		t.Fatalf("FFT: base stall %d not below infinite-DRAM stall %d",
 			base.Stall().Total(), inf.Stall().Total())
@@ -148,7 +167,7 @@ func TestPageCacheSystemsRelocate(t *testing.T) {
 	// threshold and earn page-cache hits.
 	opt := testOptions()
 	b := workload.RemoteStream(64<<10, 8)
-	res := Run(b, NCPFrac(16<<10, 2), opt)
+	res := mustRun(t, b, NCPFrac(16<<10, 2), opt)
 	if res.Counters.Relocations == 0 {
 		t.Fatal("ncp never relocated a page on a thrashing remote stream")
 	}
@@ -156,7 +175,7 @@ func TestPageCacheSystemsRelocate(t *testing.T) {
 		t.Fatal("ncp page cache never hit")
 	}
 	// Page-cache hits must reduce remote misses relative to base.
-	base := Run(b, Base(), opt)
+	base := mustRun(t, b, Base(), opt)
 	if res.Counters.Remote().Total() >= base.Counters.Remote().Total() {
 		t.Fatal("page cache did not reduce remote misses")
 	}
@@ -167,7 +186,7 @@ func TestVxpRelocates(t *testing.T) {
 	b := workload.RemoteStream(64<<10, 8)
 	// A full-size page cache (1/1 of the data set): pages relocate once
 	// and then serve hits, isolating the vxp trigger path from LRM churn.
-	res := Run(b, VXPFrac(16<<10, 1, 32), opt)
+	res := mustRun(t, b, VXPFrac(16<<10, 1, 32), opt)
 	if res.Counters.Relocations == 0 {
 		t.Fatal("vxp never relocated")
 	}
@@ -176,13 +195,11 @@ func TestVxpRelocates(t *testing.T) {
 	}
 }
 
-func TestBuildUnknownNCPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for unknown NC kind")
-		}
-	}()
-	Build(workload.FFT(workload.ScaleTest), System{NC: NCKind(99)}, testOptions())
+func TestBuildUnknownNCError(t *testing.T) {
+	_, err := Build(workload.FFT(workload.ScaleTest), System{NC: NCKind(99)}, testOptions())
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("Build(unknown NC) error = %v, want ErrConfig", err)
+	}
 }
 
 func TestTable3(t *testing.T) {
@@ -212,7 +229,7 @@ func TestExperimentRegistry(t *testing.T) {
 
 func TestFig4ExperimentStructure(t *testing.T) {
 	opt := testOptions()
-	exp := Fig4(opt)
+	exp := mustExp(t, Fig4, opt)
 	if exp.ID != "fig4" || len(exp.Systems) != 2 {
 		t.Fatalf("exp = %+v", exp)
 	}
@@ -233,7 +250,7 @@ func TestFig4ExperimentStructure(t *testing.T) {
 
 func TestFig9Normalization(t *testing.T) {
 	opt := testOptions()
-	exp := Fig9(opt)
+	exp := mustExp(t, Fig9, opt)
 	if len(exp.Systems) != 9 {
 		t.Fatalf("fig9 systems = %v", exp.Systems)
 	}
@@ -267,7 +284,7 @@ func TestItoa(t *testing.T) {
 }
 
 func TestFig3Structure(t *testing.T) {
-	exp := Fig3(testOptions())
+	exp := mustExp(t, Fig3, testOptions())
 	if len(exp.Systems) != 9 {
 		t.Fatalf("fig3 systems = %v, want 3 assoc x 3 NC sizes", exp.Systems)
 	}
@@ -289,7 +306,7 @@ func TestFig3Structure(t *testing.T) {
 }
 
 func TestFig6Structure(t *testing.T) {
-	exp := Fig6(testOptions())
+	exp := mustExp(t, Fig6, testOptions())
 	want := []string{"ncp5-adaptive", "ncp5-fixed32", "ncp20-adaptive", "ncp20-fixed32"}
 	if len(exp.Systems) != len(want) {
 		t.Fatalf("fig6 systems = %v", exp.Systems)
@@ -309,7 +326,7 @@ func TestFig6Structure(t *testing.T) {
 }
 
 func TestFig7Structure(t *testing.T) {
-	exp := Fig7(testOptions())
+	exp := mustExp(t, Fig7, testOptions())
 	if len(exp.Systems) != 12 {
 		t.Fatalf("fig7 systems = %v", exp.Systems)
 	}
@@ -328,7 +345,7 @@ func TestFig7Structure(t *testing.T) {
 }
 
 func TestFig11Structure(t *testing.T) {
-	exp := Fig11(testOptions())
+	exp := mustExp(t, Fig11, testOptions())
 	if len(exp.Systems) != 3 {
 		t.Fatalf("fig11 systems = %v", exp.Systems)
 	}
@@ -347,10 +364,10 @@ func TestAblationOStateNeverWorseOnWritebacks(t *testing.T) {
 	opt := testOptions()
 	for _, name := range []string{"Ocean", "Radix"} {
 		b := workload.ByName(name, opt.Scale)
-		mesir := Run(b, VB(16<<10), opt)
+		mesir := mustRun(t, b, VB(16<<10), opt)
 		mo := VB(16 << 10)
 		mo.MOESI = true
-		moesir := Run(b, mo, opt)
+		moesir := mustRun(t, b, mo, opt)
 		if moesir.Counters.DowngradeWB != 0 {
 			t.Errorf("%s: MOESI counted %d downgrade write-backs", name, moesir.Counters.DowngradeWB)
 		}
@@ -377,7 +394,7 @@ func TestAlternateGeometries(t *testing.T) {
 		opt := testOptions()
 		opt.Geometry = geo
 		b := workload.RemoteStream(32<<10, 2)
-		res := Run(b, VB(16<<10), opt)
+		res := mustRun(t, b, VB(16<<10), opt)
 		if res.Refs == 0 {
 			t.Errorf("%+v: no refs", geo)
 		}
@@ -399,9 +416,12 @@ func TestRunTraceMatchesRun(t *testing.T) {
 	// generator-driven run exactly.
 	opt := testOptions()
 	b := workload.FFT(opt.Scale)
-	direct := Run(b, VB(16<<10), opt)
+	direct := mustRun(t, b, VB(16<<10), opt)
 	src := b.Source(opt.Geometry, opt.Quantum)
-	viaTrace := RunTrace(src, "fft-trace", b.SharedBytes, VB(16<<10), opt)
+	viaTrace, err := RunTrace(src, "fft-trace", b.SharedBytes, VB(16<<10), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if direct.Counters != viaTrace.Counters {
 		t.Fatal("trace-driven run diverged from generator-driven run")
 	}
@@ -409,7 +429,7 @@ func TestRunTraceMatchesRun(t *testing.T) {
 
 func TestContentionAblationRanks(t *testing.T) {
 	opt := testOptions()
-	exp := AblationContention(opt)
+	exp := mustExp(t, AblationContention, opt)
 	if len(exp.Systems) != 4 {
 		t.Fatalf("systems = %v", exp.Systems)
 	}
@@ -429,14 +449,14 @@ func TestContentionAblationRanks(t *testing.T) {
 func TestOriginSystem(t *testing.T) {
 	opt := testOptions()
 	b := workload.Raytrace(opt.Scale) // read-shared scene: replication territory
-	res := Run(b, Origin(), opt)
+	res := mustRun(t, b, Origin(), opt)
 	if res.Counters.Replications == 0 {
 		t.Fatal("Origin never replicated the read-only scene")
 	}
 	if res.Counters.ReplicaHits.Total() == 0 {
 		t.Fatal("replicas never served a read")
 	}
-	base := Run(b, Base(), opt)
+	base := mustRun(t, b, Base(), opt)
 	if res.Counters.Remote().Total() >= base.Counters.Remote().Total() {
 		t.Fatal("replication did not reduce remote misses")
 	}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"dsmnc"
 	"dsmnc/workload"
@@ -35,7 +36,10 @@ func main() {
 		fmt.Printf("  %-9s %12s %12s %12s %14s\n",
 			"policy", "relocations", "pageEvicts", "thrRaises", "miss+reloc %")
 		for _, sys := range []dsmnc.System{fixed, adaptive} {
-			res := dsmnc.Run(bench, sys, opt)
+			res, err := dsmnc.Run(bench, sys, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  %-9s %12d %12d %12d %14.3f\n",
 				res.System,
 				res.Counters.Relocations,

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"os"
 
 	"dsmnc"
@@ -31,7 +32,10 @@ func main() {
 	fmt.Printf("design space for %s (%s), %.2f MB shared\n\n",
 		bench.Name, bench.Params, float64(bench.SharedBytes)/(1<<20))
 
-	baseline := dsmnc.Run(bench, dsmnc.InfiniteDRAM(), opt)
+	baseline, err := dsmnc.Run(bench, dsmnc.InfiniteDRAM(), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
 	norm := float64(baseline.Stall().Total())
 
 	var systems []dsmnc.System
@@ -49,7 +53,10 @@ func main() {
 
 	fmt.Printf("%-8s %16s %16s %10s\n", "system", "stall(norm)", "traffic(blk)", "relocs")
 	for _, sys := range systems {
-		res := dsmnc.Run(bench, sys, opt)
+		res, err := dsmnc.Run(bench, sys, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-8s %16.3f %16d %10d\n",
 			res.System,
 			float64(res.Stall().Total())/norm,

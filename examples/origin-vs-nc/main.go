@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"os"
 
 	"dsmnc"
@@ -44,7 +45,10 @@ func main() {
 		fmt.Printf("  %-10s %14s %10s %10s %12s %12s\n",
 			"system", "rd-stall(cyc)", "migrations", "replicas", "replicaHits", "miss+ovh %")
 		for _, sys := range systems {
-			res := dsmnc.Run(bench, sys, opt)
+			res, err := dsmnc.Run(bench, sys, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  %-10s %14d %10d %10d %12d %12.3f\n",
 				res.System,
 				res.Stall().Total(),

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"dsmnc"
 	"dsmnc/workload"
@@ -29,7 +30,10 @@ func main() {
 	fmt.Printf("%-8s %12s %14s %14s %8s\n",
 		"system", "miss-ratio%", "rd-stall(cyc)", "traffic(blk)", "relocs")
 	for _, sys := range systems {
-		res := dsmnc.Run(bench, sys, opt)
+		res, err := dsmnc.Run(bench, sys, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-8s %12.3f %14d %14d %8d\n",
 			res.System,
 			res.MissRatios().Total(),

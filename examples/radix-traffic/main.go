@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"dsmnc"
 	"dsmnc/workload"
@@ -27,7 +28,10 @@ func main() {
 		"system", "rd-miss", "wr-miss", "writeback", "total", "miss-ratio%")
 
 	show := func(sys dsmnc.System) dsmnc.Result {
-		res := dsmnc.Run(bench, sys, opt)
+		res, err := dsmnc.Run(bench, sys, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
 		tr := res.Traffic()
 		fmt.Printf("%-6s %10d %10d %10d %10d %12.3f\n",
 			res.System, tr.ReadMisses, tr.WriteMisses, tr.Writebacks, tr.Total(),

@@ -1,11 +1,14 @@
 package dsmnc
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
-	"dsmnc/trace"
 	"dsmnc/stats"
+	"dsmnc/trace"
 	"dsmnc/workload"
 )
 
@@ -36,6 +39,23 @@ type Row struct {
 	Values []Value
 }
 
+// CellFailure records one failed (benchmark, system) cell of a sweep:
+// a configuration error, a protocol invariant violation, a timeout, or
+// a recovered panic. Under Options.KeepGoing the sweep completes and
+// collects these; otherwise the first one fails the experiment.
+type CellFailure struct {
+	Bench  string
+	System string
+	Row    int
+	Col    int
+	Err    error
+}
+
+// String formats the failure for diagnostics.
+func (f CellFailure) String() string {
+	return fmt.Sprintf("%s/%s: %v", f.Bench, f.System, f.Err)
+}
+
 // Experiment is one regenerated table or figure.
 type Experiment struct {
 	ID      string // "fig3" ... "fig11"
@@ -43,6 +63,19 @@ type Experiment struct {
 	Metric  string   // "miss-ratio %", "normalized stall", "normalized traffic"
 	Systems []string // bar labels within each group
 	Rows    []Row    // one per benchmark
+	// Failed lists the cells that did not complete (KeepGoing runs
+	// only); their Values stay zero.
+	Failed []CellFailure
+}
+
+// FailedCell reports the failure for (row, col), if any.
+func (e *Experiment) FailedCell(row, col int) (CellFailure, bool) {
+	for _, f := range e.Failed {
+		if f.Row == row && f.Col == col {
+			return f, true
+		}
+	}
+	return CellFailure{}, false
 }
 
 // runJob is one (bench, system, options) simulation.
@@ -54,15 +87,38 @@ type runJob struct {
 	col   int
 }
 
+// safeRun executes one cell with the job's timeout, converting panics
+// from deep inside the simulator into errors so one poisoned cell
+// cannot take down a whole sweep.
+func safeRun(j runJob) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cell panicked: %v", r)
+		}
+	}()
+	ctx := context.Background()
+	if j.opt.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.opt.CellTimeout)
+		defer cancel()
+	}
+	return RunContext(ctx, j.bench, j.sys, j.opt)
+}
+
 // runMatrix executes all jobs in parallel and collects results by
-// (row, col).
-func runMatrix(jobs []runJob, rows, cols int) [][]Result {
+// (row, col). Failed cells are returned separately; unless the jobs ran
+// with KeepGoing, the first failure (in row-major order) is returned as
+// the error.
+func runMatrix(jobs []runJob, rows, cols int) ([][]Result, []CellFailure, error) {
 	out := make([][]Result, rows)
 	for i := range out {
 		out[i] = make([]Result, cols)
 	}
 	ch := make(chan runJob)
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failed []CellFailure
+	keepGoing := true
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -75,7 +131,20 @@ func runMatrix(jobs []runJob, rows, cols int) [][]Result {
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				out[j.row][j.col] = Run(j.bench, j.sys, j.opt)
+				res, err := safeRun(j)
+				if err != nil {
+					mu.Lock()
+					failed = append(failed, CellFailure{
+						Bench: j.bench.Name, System: j.sys.Name,
+						Row: j.row, Col: j.col, Err: err,
+					})
+					if !j.opt.KeepGoing {
+						keepGoing = false
+					}
+					mu.Unlock()
+					continue
+				}
+				out[j.row][j.col] = res
 			}
 		}()
 	}
@@ -84,11 +153,21 @@ func runMatrix(jobs []runJob, rows, cols int) [][]Result {
 	}
 	close(ch)
 	wg.Wait()
-	return out
+	sort.Slice(failed, func(i, k int) bool {
+		if failed[i].Row != failed[k].Row {
+			return failed[i].Row < failed[k].Row
+		}
+		return failed[i].Col < failed[k].Col
+	})
+	if len(failed) > 0 && !keepGoing {
+		f := failed[0]
+		return out, failed, fmt.Errorf("cell %s/%s failed: %w", f.Bench, f.System, f.Err)
+	}
+	return out, failed, nil
 }
 
 // matrix runs every benchmark against every system with shared options.
-func matrix(benches []*workload.Bench, systems []System, opt Options) [][]Result {
+func matrix(benches []*workload.Bench, systems []System, opt Options) ([][]Result, []CellFailure, error) {
 	var jobs []runJob
 	for r, b := range benches {
 		for c, s := range systems {
@@ -99,6 +178,9 @@ func matrix(benches []*workload.Bench, systems []System, opt Options) [][]Result
 }
 
 func ratioValue(res Result) Value {
+	if res.Refs == 0 {
+		return Value{} // failed (or empty) cell: keep the bar at zero
+	}
 	rt := res.MissRatios()
 	return Value{
 		Read: rt.ReadMissPct, Write: rt.WriteMissPct, Reloc: rt.RelocPct,
@@ -106,10 +188,17 @@ func ratioValue(res Result) Value {
 	}
 }
 
-func ratioExperiment(id, title string, systems []System, opt Options) Experiment {
-	benches := workload.All(opt.Scale)
-	results := matrix(benches, systems, opt)
-	exp := Experiment{ID: id, Title: title, Metric: "miss-ratio %"}
+// Sweep runs every benchmark in benches against every system in systems
+// and collects the miss-ratio decomposition of each cell. It is the
+// generic engine behind the figure drivers, exported for custom design
+// sweeps. With opt.KeepGoing, failing cells are recorded in
+// Experiment.Failed instead of aborting the sweep.
+func Sweep(id, title string, benches []*workload.Bench, systems []System, opt Options) (Experiment, error) {
+	results, failed, err := matrix(benches, systems, opt)
+	if err != nil {
+		return Experiment{}, err
+	}
+	exp := Experiment{ID: id, Title: title, Metric: "miss-ratio %", Failed: failed}
 	for _, s := range systems {
 		exp.Systems = append(exp.Systems, s.Name)
 	}
@@ -120,12 +209,16 @@ func ratioExperiment(id, title string, systems []System, opt Options) Experiment
 		}
 		exp.Rows = append(exp.Rows, row)
 	}
-	return exp
+	return exp, nil
+}
+
+func ratioExperiment(id, title string, systems []System, opt Options) (Experiment, error) {
+	return Sweep(id, title, workload.All(opt.Scale), systems, opt)
 }
 
 // Fig3 regenerates Figure 3: cluster miss ratios for processor-cache
 // associativities 1/2/4 and victim NC sizes 0, 1 KB, 16 KB.
-func Fig3(opt Options) Experiment {
+func Fig3(opt Options) (Experiment, error) {
 	benches := workload.All(opt.Scale)
 	assocs := []int{1, 2, 4}
 	ncSizes := []int{0, 1 << 10, 16 << 10}
@@ -152,12 +245,16 @@ func Fig3(opt Options) Experiment {
 			col++
 		}
 	}
-	results := runMatrix(jobs, len(benches), col)
+	results, failed, err := runMatrix(jobs, len(benches), col)
+	if err != nil {
+		return Experiment{}, err
+	}
 	exp := Experiment{
 		ID:      "fig3",
 		Title:   "Effects of the network victim cache on the cluster remote miss ratio",
 		Metric:  "miss-ratio %",
 		Systems: systems,
+		Failed:  failed,
 	}
 	for r, b := range benches {
 		row := Row{Bench: b.Name}
@@ -166,18 +263,18 @@ func Fig3(opt Options) Experiment {
 		}
 		exp.Rows = append(exp.Rows, row)
 	}
-	return exp
+	return exp, nil
 }
 
 // Fig4 regenerates Figure 4: inclusion (nc) versus victim (vb) NCs.
-func Fig4(opt Options) Experiment {
+func Fig4(opt Options) (Experiment, error) {
 	return ratioExperiment("fig4",
 		"Cluster miss ratios for different ways of integrating the NC",
 		[]System{NC(16 << 10), VB(16 << 10)}, opt)
 }
 
 // Fig5 regenerates Figure 5: block- versus page-address victim indexing.
-func Fig5(opt Options) Experiment {
+func Fig5(opt Options) (Experiment, error) {
 	return ratioExperiment("fig5",
 		"Cluster miss ratios for different ways of indexing the victim cache",
 		[]System{VB(16 << 10), VP(16 << 10)}, opt)
@@ -189,7 +286,7 @@ func Fig5(opt Options) Experiment {
 // 1/20 page-cache columns are added per the paper's own remark that
 // "with smaller page caches, thrashing occurs in other applications as
 // well" — there the adaptive policy visibly backs the thrashing off.
-func Fig6(opt Options) Experiment {
+func Fig6(opt Options) (Experiment, error) {
 	mk := func(frac int, adaptive bool) System {
 		s := NCPFrac(16<<10, frac)
 		if adaptive {
@@ -207,7 +304,7 @@ func Fig6(opt Options) Experiment {
 
 // Fig7 regenerates Figure 7: systems with page caches (no NC, ncp, vbp)
 // at page-cache sizes 0, 1/9, 1/7 and 1/5 of the data set.
-func Fig7(opt Options) Experiment {
+func Fig7(opt Options) (Experiment, error) {
 	var systems []System
 	for _, frac := range []int{0, 9, 7, 5} {
 		if frac == 0 {
@@ -243,7 +340,7 @@ func Fig7(opt Options) Experiment {
 }
 
 // Fig8 regenerates Figure 8: victim indexing with a 1/5 page cache.
-func Fig8(opt Options) Experiment {
+func Fig8(opt Options) (Experiment, error) {
 	return ratioExperiment("fig8",
 		"Cluster miss ratios with page cache: block vs page victim indexing",
 		[]System{VBPFrac(16<<10, 5), VPPFrac(16<<10, 5)}, opt)
@@ -269,12 +366,21 @@ func fig9Systems() []System {
 // normalizedExperiment runs the systems plus the infinite-DRAM baseline
 // and normalizes the chosen metric.
 func normalizedExperiment(id, title, metric string, systems []System, opt Options,
-	metricOf func(Result) float64) Experiment {
+	metricOf func(Result) float64) (Experiment, error) {
 
 	benches := workload.All(opt.Scale)
 	all := append([]System{InfiniteDRAM()}, systems...)
-	results := matrix(benches, all, opt)
-	exp := Experiment{ID: id, Title: title, Metric: metric}
+	results, failed, err := matrix(benches, all, opt)
+	if err != nil {
+		return Experiment{}, err
+	}
+	// The baseline occupies column 0 of the matrix but not of the
+	// experiment; shift failure columns accordingly (a failed baseline
+	// cell reports as column -1).
+	for i := range failed {
+		failed[i].Col--
+	}
+	exp := Experiment{ID: id, Title: title, Metric: metric, Failed: failed}
 	for _, s := range systems {
 		exp.Systems = append(exp.Systems, s.Name)
 	}
@@ -290,12 +396,12 @@ func normalizedExperiment(id, title, metric string, systems []System, opt Option
 		}
 		exp.Rows = append(exp.Rows, row)
 	}
-	return exp
+	return exp, nil
 }
 
 // Fig9 regenerates Figure 9: remote read stalls normalized to a system
 // with an infinite DRAM NC.
-func Fig9(opt Options) Experiment {
+func Fig9(opt Options) (Experiment, error) {
 	return normalizedExperiment("fig9", "Remote read stalls", "normalized stall",
 		fig9Systems(), opt,
 		func(r Result) float64 { return float64(r.Stall().Total()) })
@@ -303,7 +409,7 @@ func Fig9(opt Options) Experiment {
 
 // Fig10 regenerates Figure 10: remote data traffic, same systems and
 // normalization as Figure 9.
-func Fig10(opt Options) Experiment {
+func Fig10(opt Options) (Experiment, error) {
 	return normalizedExperiment("fig10", "Remote data traffic", "normalized traffic",
 		fig9Systems(), opt,
 		func(r Result) float64 { return float64(r.Traffic().Total()) })
@@ -312,7 +418,7 @@ func Fig10(opt Options) Experiment {
 // Fig11 regenerates Figure 11: directory-controlled relocation counters
 // (ncp5) versus victim-cache-controlled counters (vxp5, thresholds 32
 // and 64).
-func Fig11(opt Options) Experiment {
+func Fig11(opt Options) (Experiment, error) {
 	return normalizedExperiment("fig11",
 		"Remote read stalls: directory vs victim-cache relocation counters",
 		"normalized stall",
@@ -359,8 +465,8 @@ func Table3(opt Options) []Table3Row {
 }
 
 // Experiments maps experiment ids to their drivers.
-func Experiments() map[string]func(Options) Experiment {
-	return map[string]func(Options) Experiment{
+func Experiments() map[string]func(Options) (Experiment, error) {
+	return map[string]func(Options) (Experiment, error){
 		"fig3":  Fig3,
 		"fig4":  Fig4,
 		"fig5":  Fig5,

@@ -11,6 +11,8 @@
 package bus
 
 import (
+	"fmt"
+
 	"dsmnc/internal/cache"
 	"dsmnc/memsys"
 )
@@ -22,12 +24,19 @@ type Bus struct {
 }
 
 // New builds a bus with n processor caches of the given configuration.
-func New(n int, cfg cache.Config) *Bus {
+func New(n int, cfg cache.Config) (*Bus, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bus: invalid processor count %d", n)
+	}
 	b := &Bus{caches: make([]*cache.SetAssoc, n)}
 	for i := range b.caches {
-		b.caches[i] = cache.New(cfg)
+		c, err := cache.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bus: processor cache: %w", err)
+		}
+		b.caches[i] = c
 	}
-	return b
+	return b, nil
 }
 
 // SetMOESI enables the O state: a Modified supplier of a read snoop

@@ -9,7 +9,11 @@ import (
 )
 
 func newBus() *Bus {
-	return New(4, cache.Config{Bytes: 8 * memsys.BlockBytes, Ways: 2})
+	b, err := New(4, cache.Config{Bytes: 8 * memsys.BlockBytes, Ways: 2})
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 func TestProbeAndFill(t *testing.T) {

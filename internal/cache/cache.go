@@ -97,20 +97,20 @@ type SetAssoc struct {
 	tick     uint64
 }
 
-// New builds a cache from cfg. It panics on a malformed configuration
-// (non-power-of-two set count, zero ways): cache geometry is static
-// program configuration, not runtime input.
-func New(cfg Config) *SetAssoc {
+// New builds a cache from cfg. A malformed configuration (non-power-of-two
+// set count, zero ways) is a configuration error, reported rather than
+// panicking so sweep drivers can flag the cell and move on.
+func New(cfg Config) (*SetAssoc, error) {
 	if cfg.Ways <= 0 {
-		panic(fmt.Sprintf("cache: invalid ways %d", cfg.Ways))
+		return nil, fmt.Errorf("cache: invalid ways %d", cfg.Ways)
 	}
 	blocks := cfg.Bytes / memsys.BlockBytes
 	if blocks <= 0 || blocks%cfg.Ways != 0 {
-		panic(fmt.Sprintf("cache: %d bytes not divisible into %d ways", cfg.Bytes, cfg.Ways))
+		return nil, fmt.Errorf("cache: %d bytes not divisible into %d ways", cfg.Bytes, cfg.Ways)
 	}
 	sets := blocks / cfg.Ways
 	if bits.OnesCount(uint(sets)) != 1 {
-		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+		return nil, fmt.Errorf("cache: set count %d not a power of two", sets)
 	}
 	return &SetAssoc{
 		lines:    make([]Line, sets*cfg.Ways),
@@ -118,7 +118,7 @@ func New(cfg Config) *SetAssoc {
 		sets:     sets,
 		setMask:  uint64(sets - 1),
 		indexing: cfg.Indexing,
-	}
+	}, nil
 }
 
 // Sets returns the number of sets.

@@ -8,26 +8,35 @@ import (
 	"dsmnc/memsys"
 )
 
+// mustNew builds a cache or panics; test-file-only convenience.
+func mustNew(cfg Config) *SetAssoc {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func small() *SetAssoc {
 	// 4 sets x 2 ways = 512 bytes.
-	return New(Config{Bytes: 8 * memsys.BlockBytes, Ways: 2})
+	return mustNew(Config{Bytes: 8 * memsys.BlockBytes, Ways: 2})
 }
 
 func TestNewValidation(t *testing.T) {
-	mustPanic := func(cfg Config) {
+	mustErr := func(cfg Config) {
 		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Fatalf("New(%+v) did not panic", cfg)
-			}
-		}()
-		New(cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("New(%+v) did not fail", cfg)
+		}
 	}
-	mustPanic(Config{Bytes: 0, Ways: 2})
-	mustPanic(Config{Bytes: 64, Ways: 0})
-	mustPanic(Config{Bytes: 3 * 64, Ways: 2}) // not divisible
-	mustPanic(Config{Bytes: 6 * 64, Ways: 2}) // 3 sets, not pow2
-	c := New(Config{Bytes: 16 * 1024, Ways: 4})
+	mustErr(Config{Bytes: 0, Ways: 2})
+	mustErr(Config{Bytes: 64, Ways: 0})
+	mustErr(Config{Bytes: 3 * 64, Ways: 2}) // not divisible
+	mustErr(Config{Bytes: 6 * 64, Ways: 2}) // 3 sets, not pow2
+	c, err := New(Config{Bytes: 16 * 1024, Ways: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	if c.Sets() != 64 || c.Ways() != 4 || c.Bytes() != 16*1024 {
 		t.Fatalf("16KB/4w: sets=%d ways=%d bytes=%d", c.Sets(), c.Ways(), c.Bytes())
 	}
@@ -105,8 +114,8 @@ func TestLRUReplacement(t *testing.T) {
 }
 
 func TestIndexingSchemes(t *testing.T) {
-	cb := New(Config{Bytes: 8 * memsys.BlockBytes, Ways: 2, Indexing: ByBlock})
-	cp := New(Config{Bytes: 8 * memsys.BlockBytes, Ways: 2, Indexing: ByPage})
+	cb := mustNew(Config{Bytes: 8 * memsys.BlockBytes, Ways: 2, Indexing: ByBlock})
+	cp := mustNew(Config{Bytes: 8 * memsys.BlockBytes, Ways: 2, Indexing: ByPage})
 	// Two blocks in the same page: different sets by block, same by page.
 	b0, b1 := memsys.Block(0), memsys.Block(1)
 	if cb.SetOf(b0) == cb.SetOf(b1) {
@@ -125,7 +134,7 @@ func TestIndexingSchemes(t *testing.T) {
 
 func TestEvictPage(t *testing.T) {
 	for _, idx := range []Indexing{ByBlock, ByPage} {
-		c := New(Config{Bytes: 64 * memsys.BlockBytes, Ways: 4, Indexing: idx})
+		c := mustNew(Config{Bytes: 64 * memsys.BlockBytes, Ways: 4, Indexing: idx})
 		p := memsys.Page(3)
 		first := memsys.FirstBlock(p)
 		c.Fill(first, Modified)
@@ -182,7 +191,7 @@ func TestRangeCountClear(t *testing.T) {
 // eviction of that block.
 func TestCacheInvariants(t *testing.T) {
 	f := func(ops []uint16) bool {
-		c := New(Config{Bytes: 16 * memsys.BlockBytes, Ways: 2})
+		c := mustNew(Config{Bytes: 16 * memsys.BlockBytes, Ways: 2})
 		shadow := make(map[memsys.Block]bool)
 		for _, op := range ops {
 			b := memsys.Block(op % 64)

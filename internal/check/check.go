@@ -1,0 +1,331 @@
+// Package check is the runtime coherence-invariant checker: a shadow
+// oracle that validates cross-layer protocol state after every applied
+// reference (Murphi-style invariant checking applied to the simulator
+// itself). It is attached to sim.System behind sim.Config.Check and is
+// the standing correctness oracle for protocol changes.
+//
+// The invariants, all per block:
+//
+//  1. Single dirty owner machine-wide: at most one cluster holds dirty
+//     data (in a processor cache, the NC or a page-cache frame), and
+//     when one does, the directory names exactly that cluster.
+//  2. A directory-recorded dirty owner actually holds a copy, and no
+//     other cluster holds any (stale) copy while it does.
+//  3. Directory presence bits are a superset of the clusters actually
+//     caching the block (full-map sticky bits, or pointers/broadcast
+//     for the limited directory).
+//  4. Limited-directory pointer consistency: an entry never carries
+//     more pointers than its Dir_iB limit.
+//  5. Victim-cache exclusivity: a victim NC frame never coexists with a
+//     dirty L1 copy of the same block (the frame would be stale). Clean
+//     overlap is legal: the paper's §3.2 downgrade capture parks the
+//     dirty master in the NC beside clean Shared L1 copies, and a later
+//     remote read intervention may clean the NC frame in place.
+//  6. Dirty inclusion for allocate-on-miss NCs (nc, NCD, infinite): a
+//     remote block dirty in a processor cache has a dirty NC anchor;
+//     NCD additionally keeps full inclusion.
+//  7. Page-cache frame bounds (mapped pages never exceed frames) and
+//     bit consistency (dirty bits imply valid bits).
+//
+// Violations are reported as structured *CheckError values wrapping
+// ErrInvariant, carrying the offending block, cluster and a protocol
+// state dump.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dsmnc/internal/cluster"
+	"dsmnc/internal/core"
+	"dsmnc/internal/directory"
+	"dsmnc/memsys"
+	"dsmnc/trace"
+)
+
+// ErrInvariant is the sentinel all checker findings wrap.
+var ErrInvariant = errors.New("check: coherence invariant violated")
+
+// Kind classifies a violation.
+type Kind uint8
+
+// Violation kinds.
+const (
+	// KindDirtyOwner: multiple clusters dirty, or dirty data whose
+	// cluster the directory does not name as owner, or an owner with no
+	// copy.
+	KindDirtyOwner Kind = iota
+	// KindStaleCopy: a cluster holds a copy while another owns the block
+	// dirty.
+	KindStaleCopy
+	// KindPresence: a cluster caches the block without a presence record
+	// at the directory.
+	KindPresence
+	// KindPointer: a limited-directory entry exceeds its pointer limit.
+	KindPointer
+	// KindExclusivity: victim-cache exclusivity violated (an NC frame
+	// beside a dirty L1 copy of the same block).
+	KindExclusivity
+	// KindInclusion: dirty (or full) inclusion violated for an
+	// allocate-on-miss NC.
+	KindInclusion
+	// KindPageCache: page-cache frame bounds or bit consistency violated.
+	KindPageCache
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDirtyOwner:
+		return "dirty-owner"
+	case KindStaleCopy:
+		return "stale-copy"
+	case KindPresence:
+		return "presence"
+	case KindPointer:
+		return "pointer"
+	case KindExclusivity:
+		return "exclusivity"
+	case KindInclusion:
+		return "inclusion"
+	case KindPageCache:
+		return "pagecache"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// CheckError is one invariant violation.
+type CheckError struct {
+	Kind    Kind
+	Block   memsys.Block
+	Cluster int // offending cluster, or -1 when machine-wide
+	Detail  string
+	Dump    string // protocol state dump for the block
+}
+
+// Error formats the violation with its state dump.
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("%v [%s] block %d cluster %d: %s\n%s",
+		ErrInvariant, e.Kind, e.Block, e.Cluster, e.Detail, e.Dump)
+}
+
+// Unwrap makes errors.Is(err, ErrInvariant) true.
+func (e *CheckError) Unwrap() error { return ErrInvariant }
+
+// Config wires the checker to the machine under test.
+type Config struct {
+	Geometry memsys.Geometry
+	Dir      directory.Protocol
+	Clusters []*cluster.Cluster
+	// Home returns the home cluster of p if the page has been placed.
+	Home func(p memsys.Page) (int, bool)
+}
+
+// Checker validates the machine's cross-layer invariants.
+type Checker struct {
+	geo      memsys.Geometry
+	dir      directory.Protocol
+	clusters []*cluster.Cluster
+	home     func(memsys.Page) (int, bool)
+	checks   int64
+}
+
+// New builds a checker over the given machine state.
+func New(cfg Config) *Checker {
+	home := cfg.Home
+	if home == nil {
+		home = func(memsys.Page) (int, bool) { return 0, false }
+	}
+	return &Checker{
+		geo:      cfg.Geometry,
+		dir:      cfg.Dir,
+		clusters: cfg.Clusters,
+		home:     home,
+	}
+}
+
+// Checks returns how many block checks have run.
+func (c *Checker) Checks() int64 { return c.checks }
+
+// CheckRef validates every invariant touched by reference r: the
+// referenced block's coherence state plus the accessing page's page-cache
+// bookkeeping in every cluster.
+func (c *Checker) CheckRef(r trace.Ref) error {
+	b := memsys.BlockOf(r.Addr)
+	if err := c.CheckBlock(b); err != nil {
+		return err
+	}
+	return c.checkPageCaches(memsys.PageOf(r.Addr))
+}
+
+// CheckAll validates every invariant for each block in blocks.
+func (c *Checker) CheckAll(blocks []memsys.Block) error {
+	for _, b := range blocks {
+		if err := c.CheckBlock(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckBlock validates block b's machine-wide coherence invariants.
+func (c *Checker) CheckBlock(b memsys.Block) error {
+	c.checks++
+	owner := c.dir.DirtyOwner(b)
+
+	// (1) at most one cluster dirty, and the directory names it.
+	dirtyAt := -1
+	for i, cl := range c.clusters {
+		if !cl.HasDirty(b) {
+			continue
+		}
+		if dirtyAt >= 0 {
+			return c.fail(KindDirtyOwner, b, i,
+				fmt.Sprintf("dirty in clusters %d and %d", dirtyAt, i))
+		}
+		dirtyAt = i
+	}
+	if dirtyAt >= 0 && owner != dirtyAt {
+		return c.fail(KindDirtyOwner, b, dirtyAt,
+			fmt.Sprintf("cluster %d holds dirty data but directory owner is %d", dirtyAt, owner))
+	}
+
+	// (2) a recorded owner holds a copy; nobody else holds any.
+	if owner != directory.NoOwner {
+		if owner < 0 || owner >= len(c.clusters) {
+			return c.fail(KindDirtyOwner, b, owner, "directory owner out of range")
+		}
+		if !c.clusters[owner].HasBlock(b) {
+			return c.fail(KindDirtyOwner, b, owner,
+				fmt.Sprintf("directory names cluster %d dirty owner but it holds no copy", owner))
+		}
+		for i, cl := range c.clusters {
+			if i != owner && cl.HasBlock(b) {
+				return c.fail(KindStaleCopy, b, i,
+					fmt.Sprintf("cluster %d holds a copy while cluster %d is dirty owner", i, owner))
+			}
+		}
+	}
+
+	// (3) presence superset of copies.
+	for i, cl := range c.clusters {
+		if cl.HasBlock(b) && !c.presence(i, b) {
+			return c.fail(KindPresence, b, i,
+				fmt.Sprintf("cluster %d caches the block with no directory presence record", i))
+		}
+	}
+
+	// (4) limited-directory pointer consistency.
+	if ld, ok := c.dir.(*directory.LimitedDirectory); ok {
+		if n := ld.PointerCount(b); n > ld.PointerLimit() {
+			return c.fail(KindPointer, b, -1,
+				fmt.Sprintf("entry holds %d pointers, limit is %d", n, ld.PointerLimit()))
+		}
+	}
+
+	// (5)+(6) NC-organization invariants.
+	home, homeKnown := c.home(memsys.PageOfBlock(b))
+	for i, cl := range c.clusters {
+		remote := homeKnown && home != i
+		switch nc := cl.NC().(type) {
+		case *core.VictimNC:
+			// L1/NC overlap is legal only while the NC is the cluster's
+			// master copy: the §3.2 downgrade capture (NC dirty, L1s
+			// clean Shared) and its aftermath once a remote read
+			// intervention cleans the NC frame. A dirty L1 copy beside
+			// any NC frame means the frame is stale.
+			if nc.Contains(b) && cl.Bus().HasDirty(b) {
+				return c.fail(KindExclusivity, b, i,
+					"victim NC holds a stale frame under a dirty L1 copy")
+			}
+		case *core.RelaxedNC:
+			if remote && cl.Bus().HasDirty(b) && !nc.ContainsDirty(b) {
+				return c.fail(KindInclusion, b, i,
+					"remote block dirty in L1 with no dirty NC anchor (relaxed NC)")
+			}
+		case *core.InclusiveNC:
+			if remote && cl.Bus().HasBlock(b) && !nc.Contains(b) {
+				return c.fail(KindInclusion, b, i,
+					"remote block in L1 without an NC frame (full inclusion)")
+			}
+			if remote && cl.Bus().HasDirty(b) && !nc.ContainsDirty(b) {
+				return c.fail(KindInclusion, b, i,
+					"remote block dirty in L1 with no dirty NC anchor (inclusive NC)")
+			}
+		case *core.InfiniteNC:
+			if remote && cl.Bus().HasDirty(b) && !nc.ContainsDirty(b) {
+				return c.fail(KindInclusion, b, i,
+					"remote block dirty in L1 with no dirty NC anchor (infinite NC)")
+			}
+		}
+	}
+	return nil
+}
+
+// checkPageCaches validates page-cache frame bounds and bit consistency
+// for page p in every cluster.
+func (c *Checker) checkPageCaches(p memsys.Page) error {
+	for i, cl := range c.clusters {
+		pc := cl.PC()
+		if pc == nil {
+			continue
+		}
+		if pc.Mapped() > pc.Frames() {
+			return c.fail(KindPageCache, memsys.FirstBlock(p), i,
+				fmt.Sprintf("page cache maps %d pages in %d frames", pc.Mapped(), pc.Frames()))
+		}
+		if valid, dirty, ok := pc.Bits(p); ok && dirty&^valid != 0 {
+			return c.fail(KindPageCache, memsys.FirstBlock(p), i,
+				fmt.Sprintf("page %d: dirty bits %#x not covered by valid bits %#x", p, dirty, valid))
+		}
+	}
+	return nil
+}
+
+// presence reports whether the directory still records cluster i as a
+// possible sharer of b. Unknown directory implementations are skipped
+// (reported as present).
+func (c *Checker) presence(i int, b memsys.Block) bool {
+	switch d := c.dir.(type) {
+	case *directory.Directory:
+		return d.Sticky(i, b)
+	case *directory.LimitedDirectory:
+		return d.Presence(i, b)
+	}
+	return true
+}
+
+func (c *Checker) fail(kind Kind, b memsys.Block, cl int, detail string) error {
+	return &CheckError{
+		Kind:    kind,
+		Block:   b,
+		Cluster: cl,
+		Detail:  detail,
+		Dump:    c.dump(b),
+	}
+}
+
+// dump renders the full protocol state for block b across the machine.
+func (c *Checker) dump(b memsys.Block) string {
+	var sb strings.Builder
+	p := memsys.PageOfBlock(b)
+	fmt.Fprintf(&sb, "block %d page %d addr %#x owner=%d",
+		b, p, uint64(b.Base()), c.dir.DirtyOwner(b))
+	if home, ok := c.home(p); ok {
+		fmt.Fprintf(&sb, " home=%d", home)
+	} else {
+		sb.WriteString(" home=unplaced")
+	}
+	for i, cl := range c.clusters {
+		nc := cl.NC()
+		fmt.Fprintf(&sb, "\n  cluster %d: presence=%t l1copies=%d l1dirty=%t nc=%t ncdirty=%t",
+			i, c.presence(i, b), cl.Bus().Holders(b), cl.Bus().HasDirty(b),
+			nc.Contains(b), nc.ContainsDirty(b))
+		if pc := cl.PC(); pc != nil {
+			st := pc.Lookup(b)
+			fmt.Fprintf(&sb, " pc={mapped:%t valid:%t dirty:%t}", st.Mapped, st.Valid, st.Dirty)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,359 @@
+package check_test
+
+// Each test assembles a tiny two-cluster machine, drives its layers into
+// a deliberately inconsistent shape that the real protocol can never
+// produce, and asserts that the checker reports exactly that violation
+// class. The mirror tests drive the corresponding *legal* shapes and
+// assert silence, so the invariants are neither vacuous nor over-strict.
+
+import (
+	"errors"
+	"testing"
+
+	"dsmnc/internal/cache"
+	"dsmnc/internal/check"
+	"dsmnc/internal/cluster"
+	"dsmnc/internal/core"
+	"dsmnc/internal/directory"
+	"dsmnc/internal/pagecache"
+	"dsmnc/memsys"
+	"dsmnc/trace"
+)
+
+// machine is a hand-assembled two-cluster machine whose layers the tests
+// corrupt directly, bypassing the protocol.
+type machine struct {
+	dir      directory.Protocol
+	clusters []*cluster.Cluster
+	ck       *check.Checker
+}
+
+// newMachine builds two clusters of two processors each. ncFor supplies
+// each cluster's NC (nil for none); page homes all resolve to cluster 0.
+func newMachine(t *testing.T, ncFor func() core.NC) *machine {
+	t.Helper()
+	geo := memsys.Geometry{Clusters: 2, ProcsPerCluster: 2}
+	d, err := directory.New(geo.Clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newMachineDir(t, geo, d, ncFor)
+}
+
+func newMachineDir(t *testing.T, geo memsys.Geometry, d directory.Protocol, ncFor func() core.NC) *machine {
+	t.Helper()
+	var clusters []*cluster.Cluster
+	for i := 0; i < geo.Clusters; i++ {
+		var nc core.NC
+		if ncFor != nil {
+			nc = ncFor()
+		}
+		cl, err := cluster.New(cluster.Config{
+			ID:    i,
+			Procs: geo.ProcsPerCluster,
+			L1:    cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
+			NC:    nc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters = append(clusters, cl)
+	}
+	return &machine{
+		dir:      d,
+		clusters: clusters,
+		ck: check.New(check.Config{
+			Geometry: geo,
+			Dir:      d,
+			Clusters: clusters,
+			Home:     func(memsys.Page) (int, bool) { return 0, true },
+		}),
+	}
+}
+
+func mustVictimNC() core.NC {
+	v, err := core.NewVictim(core.VictimConfig{Bytes: 4 * memsys.BlockBytes, Ways: 4})
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func mustRelaxedNC() core.NC {
+	n, err := core.NewRelaxed(4*memsys.BlockBytes, 4)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func mustInclusiveNC() core.NC {
+	n, err := core.NewInclusive(4*memsys.BlockBytes, 4)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// wantViolation asserts err is a *check.CheckError of the given kind
+// wrapping check.ErrInvariant, carrying a non-empty state dump.
+func wantViolation(t *testing.T, err error, kind check.Kind) *check.CheckError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("corrupted state passed the checker, want %v violation", kind)
+	}
+	if !errors.Is(err, check.ErrInvariant) {
+		t.Fatalf("error %v does not wrap ErrInvariant", err)
+	}
+	var ce *check.CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not a *CheckError", err)
+	}
+	if ce.Kind != kind {
+		t.Fatalf("violation kind = %v, want %v\n%v", ce.Kind, kind, ce)
+	}
+	if ce.Dump == "" {
+		t.Fatal("violation carries no state dump")
+	}
+	return ce
+}
+
+func TestCleanMachinePasses(t *testing.T) {
+	m := newMachine(t, mustVictimNC)
+	b := memsys.Block(3)
+	// A legal shape: cluster 0 fetched for write, the directory knows.
+	m.dir.Access(0, b, true, false)
+	m.clusters[0].Bus().Fill(0, b, cache.Modified)
+	if err := m.ck.CheckBlock(b); err != nil {
+		t.Fatalf("legal state flagged: %v", err)
+	}
+	if m.ck.Checks() == 0 {
+		t.Fatal("check counter never advanced")
+	}
+}
+
+func TestTwoDirtyClusters(t *testing.T) {
+	m := newMachine(t, nil)
+	b := memsys.Block(3)
+	m.dir.Access(0, b, true, false)
+	m.clusters[0].Bus().Fill(0, b, cache.Modified)
+	m.clusters[1].Bus().Fill(0, b, cache.Modified) // corruption
+	ce := wantViolation(t, m.ck.CheckBlock(b), check.KindDirtyOwner)
+	if ce.Block != b {
+		t.Fatalf("violation block = %d, want %d", ce.Block, b)
+	}
+}
+
+func TestDirtyWithoutDirectoryOwner(t *testing.T) {
+	m := newMachine(t, nil)
+	b := memsys.Block(5)
+	// Dirty data appears in cluster 1 with no directory transaction.
+	m.clusters[1].Bus().Fill(1, b, cache.Modified)
+	ce := wantViolation(t, m.ck.CheckBlock(b), check.KindDirtyOwner)
+	if ce.Cluster != 1 {
+		t.Fatalf("violation cluster = %d, want 1", ce.Cluster)
+	}
+}
+
+func TestOwnerHoldsNoCopy(t *testing.T) {
+	m := newMachine(t, nil)
+	b := memsys.Block(7)
+	// The directory records a dirty owner that never filled its cache.
+	m.dir.Access(1, b, true, false)
+	wantViolation(t, m.ck.CheckBlock(b), check.KindDirtyOwner)
+}
+
+func TestStaleCopyBesideOwner(t *testing.T) {
+	m := newMachine(t, nil)
+	b := memsys.Block(2)
+	m.dir.Access(0, b, true, false)
+	m.clusters[0].Bus().Fill(0, b, cache.Modified)
+	m.clusters[1].Bus().Fill(0, b, cache.Shared) // missed invalidation
+	wantViolation(t, m.ck.CheckBlock(b), check.KindStaleCopy)
+}
+
+func TestCopyWithoutPresence(t *testing.T) {
+	m := newMachine(t, nil)
+	b := memsys.Block(9)
+	// A clean copy the directory never heard about.
+	m.clusters[1].Bus().Fill(0, b, cache.Shared)
+	wantViolation(t, m.ck.CheckBlock(b), check.KindPresence)
+}
+
+func TestVictimExclusivityViolated(t *testing.T) {
+	m := newMachine(t, mustVictimNC)
+	b := memsys.Block(4)
+	m.dir.Access(1, b, true, false)
+	m.clusters[1].Bus().Fill(0, b, cache.Modified)
+	m.clusters[1].NC().AcceptVictim(b, false) // stale NC frame under dirty L1
+	wantViolation(t, m.ck.CheckBlock(b), check.KindExclusivity)
+}
+
+func TestVictimDowngradeCaptureIsLegal(t *testing.T) {
+	// The legal overlap (paper §3.2): the NC holds the dirty master while
+	// processor caches keep clean Shared copies.
+	m := newMachine(t, mustVictimNC)
+	b := memsys.Block(4)
+	m.dir.Access(1, b, true, false)
+	m.clusters[1].Bus().Fill(0, b, cache.Shared)
+	m.clusters[1].NC().AcceptVictim(b, true)
+	if err := m.ck.CheckBlock(b); err != nil {
+		t.Fatalf("downgrade-capture shape flagged: %v", err)
+	}
+	// Its aftermath: a remote read intervention cleaned the NC frame in
+	// place; the clean overlap persists legally.
+	m.clusters[1].NC().Downgrade(b)
+	m.dir.WriteBack(1, b)
+	m.dir.Access(1, b, false, false)
+	if err := m.ck.CheckBlock(b); err != nil {
+		t.Fatalf("cleaned-capture shape flagged: %v", err)
+	}
+}
+
+func TestRelaxedDirtyInclusionViolated(t *testing.T) {
+	m := newMachine(t, mustRelaxedNC)
+	b := memsys.Block(6) // page 0 homes on cluster 0; cluster 1 is remote
+	m.dir.Access(1, b, true, false)
+	m.clusters[1].Bus().Fill(0, b, cache.Modified) // no NC anchor
+	wantViolation(t, m.ck.CheckBlock(b), check.KindInclusion)
+}
+
+func TestInclusiveFullInclusionViolated(t *testing.T) {
+	m := newMachine(t, mustInclusiveNC)
+	b := memsys.Block(8)
+	m.dir.Access(1, b, false, false)
+	m.clusters[1].Bus().Fill(0, b, cache.RemoteMaster) // no NC frame
+	wantViolation(t, m.ck.CheckBlock(b), check.KindInclusion)
+}
+
+func TestInclusionHoldsWithAnchor(t *testing.T) {
+	m := newMachine(t, mustRelaxedNC)
+	b := memsys.Block(6)
+	m.dir.Access(1, b, true, false)
+	m.clusters[1].NC().OnFill(b, true) // dirty anchor, as a real miss makes
+	m.clusters[1].Bus().Fill(0, b, cache.Modified)
+	if err := m.ck.CheckBlock(b); err != nil {
+		t.Fatalf("anchored dirty block flagged: %v", err)
+	}
+}
+
+func TestLocalBlocksExemptFromInclusion(t *testing.T) {
+	// Cluster 0 is home for every page: its dirty L1 lines need no NC
+	// anchor.
+	m := newMachine(t, mustRelaxedNC)
+	b := memsys.Block(1)
+	m.dir.Access(0, b, true, false)
+	m.clusters[0].Bus().Fill(0, b, cache.Modified)
+	if err := m.ck.CheckBlock(b); err != nil {
+		t.Fatalf("local dirty block flagged: %v", err)
+	}
+}
+
+// TestLimitedDirectoryPointerBound stresses a Dir_2B entry from every
+// cluster of a wider machine: overflow must flip to broadcast rather than
+// ever exceeding the pointer limit.
+func TestLimitedDirectoryPointerBound(t *testing.T) {
+	geo := memsys.Geometry{Clusters: 4, ProcsPerCluster: 2}
+	ld, err := directory.NewLimited(geo.Clusters, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMachineDir(t, geo, ld, nil)
+	b := memsys.Block(11)
+	for c := 0; c < geo.Clusters; c++ {
+		ld.Access(c, b, false, false)
+		m.clusters[c].Bus().Fill(0, b, cache.Shared)
+		if err := m.ck.CheckBlock(b); err != nil {
+			t.Fatalf("after sharer %d: %v", c, err)
+		}
+	}
+	if !ld.Broadcast(b) {
+		t.Fatal("four sharers on a Dir_2B entry did not force broadcast")
+	}
+}
+
+func TestCheckRefCoversPageCaches(t *testing.T) {
+	// CheckRef validates the referenced block and the page caches; a
+	// legally exercised page cache stays silent.
+	geo := memsys.Geometry{Clusters: 2, ProcsPerCluster: 2}
+	d, err := directory.New(geo.Clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := pagecache.New(2, pagecache.NewFixedPolicy(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl0, err := cluster.New(cluster.Config{
+		ID: 0, Procs: 2,
+		L1: cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl1, err := cluster.New(cluster.Config{
+		ID: 1, Procs: 2,
+		L1: cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
+		NC: nil, PC: pc, Counters: cluster.CountersDirectory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cl0
+	ck := check.New(check.Config{
+		Geometry: geo, Dir: d,
+		Clusters: []*cluster.Cluster{cl0, cl1},
+		Home:     func(memsys.Page) (int, bool) { return 0, true },
+	})
+	// Map three pages into two frames (the third evicts one), depositing
+	// dirty and clean blocks along the way.
+	for pg := 0; pg < 3; pg++ {
+		pc.Relocate(memsys.Page(pg))
+		first := memsys.FirstBlock(memsys.Page(pg))
+		dirty := pg%2 == 0
+		d.Access(1, first, dirty, false) // the fetch that fills the frame
+		pc.Install(first, dirty)
+		pc.Deposit(first+1, false)
+		pc.Invalidate(first + 1)
+		r := trace.Ref{PID: 2, Op: trace.Read, Addr: first.Base()}
+		if err := ck.CheckRef(r); err != nil {
+			t.Fatalf("page %d: %v", pg, err)
+		}
+	}
+	if pc.Mapped() > pc.Frames() {
+		t.Fatal("page cache overflowed its frames")
+	}
+}
+
+func TestCheckAllScansEveryBlock(t *testing.T) {
+	m := newMachine(t, nil)
+	good, bad := memsys.Block(1), memsys.Block(2)
+	m.dir.Access(0, good, false, false)
+	m.clusters[0].Bus().Fill(0, good, cache.Shared)
+	m.clusters[1].Bus().Fill(0, bad, cache.Modified) // unowned dirty data
+	if err := m.ck.CheckAll([]memsys.Block{good}); err != nil {
+		t.Fatalf("good block flagged: %v", err)
+	}
+	if err := m.ck.CheckAll([]memsys.Block{good, bad}); err == nil {
+		t.Fatal("CheckAll missed the corrupted block")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []check.Kind{
+		check.KindDirtyOwner, check.KindStaleCopy, check.KindPresence,
+		check.KindPointer, check.KindExclusivity, check.KindInclusion,
+		check.KindPageCache,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d: bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if check.Kind(200).String() == "" {
+		t.Fatal("unknown kind has no name")
+	}
+}

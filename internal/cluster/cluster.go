@@ -10,11 +10,13 @@
 package cluster
 
 import (
+	"fmt"
+
 	"dsmnc/internal/bus"
 	"dsmnc/internal/cache"
 	"dsmnc/internal/core"
-	"dsmnc/memsys"
 	"dsmnc/internal/pagecache"
+	"dsmnc/memsys"
 	"dsmnc/stats"
 )
 
@@ -108,10 +110,14 @@ type Cluster struct {
 }
 
 // New builds a cluster from cfg.
-func New(cfg Config) *Cluster {
+func New(cfg Config) (*Cluster, error) {
+	b, err := bus.New(cfg.Procs, cfg.L1)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
 	cl := &Cluster{
 		id:    cfg.ID,
-		bus:   bus.New(cfg.Procs, cfg.L1),
+		bus:   b,
 		nc:    cfg.NC,
 		pc:    cfg.PC,
 		mode:  cfg.Counters,
@@ -126,14 +132,14 @@ func New(cfg Config) *Cluster {
 	if cfg.Counters == CountersNCSet {
 		sc, ok := cl.nc.(core.SetCounterNC)
 		if !ok {
-			panic("cluster: CountersNCSet requires a set-counter NC (vxp victim cache)")
+			return nil, fmt.Errorf("cluster: CountersNCSet requires a set-counter NC (vxp victim cache)")
 		}
 		cl.scnc = sc
 	}
 	if cfg.Counters != CountersNone && cl.pc == nil {
-		panic("cluster: relocation counters configured without a page cache")
+		return nil, fmt.Errorf("cluster: relocation counters configured without a page cache")
 	}
-	return cl
+	return cl, nil
 }
 
 // ID returns the cluster id.
@@ -198,6 +204,9 @@ func (cl *Cluster) Access(p int, addr memsys.Addr, write bool, home int) {
 			if cl.pc != nil {
 				cl.pc.Invalidate(b)
 			}
+			if !local {
+				cl.ncAnchorDirty(b)
+			}
 			cl.acquireOwnership(b, local)
 			cl.fill(p, b, cache.Modified, false)
 			return
@@ -253,6 +262,7 @@ func (cl *Cluster) Access(p int, addr memsys.Addr, write bool, home int) {
 			cl.pc.RecordHit(b)
 			if write {
 				cl.pc.Invalidate(b) // the Modified line supersedes the frame copy
+				cl.ncAnchorDirty(b)
 				cl.acquireOwnership(b, false)
 				cl.fill(p, b, cache.Modified, false)
 				return
@@ -280,7 +290,23 @@ func (cl *Cluster) writeUpgrade(p int, b memsys.Block, local bool) {
 	if cl.pc != nil {
 		cl.pc.Invalidate(b)
 	}
+	if !local {
+		cl.ncAnchorDirty(b)
+	}
 	cl.acquireOwnership(b, local)
+}
+
+// ncAnchorDirty re-establishes the NC frame for a remote block the
+// cluster is about to hold Modified. Allocate-on-miss NCs (nc, NCD, the
+// infinite references) keep a Modified frame as the dirty-inclusion
+// anchor — without it, a write upgrade that invalidated the old frame
+// would leave the cluster's only dirty copy invisible to the NC's
+// inclusion machinery. Victim caches allocate nothing here (OnFill is a
+// no-op), preserving their never-worse-than-no-NC property.
+func (cl *Cluster) ncAnchorDirty(b memsys.Block) {
+	for _, ev := range cl.nc.OnFill(b, true) {
+		cl.handleNCEviction(ev)
+	}
 }
 
 // acquireOwnership obtains system-level write ownership if the cluster
@@ -582,11 +608,18 @@ func (cl *Cluster) FlushDirty(b memsys.Block) {
 	if cl.home.HomeOf(memsys.PageOfBlock(b)) == cl.id {
 		to = cache.Shared
 	}
-	switch {
-	case cl.bus.DowngradeDirty(b, to):
-	case cl.nc.Downgrade(b):
-	case cl.pc != nil && cl.pc.Clean(b):
-	default:
+	// Every structure holding dirty data is downgraded: the processor
+	// caches, the NC anchor AND the page-cache frame may each carry a
+	// dirty mark for the same block, and leaving any of them dirty after
+	// the data went home would fake a second dirty owner.
+	dirty := cl.bus.DowngradeDirty(b, to)
+	if cl.nc.Downgrade(b) {
+		dirty = true
+	}
+	if cl.pc != nil && cl.pc.Clean(b) {
+		dirty = true
+	}
+	if !dirty {
 		return // already clean (stale intervention); nothing crosses the net
 	}
 	cl.writebackHome(b)
@@ -606,12 +639,15 @@ func (cl *Cluster) HasBlock(b memsys.Block) bool {
 	return false
 }
 
-// HasDirty reports whether the cluster holds the dirty copy of b.
+// HasDirty reports whether the cluster holds the dirty copy of b in any
+// structure: a processor cache, the network cache or a page-cache frame.
 func (cl *Cluster) HasDirty(b memsys.Block) bool {
 	if cl.bus.HasDirty(b) {
 		return true
 	}
-	// NC and PC dirtiness is not directly exposed; probe via state.
+	if cl.nc.ContainsDirty(b) {
+		return true
+	}
 	if cl.pc != nil && cl.pc.Lookup(b).Dirty {
 		return true
 	}

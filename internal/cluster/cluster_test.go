@@ -5,8 +5,8 @@ import (
 
 	"dsmnc/internal/cache"
 	"dsmnc/internal/core"
-	"dsmnc/memsys"
 	"dsmnc/internal/pagecache"
+	"dsmnc/memsys"
 	"dsmnc/stats"
 )
 
@@ -38,6 +38,33 @@ func (f *fakeHome) ResetRelocationCounter(p memsys.Page, c int) {
 	f.resets = append(f.resets, p)
 }
 
+// mustNew builds a cluster or panics (test files only).
+func mustNew(cfg Config) *Cluster {
+	cl, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+// mustPC builds a page cache or panics (test files only).
+func mustPC(frames int, pol *pagecache.Policy) *pagecache.PageCache {
+	pc, err := pagecache.New(frames, pol)
+	if err != nil {
+		panic(err)
+	}
+	return pc
+}
+
+// mustVictim builds a victim NC or panics (test files only).
+func mustVictim(cfg core.VictimConfig) *core.VictimNC {
+	nc, err := core.NewVictim(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return nc
+}
+
 // newTestCluster builds cluster 0 with 2 processors and a tiny L1
 // (2 sets x 2 ways).
 func newTestCluster(h *fakeHome, nc core.NC, pc *pagecache.PageCache, mode CounterMode) *Cluster {
@@ -50,7 +77,7 @@ func newTestCluster(h *fakeHome, nc core.NC, pc *pagecache.PageCache, mode Count
 		Home:  h,
 	}
 	cfg.Counters = mode
-	return New(cfg)
+	return mustNew(cfg)
 }
 
 func addr(page, blk int) memsys.Addr {
@@ -59,33 +86,30 @@ func addr(page, blk int) memsys.Addr {
 
 func TestNewValidation(t *testing.T) {
 	h := &fakeHome{}
-	mustPanic := func(cfg Config) {
+	mustErr := func(cfg Config) {
 		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Fatal("New did not panic")
-			}
-		}()
-		New(cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatal("New did not fail")
+		}
 	}
 	// NC-set counters without a set-counter NC.
-	mustPanic(Config{
+	mustErr(Config{
 		ID: 0, Procs: 1,
 		L1:       cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
 		NC:       core.NoNC{},
-		PC:       pagecache.New(1, pagecache.NewFixedPolicy(1)),
+		PC:       mustPC(1, pagecache.NewFixedPolicy(1)),
 		Counters: CountersNCSet,
 		Home:     h,
 	})
 	// Counters without a page cache.
-	mustPanic(Config{
+	mustErr(Config{
 		ID: 0, Procs: 1,
 		L1:       cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
 		Counters: CountersDirectory,
 		Home:     h,
 	})
 	// A nil NC defaults to NoNC.
-	cl := New(Config{
+	cl := mustNew(Config{
 		ID: 3, Procs: 1,
 		L1:   cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
 		Home: h,
@@ -154,11 +178,11 @@ func TestMOESIDowngradeKeepsDirtyInOwner(t *testing.T) {
 	cfg := Config{
 		ID: 0, Procs: 2,
 		L1:    cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
-		NC:    core.NewVictim(core.VictimConfig{Bytes: 4 * memsys.BlockBytes, Ways: 4}),
+		NC:    mustVictim(core.VictimConfig{Bytes: 4 * memsys.BlockBytes, Ways: 4}),
 		Home:  h,
 		MOESI: true,
 	}
-	cl := New(cfg)
+	cl := mustNew(cfg)
 	a := addr(0, 0)
 	b := memsys.BlockOf(a)
 	cl.Access(0, a, true, 9)  // P0: M
@@ -203,7 +227,7 @@ func TestMESIDowngradeCapturedOrWrittenBack(t *testing.T) {
 
 func TestVictimChainFallsThroughToPC(t *testing.T) {
 	h := &fakeHome{homeAt: 9}
-	pc := pagecache.New(2, pagecache.NewFixedPolicy(1000))
+	pc := mustPC(2, pagecache.NewFixedPolicy(1000))
 	cl := newTestCluster(h, core.NoNC{}, pc, CountersDirectory)
 	// Map page 0 by hand, then let a dirty victim land in it.
 	pc.Relocate(0)
@@ -257,11 +281,11 @@ func TestInvalidateBlockReportsFalseInvalidation(t *testing.T) {
 
 func TestDecrementCountersOnFalseInval(t *testing.T) {
 	h := &fakeHome{homeAt: 9}
-	nc := core.NewVictim(core.VictimConfig{
+	nc := mustVictim(core.VictimConfig{
 		Bytes: 4 * memsys.BlockBytes, Ways: 4,
 		Indexing: cache.ByPage, SetCounters: true,
 	})
-	pc := pagecache.New(2, pagecache.NewFixedPolicy(1000))
+	pc := mustPC(2, pagecache.NewFixedPolicy(1000))
 	cfg := Config{
 		ID: 0, Procs: 2,
 		L1:                cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
@@ -271,7 +295,7 @@ func TestDecrementCountersOnFalseInval(t *testing.T) {
 		Home:              h,
 		DecrementCounters: true,
 	}
-	cl := New(cfg)
+	cl := mustNew(cfg)
 	a := addr(0, 0)
 	b := memsys.BlockOf(a)
 	// Victimize b into the NC: set counter 1.
@@ -302,7 +326,7 @@ func TestDecrementCountersOnFalseInval(t *testing.T) {
 
 func TestRelocationFlushesAndResets(t *testing.T) {
 	h := &fakeHome{homeAt: 9, class: stats.Capacity, capCount: 100}
-	pc := pagecache.New(1, pagecache.NewFixedPolicy(32))
+	pc := mustPC(1, pagecache.NewFixedPolicy(32))
 	cl := newTestCluster(h, core.NoNC{}, pc, CountersDirectory)
 	// First remote fetch triggers relocation (capCount 100 > 32).
 	cl.Access(0, addr(0, 0), false, 9)
@@ -327,7 +351,7 @@ func TestRelocationFlushesAndResets(t *testing.T) {
 
 func TestHasBlockAndHasDirty(t *testing.T) {
 	h := &fakeHome{homeAt: 9}
-	pc := pagecache.New(1, pagecache.NewFixedPolicy(1000))
+	pc := mustPC(1, pagecache.NewFixedPolicy(1000))
 	cl := newTestCluster(h, core.NoNC{}, pc, CountersDirectory)
 	a := addr(0, 0)
 	b := memsys.BlockOf(a)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"dsmnc/internal/cache"
 	"dsmnc/memsys"
 	"dsmnc/stats"
@@ -17,8 +19,12 @@ type InclusiveNC struct {
 }
 
 // NewInclusive builds an NCD-style network cache.
-func NewInclusive(bytes, ways int) *InclusiveNC {
-	return &InclusiveNC{tags: cache.New(cache.Config{Bytes: bytes, Ways: ways})}
+func NewInclusive(bytes, ways int) (*InclusiveNC, error) {
+	tags, err := cache.New(cache.Config{Bytes: bytes, Ways: ways})
+	if err != nil {
+		return nil, fmt.Errorf("core: inclusive NC: %w", err)
+	}
+	return &InclusiveNC{tags: tags}, nil
 }
 
 // Tech returns NCTechDRAM.
@@ -103,6 +109,12 @@ func (n *InclusiveNC) EvictPage(p memsys.Page) []memsys.Block {
 
 // Contains reports whether b is present.
 func (n *InclusiveNC) Contains(b memsys.Block) bool { return n.tags.Lookup(b) != nil }
+
+// ContainsDirty reports whether b is present in a dirty frame.
+func (n *InclusiveNC) ContainsDirty(b memsys.Block) bool {
+	ln := n.tags.Lookup(b)
+	return ln != nil && ln.State.Dirty()
+}
 
 // Count returns the number of valid frames (testing).
 func (n *InclusiveNC) Count() int { return n.tags.Count() }

@@ -82,6 +82,13 @@ func (n *InfiniteNC) Contains(b memsys.Block) bool {
 	return ok
 }
 
+// ContainsDirty reports whether b is present and dirty. The infinite NC
+// writes dirty victims through, so this is normally false.
+func (n *InfiniteNC) ContainsDirty(b memsys.Block) bool {
+	st, ok := n.lines.Lookup(b)
+	return ok && st.Dirty()
+}
+
 // Count returns the number of cached blocks (testing).
 func (n *InfiniteNC) Count() int { return n.lines.Count() }
 

@@ -103,6 +103,11 @@ type NC interface {
 
 	// Contains reports whether b is present (testing and stats).
 	Contains(b memsys.Block) bool
+
+	// ContainsDirty reports whether b is present AND the frame holds the
+	// cluster's up-to-date data. The coherence invariant checker uses it
+	// to verify dirty inclusion and single-dirty-owner machine-wide.
+	ContainsDirty(b memsys.Block) bool
 }
 
 // SetCounterNC is implemented by NCs that integrate the page-relocation
@@ -149,3 +154,6 @@ func (NoNC) EvictPage(memsys.Page) []memsys.Block { return nil }
 
 // Contains is always false.
 func (NoNC) Contains(memsys.Block) bool { return false }
+
+// ContainsDirty is always false.
+func (NoNC) ContainsDirty(memsys.Block) bool { return false }

@@ -39,9 +39,30 @@ func TestNoNC(t *testing.T) {
 
 func newSmallVictim(idx cache.Indexing, counters bool) *VictimNC {
 	// 4 sets x 4 ways = 1 KB.
-	return NewVictim(VictimConfig{
+	v, err := NewVictim(VictimConfig{
 		Bytes: 16 * memsys.BlockBytes, Ways: 4, Indexing: idx, SetCounters: counters,
 	})
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// mustRelaxed / mustInclusive are test-file-only constructors.
+func mustRelaxed(bytes, ways int) *RelaxedNC {
+	n, err := NewRelaxed(bytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func mustInclusive(bytes, ways int) *InclusiveNC {
+	n, err := NewInclusive(bytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return n
 }
 
 func TestVictimBasics(t *testing.T) {
@@ -180,7 +201,7 @@ func TestVictimPredominantPageMajority(t *testing.T) {
 }
 
 func TestRelaxedAllocatesOnFill(t *testing.T) {
-	n := NewRelaxed(16*memsys.BlockBytes, 4)
+	n := mustRelaxed(16*memsys.BlockBytes, 4)
 	if n.Tech() != stats.NCTechSRAM {
 		t.Fatal("tech")
 	}
@@ -206,7 +227,7 @@ func TestRelaxedAllocatesOnFill(t *testing.T) {
 }
 
 func TestRelaxedCleanEvictionLeavesL1Alone(t *testing.T) {
-	n := NewRelaxed(16*memsys.BlockBytes, 4)
+	n := mustRelaxed(16*memsys.BlockBytes, 4)
 	blocks := conflicting(0, 4, 5)
 	for _, b := range blocks[:4] {
 		n.OnFill(b, false)
@@ -218,7 +239,7 @@ func TestRelaxedCleanEvictionLeavesL1Alone(t *testing.T) {
 }
 
 func TestRelaxedDirtyInclusion(t *testing.T) {
-	n := NewRelaxed(16*memsys.BlockBytes, 4)
+	n := mustRelaxed(16*memsys.BlockBytes, 4)
 	blocks := conflicting(0, 4, 5)
 	n.OnFill(blocks[0], false)
 	n.Probe(blocks[0], true) // write: frame becomes the dirty anchor
@@ -235,7 +256,7 @@ func TestRelaxedDirtyInclusion(t *testing.T) {
 }
 
 func TestInclusiveForcesL1OnEveryEviction(t *testing.T) {
-	n := NewInclusive(16*memsys.BlockBytes, 4)
+	n := mustInclusive(16*memsys.BlockBytes, 4)
 	if n.Tech() != stats.NCTechDRAM {
 		t.Fatal("NCD must be DRAM")
 	}
@@ -260,7 +281,7 @@ func TestInclusiveForcesL1OnEveryEviction(t *testing.T) {
 }
 
 func TestRelaxedAndInclusivePageFlush(t *testing.T) {
-	for _, n := range []NC{NewRelaxed(16*memsys.BlockBytes, 4), NewInclusive(16*memsys.BlockBytes, 4)} {
+	for _, n := range []NC{mustRelaxed(16*memsys.BlockBytes, 4), mustInclusive(16*memsys.BlockBytes, 4)} {
 		p := memsys.Page(0)
 		first := memsys.FirstBlock(p)
 		n.OnFill(first, false)
@@ -332,7 +353,7 @@ func TestWriteFillCreatesDirtyAnchor(t *testing.T) {
 	// A write fill allocates the frame as the dirty-inclusion anchor:
 	// evicting it must extract the block from the processor caches and
 	// write it back (paper §6.1.2's Radix effect).
-	for _, n := range []NC{NewRelaxed(16*memsys.BlockBytes, 4), NewInclusive(16*memsys.BlockBytes, 4)} {
+	for _, n := range []NC{mustRelaxed(16*memsys.BlockBytes, 4), mustInclusive(16*memsys.BlockBytes, 4)} {
 		blocks := conflicting(0, 4, 5)
 		n.OnFill(blocks[0], true) // write fill
 		for _, b := range blocks[1:4] {
@@ -356,8 +377,8 @@ func TestDowngradeAcrossOrganizations(t *testing.T) {
 	// report whether it had one.
 	ncs := map[string]NC{
 		"victim":    newSmallVictim(cache.ByBlock, false),
-		"relaxed":   NewRelaxed(16*memsys.BlockBytes, 4),
-		"inclusive": NewInclusive(16*memsys.BlockBytes, 4),
+		"relaxed":   mustRelaxed(16*memsys.BlockBytes, 4),
+		"inclusive": mustInclusive(16*memsys.BlockBytes, 4),
 		"infinite":  NewInfinite(stats.NCTechSRAM),
 	}
 	for name, n := range ncs {
@@ -387,7 +408,7 @@ func TestDowngradeAcrossOrganizations(t *testing.T) {
 }
 
 func TestRelaxedAndInclusiveInvalidateCount(t *testing.T) {
-	rel := NewRelaxed(16*memsys.BlockBytes, 4)
+	rel := mustRelaxed(16*memsys.BlockBytes, 4)
 	rel.OnFill(3, false)
 	rel.AcceptVictim(7, true)
 	if rel.Count() != 2 {
@@ -399,7 +420,7 @@ func TestRelaxedAndInclusiveInvalidateCount(t *testing.T) {
 	if !rel.Invalidate(7) {
 		t.Fatal("dirty invalidate lost status")
 	}
-	inc := NewInclusive(16*memsys.BlockBytes, 4)
+	inc := mustInclusive(16*memsys.BlockBytes, 4)
 	inc.OnFill(3, true)
 	if inc.Count() != 1 {
 		t.Fatalf("inclusive Count = %d", inc.Count())

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"dsmnc/internal/cache"
 	"dsmnc/memsys"
 	"dsmnc/stats"
@@ -20,8 +22,12 @@ type RelaxedNC struct {
 }
 
 // NewRelaxed builds an nc-style network cache.
-func NewRelaxed(bytes, ways int) *RelaxedNC {
-	return &RelaxedNC{tags: cache.New(cache.Config{Bytes: bytes, Ways: ways})}
+func NewRelaxed(bytes, ways int) (*RelaxedNC, error) {
+	tags, err := cache.New(cache.Config{Bytes: bytes, Ways: ways})
+	if err != nil {
+		return nil, fmt.Errorf("core: relaxed NC: %w", err)
+	}
+	return &RelaxedNC{tags: tags}, nil
 }
 
 // Tech returns NCTechSRAM.
@@ -109,6 +115,12 @@ func (n *RelaxedNC) EvictPage(p memsys.Page) []memsys.Block {
 
 // Contains reports whether b is present.
 func (n *RelaxedNC) Contains(b memsys.Block) bool { return n.tags.Lookup(b) != nil }
+
+// ContainsDirty reports whether b is present in a dirty frame.
+func (n *RelaxedNC) ContainsDirty(b memsys.Block) bool {
+	ln := n.tags.Lookup(b)
+	return ln != nil && ln.State.Dirty()
+}
 
 // Count returns the number of valid frames (testing).
 func (n *RelaxedNC) Count() int { return n.tags.Count() }

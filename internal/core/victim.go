@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"dsmnc/internal/cache"
 	"dsmnc/memsys"
 	"dsmnc/stats"
@@ -33,14 +35,16 @@ type VictimConfig struct {
 }
 
 // NewVictim builds a network victim cache.
-func NewVictim(cfg VictimConfig) *VictimNC {
-	v := &VictimNC{
-		tags: cache.New(cache.Config{Bytes: cfg.Bytes, Ways: cfg.Ways, Indexing: cfg.Indexing}),
+func NewVictim(cfg VictimConfig) (*VictimNC, error) {
+	tags, err := cache.New(cache.Config{Bytes: cfg.Bytes, Ways: cfg.Ways, Indexing: cfg.Indexing})
+	if err != nil {
+		return nil, fmt.Errorf("core: victim NC: %w", err)
 	}
+	v := &VictimNC{tags: tags}
 	if cfg.SetCounters {
 		v.counters = make([]uint32, v.tags.Sets())
 	}
-	return v
+	return v, nil
 }
 
 // Tech returns NCTechSRAM: the victim cache is built in the processor-
@@ -102,6 +106,12 @@ func (v *VictimNC) EvictPage(p memsys.Page) []memsys.Block {
 
 // Contains reports whether b is present.
 func (v *VictimNC) Contains(b memsys.Block) bool { return v.tags.Lookup(b) != nil }
+
+// ContainsDirty reports whether b is present in a dirty frame.
+func (v *VictimNC) ContainsDirty(b memsys.Block) bool {
+	ln := v.tags.Lookup(b)
+	return ln != nil && ln.State.Dirty()
+}
 
 // Count returns the number of valid frames (testing).
 func (v *VictimNC) Count() int { return v.tags.Count() }

@@ -52,14 +52,14 @@ type Directory struct {
 }
 
 // New returns a directory for the given number of clusters (max 64).
-func New(clusters int) *Directory {
+func New(clusters int) (*Directory, error) {
 	if clusters <= 0 || clusters > 64 {
-		panic(fmt.Sprintf("directory: unsupported cluster count %d", clusters))
+		return nil, fmt.Errorf("directory: unsupported cluster count %d", clusters)
 	}
 	return &Directory{
 		clusters: clusters,
 		blocks:   make(map[memsys.Block]*entry),
-	}
+	}, nil
 }
 
 // EnableCounters turns on the R-NUMA per-(page,cluster) capacity-miss

@@ -8,24 +8,28 @@ import (
 	"dsmnc/stats"
 )
 
+// mustNew builds a full-map directory or panics (test files only).
+func mustNew(clusters int) *Directory {
+	d, err := New(clusters)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
 func TestNewValidation(t *testing.T) {
 	for _, n := range []int{0, -1, 65} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("New(%d) did not panic", n)
-				}
-			}()
-			New(n)
-		}()
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) did not fail", n)
+		}
 	}
-	if New(64) == nil {
-		t.Fatal("New(64) failed")
+	if d, err := New(64); err != nil || d == nil {
+		t.Fatalf("New(64) failed: %v", err)
 	}
 }
 
 func TestColdThenCapacity(t *testing.T) {
-	d := New(8)
+	d := mustNew(8)
 	b := memsys.Block(100)
 	if r := d.Access(1, b, false, true); r.Class != stats.Cold {
 		t.Fatalf("first access class = %v, want cold", r.Class)
@@ -37,7 +41,7 @@ func TestColdThenCapacity(t *testing.T) {
 }
 
 func TestCoherenceAfterInvalidation(t *testing.T) {
-	d := New(8)
+	d := mustNew(8)
 	b := memsys.Block(7)
 	d.Access(1, b, false, true)
 	// Cluster 2 writes: cluster 1 must be invalidated.
@@ -64,7 +68,7 @@ func TestCoherenceAfterInvalidation(t *testing.T) {
 }
 
 func TestWriteBackKeepsSticky(t *testing.T) {
-	d := New(8)
+	d := mustNew(8)
 	b := memsys.Block(3)
 	d.Access(4, b, true, true)
 	if !d.IsExclusive(4, b) {
@@ -90,7 +94,7 @@ func TestWriteBackKeepsSticky(t *testing.T) {
 }
 
 func TestWriteInvalidatesAllSharers(t *testing.T) {
-	d := New(8)
+	d := mustNew(8)
 	b := memsys.Block(9)
 	for c := 0; c < 5; c++ {
 		d.Access(c, b, false, true)
@@ -111,7 +115,7 @@ func TestWriteInvalidatesAllSharers(t *testing.T) {
 }
 
 func TestUpgrade(t *testing.T) {
-	d := New(4)
+	d := mustNew(4)
 	b := memsys.Block(11)
 	d.Access(0, b, false, true)
 	d.Access(1, b, false, true)
@@ -125,7 +129,7 @@ func TestUpgrade(t *testing.T) {
 }
 
 func TestSoleSharerUnknownBlock(t *testing.T) {
-	d := New(4)
+	d := mustNew(4)
 	if !d.SoleSharer(2, 999) {
 		t.Fatal("unknown block must report sole sharer")
 	}
@@ -135,7 +139,7 @@ func TestSoleSharerUnknownBlock(t *testing.T) {
 }
 
 func TestCapacityCounters(t *testing.T) {
-	d := New(8)
+	d := mustNew(8)
 	d.EnableCounters()
 	b := memsys.FirstBlock(5)   // page 5
 	d.Access(2, b, false, true) // cold: no count
@@ -171,7 +175,7 @@ func TestCapacityCounters(t *testing.T) {
 }
 
 func TestCountersOffByDefault(t *testing.T) {
-	d := New(8)
+	d := mustNew(8)
 	b := memsys.Block(1)
 	d.Access(0, b, false, true)
 	if r := d.Access(0, b, false, true); r.CapacityCount != 0 {
@@ -183,7 +187,7 @@ func TestCountersOffByDefault(t *testing.T) {
 // write from another cluster), and there is at most one dirty owner.
 func TestDirectoryInvariants(t *testing.T) {
 	f := func(ops []uint16) bool {
-		d := New(8)
+		d := mustNew(8)
 		type key struct{ b memsys.Block }
 		dirtyOf := map[memsys.Block]int{}
 		for _, op := range ops {
@@ -225,7 +229,7 @@ func TestDirectoryInvariants(t *testing.T) {
 }
 
 func TestInvalMessagesCounted(t *testing.T) {
-	d := New(8)
+	d := mustNew(8)
 	b := memsys.Block(1)
 	for c := 0; c < 4; c++ {
 		d.Access(c, b, false, true)
@@ -240,7 +244,7 @@ func TestInvalMessagesCounted(t *testing.T) {
 }
 
 func TestDecrementCounterFullMap(t *testing.T) {
-	d := New(8)
+	d := mustNew(8)
 	d.EnableCounters()
 	b := memsys.FirstBlock(3)
 	d.Access(2, b, false, true)

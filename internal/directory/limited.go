@@ -47,18 +47,18 @@ type lentry struct {
 }
 
 // NewLimited builds a Dir_iB directory with the given pointer count.
-func NewLimited(clusters, pointers int) *LimitedDirectory {
+func NewLimited(clusters, pointers int) (*LimitedDirectory, error) {
 	if clusters <= 0 || clusters > 64 {
-		panic(fmt.Sprintf("directory: unsupported cluster count %d", clusters))
+		return nil, fmt.Errorf("directory: unsupported cluster count %d", clusters)
 	}
 	if pointers <= 0 || pointers >= clusters {
-		panic(fmt.Sprintf("directory: pointer count %d must be in [1, clusters)", pointers))
+		return nil, fmt.Errorf("directory: pointer count %d must be in [1, clusters)", pointers)
 	}
 	return &LimitedDirectory{
 		clusters: clusters,
 		pointers: pointers,
 		blocks:   make(map[memsys.Block]*lentry),
-	}
+	}, nil
 }
 
 // EnableCounters turns on the R-NUMA relocation counters (which will
@@ -224,6 +224,36 @@ func (d *LimitedDirectory) DecrementCounter(p memsys.Page, c int) {
 		delete(d.counters, k)
 	}
 }
+
+// Presence reports whether the hardware directory still sees cluster c as
+// a possible sharer of b: either a precise pointer or broadcast mode.
+// This is the conservative superset the invariant checker validates
+// against actual cached copies.
+func (d *LimitedDirectory) Presence(c int, b memsys.Block) bool {
+	e := d.blocks[b]
+	if e == nil {
+		return false
+	}
+	return e.bcast || e.hasPtr(c)
+}
+
+// PointerCount returns how many sharer pointers entry b holds (0 for an
+// unmaterialized entry).
+func (d *LimitedDirectory) PointerCount(b memsys.Block) int {
+	if e := d.blocks[b]; e != nil {
+		return len(e.ptrs)
+	}
+	return 0
+}
+
+// Broadcast reports whether entry b has fallen back to broadcast mode.
+func (d *LimitedDirectory) Broadcast(b memsys.Block) bool {
+	e := d.blocks[b]
+	return e != nil && e.bcast
+}
+
+// PointerLimit returns the configured maximum pointers per entry.
+func (d *LimitedDirectory) PointerLimit() int { return d.pointers }
 
 // InvalMessages returns cumulative invalidation messages (broadcasts
 // inflate this).

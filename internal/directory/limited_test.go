@@ -7,26 +7,30 @@ import (
 	"dsmnc/stats"
 )
 
+// mustNewLimited builds a Dir_iB directory or panics (test files only).
+func mustNewLimited(clusters, pointers int) *LimitedDirectory {
+	d, err := NewLimited(clusters, pointers)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
 func TestNewLimitedValidation(t *testing.T) {
 	for _, c := range []struct{ clusters, ptrs int }{
 		{0, 1}, {65, 4}, {8, 0}, {8, 8}, {8, 9},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NewLimited(%d,%d) did not panic", c.clusters, c.ptrs)
-				}
-			}()
-			NewLimited(c.clusters, c.ptrs)
-		}()
+		if _, err := NewLimited(c.clusters, c.ptrs); err == nil {
+			t.Errorf("NewLimited(%d,%d) did not fail", c.clusters, c.ptrs)
+		}
 	}
-	if NewLimited(8, 4) == nil {
-		t.Fatal("valid construction failed")
+	if d, err := NewLimited(8, 4); err != nil || d == nil {
+		t.Fatalf("valid construction failed: %v", err)
 	}
 }
 
 func TestLimitedClassificationMatchesOracle(t *testing.T) {
-	d := NewLimited(8, 2)
+	d := mustNewLimited(8, 2)
 	b := memsys.Block(5)
 	if r := d.Access(1, b, false, true); r.Class != stats.Cold {
 		t.Fatalf("first access = %v", r.Class)
@@ -41,7 +45,7 @@ func TestLimitedClassificationMatchesOracle(t *testing.T) {
 }
 
 func TestLimitedPointerOverflowBroadcasts(t *testing.T) {
-	d := NewLimited(8, 2)
+	d := mustNewLimited(8, 2)
 	b := memsys.Block(3)
 	d.Access(0, b, false, true)
 	d.Access(1, b, false, true)
@@ -69,7 +73,7 @@ func TestLimitedPointerOverflowBroadcasts(t *testing.T) {
 }
 
 func TestLimitedCountersPreciseUnderPointers(t *testing.T) {
-	d := NewLimited(8, 2)
+	d := mustNewLimited(8, 2)
 	d.EnableCounters()
 	b := memsys.FirstBlock(4)
 	d.Access(1, b, false, true) // cold, pointer recorded
@@ -90,7 +94,7 @@ func TestLimitedCountersPreciseUnderPointers(t *testing.T) {
 }
 
 func TestLimitedCountersNoisyUnderBroadcast(t *testing.T) {
-	d := NewLimited(8, 2)
+	d := mustNewLimited(8, 2)
 	d.EnableCounters()
 	b := memsys.FirstBlock(9)
 	for c := 0; c < 3; c++ { // overflow into bcast
@@ -111,7 +115,7 @@ func TestLimitedCountersNoisyUnderBroadcast(t *testing.T) {
 }
 
 func TestLimitedDirtyOwnerAndWriteBack(t *testing.T) {
-	d := NewLimited(8, 2)
+	d := mustNewLimited(8, 2)
 	b := memsys.Block(7)
 	d.Access(3, b, true, true)
 	if !d.IsExclusive(3, b) || d.DirtyOwner(b) != 3 {
@@ -131,7 +135,7 @@ func TestLimitedDirtyOwnerAndWriteBack(t *testing.T) {
 }
 
 func TestLimitedSoleSharer(t *testing.T) {
-	d := NewLimited(8, 2)
+	d := mustNewLimited(8, 2)
 	b := memsys.Block(11)
 	if !d.SoleSharer(0, b) {
 		t.Fatal("unknown block not sole")
@@ -147,7 +151,7 @@ func TestLimitedSoleSharer(t *testing.T) {
 }
 
 func TestLimitedDecrement(t *testing.T) {
-	d := NewLimited(8, 2)
+	d := mustNewLimited(8, 2)
 	d.EnableCounters()
 	b := memsys.FirstBlock(2)
 	d.Access(1, b, false, true)
@@ -168,7 +172,7 @@ func TestLimitedDecrement(t *testing.T) {
 }
 
 func TestLimitedUpgradeNeverCounts(t *testing.T) {
-	d := NewLimited(8, 2)
+	d := mustNewLimited(8, 2)
 	d.EnableCounters()
 	b := memsys.FirstBlock(6)
 	d.Access(1, b, false, true)

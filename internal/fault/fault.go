@@ -1,0 +1,231 @@
+// Package fault is the fault-injection harness for the simulator's
+// robustness tests: a trace.Source wrapper that corrupts an otherwise
+// well-formed reference stream in controlled, deterministically seeded
+// ways. Each corruption class maps to a failure the hardened stack must
+// reject with a typed error (never a panic):
+//
+//	BitFlipAddr      — a flipped high address bit pushes the reference
+//	                   beyond the machine's address space; sim.Apply must
+//	                   reject it with sim.ErrBadRef.
+//	BadPID           — a processor ID at or beyond the machine's total;
+//	                   rejected with sim.ErrBadRef.
+//	Truncate         — the stream ends mid-flight with a decode error, as
+//	                   a cut-short trace file would; surfaced through
+//	                   Err() wrapping trace.ErrBadTrace.
+//	DuplicateQuantum — a scheduling quantum is replayed verbatim. The
+//	                   stream stays legal: the machine must absorb it
+//	                   without invariant violations.
+//	ReorderQuantum   — two adjacent quanta swap places. Also legal, also
+//	                   absorbed; results stay deterministic under a fixed
+//	                   seed.
+//
+// The injector is itself a trace.Source, so it slots between any
+// workload and sim.System.Run without either side knowing.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsmnc/memsys"
+	"dsmnc/trace"
+)
+
+// Kind selects the corruption class.
+type Kind uint8
+
+// Corruption classes.
+const (
+	// None passes the stream through untouched.
+	None Kind = iota
+	// BitFlipAddr flips an address bit above memsys.AddrSpaceBits.
+	BitFlipAddr
+	// BadPID replaces the PID with one at or beyond the machine total.
+	BadPID
+	// Truncate cuts the stream short with a trace.ErrBadTrace decode
+	// error reported via Err().
+	Truncate
+	// DuplicateQuantum replays a whole quantum of references.
+	DuplicateQuantum
+	// ReorderQuantum swaps two adjacent quanta.
+	ReorderQuantum
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case BitFlipAddr:
+		return "bitflip-addr"
+	case BadPID:
+		return "bad-pid"
+	case Truncate:
+		return "truncate"
+	case DuplicateQuantum:
+		return "duplicate-quantum"
+	case ReorderQuantum:
+		return "reorder-quantum"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Config parameterizes an Injector. The zero value of optional fields
+// picks sensible defaults.
+type Config struct {
+	Kind Kind
+	// Seed drives the injection PRNG; runs with equal seeds inject at
+	// identical points.
+	Seed int64
+	// EveryN sets the expected gap between injections (default 997
+	// records). Each record (or quantum, for the quantum kinds) is
+	// corrupted with probability 1/EveryN.
+	EveryN int
+	// Quantum is the records-per-quantum granularity for the
+	// DuplicateQuantum and ReorderQuantum kinds (default 64).
+	Quantum int
+	// MaxPIDs is the machine's total processor count; BadPID injects
+	// PIDs >= MaxPIDs. Defaults to 1<<20, beyond any geometry.
+	MaxPIDs int
+}
+
+// Injector is a corrupting trace.Source wrapper.
+type Injector struct {
+	src       trace.Source
+	cfg       Config
+	rng       *rand.Rand
+	buf       []trace.Ref
+	err       error
+	done      bool
+	delivered int64
+	injected  int64
+}
+
+// Wrap builds an injector around src.
+func Wrap(src trace.Source, cfg Config) *Injector {
+	if cfg.EveryN <= 0 {
+		cfg.EveryN = 997
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 64
+	}
+	if cfg.MaxPIDs <= 0 {
+		cfg.MaxPIDs = 1 << 20
+	}
+	return &Injector{
+		src: src,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Injected returns how many corruptions have been applied.
+func (in *Injector) Injected() int64 { return in.injected }
+
+// Delivered returns how many references have been handed out.
+func (in *Injector) Delivered() int64 { return in.delivered }
+
+// Err returns the stream's terminal error: the injected truncation
+// error, or the wrapped source's own Err() when it has one.
+func (in *Injector) Err() error {
+	if in.err != nil {
+		return in.err
+	}
+	if fe, ok := in.src.(interface{ Err() error }); ok {
+		return fe.Err()
+	}
+	return nil
+}
+
+// roll reports whether this record (or quantum) gets corrupted.
+func (in *Injector) roll() bool { return in.rng.Intn(in.cfg.EveryN) == 0 }
+
+// Next produces the next — possibly corrupted — reference.
+func (in *Injector) Next() (trace.Ref, bool) {
+	for {
+		if len(in.buf) > 0 {
+			r := in.buf[0]
+			in.buf = in.buf[1:]
+			in.delivered++
+			return r, true
+		}
+		if in.done {
+			return trace.Ref{}, false
+		}
+		switch in.cfg.Kind {
+		case DuplicateQuantum, ReorderQuantum:
+			in.refillQuanta()
+		default:
+			r, ok := in.src.Next()
+			if !ok {
+				in.done = true
+				return trace.Ref{}, false
+			}
+			if in.cfg.Kind == Truncate && in.roll() {
+				in.done = true
+				in.injected++
+				in.err = fmt.Errorf("%w: stream truncated after %d records (injected)",
+					trace.ErrBadTrace, in.delivered)
+				return trace.Ref{}, false
+			}
+			if in.roll() {
+				r = in.corrupt(r)
+			}
+			in.delivered++
+			return r, true
+		}
+	}
+}
+
+// corrupt applies the per-record corruption classes.
+func (in *Injector) corrupt(r trace.Ref) trace.Ref {
+	switch in.cfg.Kind {
+	case BitFlipAddr:
+		// Flip a bit above the architected address space: the result is
+		// guaranteed out of range, so detection is deterministic.
+		bit := memsys.AddrSpaceBits + in.rng.Intn(63-memsys.AddrSpaceBits)
+		r.Addr ^= memsys.Addr(1) << uint(bit)
+		in.injected++
+	case BadPID:
+		r.PID = int32(in.cfg.MaxPIDs + in.rng.Intn(8))
+		in.injected++
+	}
+	return r
+}
+
+// refillQuanta reads one quantum (two for reorders) and queues it,
+// duplicated or swapped when the dice say so.
+func (in *Injector) refillQuanta() {
+	a := in.readQuantum()
+	if len(a) == 0 {
+		in.done = true
+		return
+	}
+	inject := in.roll()
+	switch {
+	case in.cfg.Kind == DuplicateQuantum && inject:
+		in.injected++
+		in.buf = append(in.buf, a...)
+		in.buf = append(in.buf, a...)
+	case in.cfg.Kind == ReorderQuantum && inject:
+		b := in.readQuantum()
+		in.injected++
+		in.buf = append(in.buf, b...)
+		in.buf = append(in.buf, a...)
+	default:
+		in.buf = append(in.buf, a...)
+	}
+}
+
+// readQuantum pulls up to cfg.Quantum records from the source.
+func (in *Injector) readQuantum() []trace.Ref {
+	q := make([]trace.Ref, 0, in.cfg.Quantum)
+	for len(q) < in.cfg.Quantum {
+		r, ok := in.src.Next()
+		if !ok {
+			break
+		}
+		q = append(q, r)
+	}
+	return q
+}

@@ -1,0 +1,198 @@
+package fault_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dsmnc/internal/fault"
+	"dsmnc/memsys"
+	"dsmnc/trace"
+)
+
+// refs builds a small well-formed stream: PIDs cycle 0..3, addresses walk
+// block-aligned through page 0.
+func refs(n int) []trace.Ref {
+	out := make([]trace.Ref, n)
+	for i := range out {
+		op := trace.Read
+		if i%3 == 0 {
+			op = trace.Write
+		}
+		out[i] = trace.Ref{
+			PID:  int32(i % 4),
+			Op:   op,
+			Addr: memsys.Addr(i) * memsys.BlockBytes,
+		}
+	}
+	return out
+}
+
+func drain(in *fault.Injector) []trace.Ref {
+	var out []trace.Ref
+	for {
+		r, ok := in.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func TestPassThrough(t *testing.T) {
+	src := refs(100)
+	in := fault.Wrap(trace.NewSliceSource(src), fault.Config{Kind: fault.None})
+	got := drain(in)
+	if len(got) != len(src) {
+		t.Fatalf("delivered %d of %d refs", len(got), len(src))
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("ref %d altered: %+v != %+v", i, got[i], src[i])
+		}
+	}
+	if in.Err() != nil || in.Injected() != 0 {
+		t.Fatalf("pass-through err=%v injected=%d", in.Err(), in.Injected())
+	}
+}
+
+func TestBitFlipAddrAlwaysOutOfRange(t *testing.T) {
+	in := fault.Wrap(trace.NewSliceSource(refs(64)), fault.Config{
+		Kind: fault.BitFlipAddr, Seed: 1, EveryN: 1,
+	})
+	got := drain(in)
+	if len(got) != 64 {
+		t.Fatalf("delivered %d refs", len(got))
+	}
+	for i, r := range got {
+		if r.Addr <= memsys.MaxAddr {
+			t.Fatalf("ref %d: flipped address %#x still in range", i, uint64(r.Addr))
+		}
+	}
+	if in.Injected() != 64 {
+		t.Fatalf("injected = %d, want 64", in.Injected())
+	}
+}
+
+func TestBadPIDAlwaysOutOfRange(t *testing.T) {
+	in := fault.Wrap(trace.NewSliceSource(refs(64)), fault.Config{
+		Kind: fault.BadPID, Seed: 2, EveryN: 1, MaxPIDs: 8,
+	})
+	for i, r := range drain(in) {
+		if int(r.PID) < 8 {
+			t.Fatalf("ref %d: pid %d within the machine", i, r.PID)
+		}
+	}
+}
+
+func TestTruncateReportsTypedError(t *testing.T) {
+	in := fault.Wrap(trace.NewSliceSource(refs(1000)), fault.Config{
+		Kind: fault.Truncate, Seed: 3, EveryN: 10,
+	})
+	got := drain(in)
+	if len(got) >= 1000 {
+		t.Fatal("stream never truncated")
+	}
+	if !errors.Is(in.Err(), trace.ErrBadTrace) {
+		t.Fatalf("Err() = %v, want ErrBadTrace", in.Err())
+	}
+	// The stream stays dead.
+	if _, ok := in.Next(); ok {
+		t.Fatal("truncated stream resurrected")
+	}
+}
+
+func TestDuplicateQuantumStaysLegal(t *testing.T) {
+	src := refs(64)
+	in := fault.Wrap(trace.NewSliceSource(src), fault.Config{
+		Kind: fault.DuplicateQuantum, Seed: 4, EveryN: 1, Quantum: 8,
+	})
+	got := drain(in)
+	if len(got) != 2*len(src) {
+		t.Fatalf("delivered %d refs, want every quantum doubled (%d)", len(got), 2*len(src))
+	}
+	// Every corrupted stream element is still a verbatim source record.
+	for i, r := range got {
+		q := (i / 16) * 8 // doubled quanta of 8
+		if r != src[q+i%16%8] {
+			t.Fatalf("ref %d is not a replay of the source", i)
+		}
+	}
+	if in.Err() != nil {
+		t.Fatal(in.Err())
+	}
+}
+
+func TestReorderQuantumSwapsAdjacent(t *testing.T) {
+	src := refs(8)
+	in := fault.Wrap(trace.NewSliceSource(src), fault.Config{
+		Kind: fault.ReorderQuantum, Seed: 5, EveryN: 1, Quantum: 2,
+	})
+	got := drain(in)
+	want := []trace.Ref{src[2], src[3], src[0], src[1], src[6], src[7], src[4], src[5]}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d refs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	mk := func(seed int64) []trace.Ref {
+		in := fault.Wrap(trace.NewSliceSource(refs(500)), fault.Config{
+			Kind: fault.BitFlipAddr, Seed: seed, EveryN: 7,
+		})
+		return drain(in)
+	}
+	a, b := mk(42), mk(42)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at ref %d", i)
+		}
+	}
+}
+
+func TestErrPropagatesFromWrappedSource(t *testing.T) {
+	// A truncated binary trace under a None injector: the reader's decode
+	// error must flow through Err().
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	for _, r := range refs(16) {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-1]
+	in := fault.Wrap(trace.NewReader(bytes.NewReader(cut)), fault.Config{Kind: fault.None})
+	drain(in)
+	if !errors.Is(in.Err(), trace.ErrBadTrace) {
+		t.Fatalf("Err() = %v, want the reader's ErrBadTrace", in.Err())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []fault.Kind{
+		fault.None, fault.BitFlipAddr, fault.BadPID,
+		fault.Truncate, fault.DuplicateQuantum, fault.ReorderQuantum,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d: bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if fault.Kind(99).String() == "" {
+		t.Fatal("unknown kind unnamed")
+	}
+}

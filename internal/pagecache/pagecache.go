@@ -56,19 +56,19 @@ type PageCache struct {
 // New builds a page cache with the given number of page frames and
 // relocation-threshold policy. frames must be positive; policy must not
 // be nil (use NewFixedPolicy for the trivial one).
-func New(frames int, policy *Policy) *PageCache {
+func New(frames int, policy *Policy) (*PageCache, error) {
 	if frames <= 0 {
-		panic(fmt.Sprintf("pagecache: invalid frame count %d", frames))
+		return nil, fmt.Errorf("pagecache: invalid frame count %d", frames)
 	}
 	if policy == nil {
-		panic("pagecache: nil policy")
+		return nil, fmt.Errorf("pagecache: nil policy")
 	}
 	policy.bindFrames(frames)
 	return &PageCache{
 		frames: frames,
 		byPage: make(map[memsys.Page]*frame, frames),
 		policy: policy,
-	}
+	}, nil
 }
 
 // Frames returns the capacity in pages.
@@ -175,6 +175,17 @@ func (pc *PageCache) Clean(b memsys.Block) bool {
 	}
 	f.dirty &^= bit
 	return true
+}
+
+// Bits returns page p's per-block valid and dirty masks, and whether the
+// page is mapped at all. The invariant checker uses it to verify that
+// dirty bits never outrun valid bits.
+func (pc *PageCache) Bits(p memsys.Page) (valid, dirty uint64, ok bool) {
+	f := pc.byPage[p]
+	if f == nil {
+		return 0, 0, false
+	}
+	return f.valid, f.dirty, true
 }
 
 // IsMapped reports whether page p has a frame.

@@ -7,25 +7,27 @@ import (
 	"dsmnc/memsys"
 )
 
-func newPC(frames int) *PageCache { return New(frames, NewFixedPolicy(32)) }
+// mustNew builds a page cache or panics (test files only).
+func mustNew(frames int, pol *Policy) *PageCache {
+	pc, err := New(frames, pol)
+	if err != nil {
+		panic(err)
+	}
+	return pc
+}
+
+func newPC(frames int) *PageCache { return mustNew(frames, NewFixedPolicy(32)) }
 
 func blockOf(p memsys.Page, i int) memsys.Block {
 	return memsys.FirstBlock(p) + memsys.Block(i)
 }
 
 func TestNewValidation(t *testing.T) {
-	for _, fn := range []func(){
-		func() { New(0, NewFixedPolicy(1)) },
-		func() { New(4, nil) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("New accepted invalid arguments")
-				}
-			}()
-			fn()
-		}()
+	if _, err := New(0, NewFixedPolicy(1)); err == nil {
+		t.Error("New accepted zero frames")
+	}
+	if _, err := New(4, nil); err == nil {
+		t.Error("New accepted a nil policy")
 	}
 }
 
@@ -156,7 +158,7 @@ func TestMappedPages(t *testing.T) {
 }
 
 func TestFixedPolicyNeverRaises(t *testing.T) {
-	pc := New(1, NewFixedPolicy(32))
+	pc := mustNew(1, NewFixedPolicy(32))
 	for p := memsys.Page(0); p < 100; p++ {
 		if _, raised := pc.Relocate(p); raised {
 			t.Fatal("fixed policy raised the threshold")
@@ -178,7 +180,7 @@ func TestAdaptivePolicyRaisesOnThrashing(t *testing.T) {
 	// reuse contributes -breakEven, so after one window the threshold
 	// must rise by the step.
 	pol := NewAdaptivePolicy(32)
-	pc := New(4, pol)
+	pc := mustNew(4, pol)
 	page := memsys.Page(0)
 	for i := 0; i < 4+8; i++ { // fill 4, then 8 thrashing reuses
 		pc.Relocate(page)
@@ -202,7 +204,7 @@ func TestAdaptivePolicyRaisesOnThrashing(t *testing.T) {
 
 func TestAdaptivePolicyQuietWhenPagesEarnKeep(t *testing.T) {
 	pol := NewAdaptivePolicy(32)
-	pc := New(2, pol)
+	pc := mustNew(2, pol)
 	page := memsys.Page(0)
 	pc.Relocate(page)
 	page++
@@ -227,7 +229,7 @@ func TestAdaptivePolicyQuietWhenPagesEarnKeep(t *testing.T) {
 
 func TestAdaptiveRaiseResetsHitCounters(t *testing.T) {
 	pol := NewAdaptivePolicyTuned(32, 8, DefaultBreakEven, 1) // window = frames = 2
-	pc := New(2, pol)
+	pc := mustNew(2, pol)
 	pc.Relocate(1)
 	pc.Relocate(2)
 	pc.RecordHit(blockOf(2, 0)) // some hits on the surviving page
@@ -248,7 +250,7 @@ func TestAdaptiveRaiseResetsHitCounters(t *testing.T) {
 
 func TestPolicyTunedParameters(t *testing.T) {
 	pol := NewAdaptivePolicyTuned(64, 16, 3, 1)
-	pc := New(1, pol)
+	pc := mustNew(1, pol)
 	if pol.Threshold() != 64 {
 		t.Fatal("initial threshold")
 	}
@@ -263,7 +265,7 @@ func TestPolicyTunedParameters(t *testing.T) {
 // implies valid, and every evicted dirty list matches what was written.
 func TestPageCacheInvariants(t *testing.T) {
 	f := func(ops []uint16) bool {
-		pc := New(3, NewFixedPolicy(32))
+		pc := mustNew(3, NewFixedPolicy(32))
 		shadowDirty := map[memsys.Block]bool{}
 		mapped := map[memsys.Page]bool{}
 		for _, op := range ops {
@@ -328,7 +330,7 @@ func TestPageCacheInvariants(t *testing.T) {
 }
 
 func TestResize(t *testing.T) {
-	pc := New(4, NewFixedPolicy(32))
+	pc := mustNew(4, NewFixedPolicy(32))
 	for p := memsys.Page(0); p < 4; p++ {
 		pc.Relocate(p)
 	}

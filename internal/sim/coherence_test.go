@@ -8,11 +8,11 @@ import (
 	"dsmnc/internal/cache"
 	"dsmnc/internal/cluster"
 	"dsmnc/internal/core"
-	"dsmnc/memsys"
 	"dsmnc/internal/migration"
 	"dsmnc/internal/pagecache"
-	"dsmnc/trace"
+	"dsmnc/memsys"
 	"dsmnc/stats"
+	"dsmnc/trace"
 )
 
 // systemsUnderTest builds one instance of every system organization on a
@@ -20,17 +20,17 @@ import (
 func systemsUnderTest() map[string]*System {
 	geo := memsys.Geometry{Clusters: 4, ProcsPerCluster: 2}
 	l1 := cache.Config{Bytes: 8 * memsys.BlockBytes, Ways: 2}
-	mk := func(nc func() core.NC, pc bool, mode cluster.CounterMode) *System {
+	mk := func(nc func() (core.NC, error), pc bool, mode cluster.CounterMode) *System {
 		cfg := Config{Geometry: geo, L1: l1, NewNC: nc, Counters: mode}
 		if pc {
-			cfg.NewPC = func() *pagecache.PageCache {
+			cfg.NewPC = func() (*pagecache.PageCache, error) {
 				return pagecache.New(4, pagecache.NewAdaptivePolicy(4))
 			}
 		}
-		return New(cfg)
+		return mustNew(cfg)
 	}
-	victim := func(idx cache.Indexing, counters bool) func() core.NC {
-		return func() core.NC {
+	victim := func(idx cache.Indexing, counters bool) func() (core.NC, error) {
+		return func() (core.NC, error) {
 			return core.NewVictim(core.VictimConfig{
 				Bytes: 8 * memsys.BlockBytes, Ways: 4, Indexing: idx, SetCounters: counters,
 			})
@@ -38,11 +38,11 @@ func systemsUnderTest() map[string]*System {
 	}
 	return map[string]*System{
 		"base": mk(nil, false, cluster.CountersNone),
-		"nc":   mk(func() core.NC { return core.NewRelaxed(8*memsys.BlockBytes, 4) }, false, cluster.CountersNone),
+		"nc":   mk(func() (core.NC, error) { return core.NewRelaxed(8*memsys.BlockBytes, 4) }, false, cluster.CountersNone),
 		"vb":   mk(victim(cache.ByBlock, false), false, cluster.CountersNone),
 		"vp":   mk(victim(cache.ByPage, false), false, cluster.CountersNone),
-		"NCD":  mk(func() core.NC { return core.NewInclusive(32*memsys.BlockBytes, 4) }, false, cluster.CountersNone),
-		"NCS":  mk(func() core.NC { return core.NewInfinite(stats.NCTechSRAM) }, false, cluster.CountersNone),
+		"NCD":  mk(func() (core.NC, error) { return core.NewInclusive(32*memsys.BlockBytes, 4) }, false, cluster.CountersNone),
+		"NCS":  mk(func() (core.NC, error) { return core.NewInfinite(stats.NCTechSRAM), nil }, false, cluster.CountersNone),
 		"vbp":  mk(victim(cache.ByBlock, false), true, cluster.CountersDirectory),
 		"vxp":  mk(victim(cache.ByPage, true), true, cluster.CountersNCSet),
 	}
@@ -108,16 +108,16 @@ func TestDirtyOwnerAlwaysHoldsData(t *testing.T) {
 		s := systemsUnderTest()["vxp"]
 		// Fresh system per run.
 		geo := memsys.Geometry{Clusters: 4, ProcsPerCluster: 2}
-		s = New(Config{
+		s = mustNew(Config{
 			Geometry: geo,
 			L1:       cache.Config{Bytes: 8 * memsys.BlockBytes, Ways: 2},
-			NewNC: func() core.NC {
+			NewNC: func() (core.NC, error) {
 				return core.NewVictim(core.VictimConfig{
 					Bytes: 8 * memsys.BlockBytes, Ways: 4,
 					Indexing: cache.ByPage, SetCounters: true,
 				})
 			},
-			NewPC: func() *pagecache.PageCache {
+			NewPC: func() (*pagecache.PageCache, error) {
 				return pagecache.New(3, pagecache.NewAdaptivePolicy(4))
 			},
 			Counters: cluster.CountersNCSet,
@@ -145,10 +145,10 @@ func TestDirtyOwnerAlwaysHoldsData(t *testing.T) {
 // protocol option.
 func TestMOESISystemCoherence(t *testing.T) {
 	geo := memsys.Geometry{Clusters: 4, ProcsPerCluster: 2}
-	s := New(Config{
+	s := mustNew(Config{
 		Geometry: geo,
 		L1:       cache.Config{Bytes: 8 * memsys.BlockBytes, Ways: 2},
-		NewNC: func() core.NC {
+		NewNC: func() (core.NC, error) {
 			return core.NewVictim(core.VictimConfig{Bytes: 8 * memsys.BlockBytes, Ways: 4})
 		},
 		MOESI: true,
@@ -167,10 +167,10 @@ func TestMOESISystemCoherence(t *testing.T) {
 	}
 	// MOESI must reduce (or match) downgrade write-back traffic versus
 	// MESI on identical input.
-	mesi := New(Config{
+	mesi := mustNew(Config{
 		Geometry: geo,
 		L1:       cache.Config{Bytes: 8 * memsys.BlockBytes, Ways: 2},
-		NewNC: func() core.NC {
+		NewNC: func() (core.NC, error) {
 			return core.NewVictim(core.VictimConfig{Bytes: 8 * memsys.BlockBytes, Ways: 4})
 		},
 	})
@@ -195,16 +195,16 @@ func TestDecrementedSystemCoherence(t *testing.T) {
 		if mode == cluster.CountersNCSet {
 			idx = cache.ByPage
 		}
-		s := New(Config{
+		s := mustNew(Config{
 			Geometry: geo,
 			L1:       cache.Config{Bytes: 8 * memsys.BlockBytes, Ways: 2},
-			NewNC: func() core.NC {
+			NewNC: func() (core.NC, error) {
 				return core.NewVictim(core.VictimConfig{
 					Bytes: 8 * memsys.BlockBytes, Ways: 4,
 					Indexing: idx, SetCounters: mode == cluster.CountersNCSet,
 				})
 			},
-			NewPC: func() *pagecache.PageCache {
+			NewPC: func() (*pagecache.PageCache, error) {
 				return pagecache.New(4, pagecache.NewFixedPolicy(8))
 			},
 			Counters:          mode,
@@ -226,7 +226,7 @@ func TestDecrementedSystemCoherence(t *testing.T) {
 func TestMigrationSystemCoherence(t *testing.T) {
 	geo := memsys.Geometry{Clusters: 4, ProcsPerCluster: 2}
 	mc := migration.Config{ReplicateThreshold: 4, MigrateThreshold: 8}
-	s := New(Config{
+	s := mustNew(Config{
 		Geometry:  geo,
 		L1:        cache.Config{Bytes: 8 * memsys.BlockBytes, Ways: 2},
 		Migration: &mc,
@@ -256,7 +256,7 @@ func TestMigrationSystemCoherence(t *testing.T) {
 func TestReplicationServesLocalReads(t *testing.T) {
 	geo := memsys.Geometry{Clusters: 2, ProcsPerCluster: 2}
 	mc := migration.Config{ReplicateThreshold: 3, MigrateThreshold: 1000}
-	s := New(Config{
+	s := mustNew(Config{
 		Geometry:  geo,
 		L1:        cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
 		Migration: &mc,

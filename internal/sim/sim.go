@@ -6,17 +6,31 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"dsmnc/internal/cache"
+	"dsmnc/internal/check"
 	"dsmnc/internal/cluster"
 	"dsmnc/internal/core"
 	"dsmnc/internal/directory"
-	"dsmnc/memsys"
 	"dsmnc/internal/migration"
 	"dsmnc/internal/pagecache"
-	"dsmnc/trace"
+	"dsmnc/memsys"
 	"dsmnc/stats"
+	"dsmnc/trace"
+)
+
+// Sentinel errors. Use errors.Is to classify failures from Apply/Run.
+var (
+	// ErrProtocol marks an internal protocol invariant violation — the
+	// simulator's own state went inconsistent. It wraps the structured
+	// *check.CheckError when the invariant checker caught it.
+	ErrProtocol = errors.New("sim: protocol invariant violated")
+	// ErrBadRef marks a malformed input reference (out-of-range PID,
+	// address beyond the machine's address space, unknown op).
+	ErrBadRef = errors.New("sim: malformed reference")
 )
 
 // Config describes one system under evaluation.
@@ -25,9 +39,9 @@ type Config struct {
 	L1       cache.Config
 
 	// NewNC builds one cluster's network cache; nil means no NC.
-	NewNC func() core.NC
+	NewNC func() (core.NC, error)
 	// NewPC builds one cluster's page cache; nil means no page cache.
-	NewPC func() *pagecache.PageCache
+	NewPC func() (*pagecache.PageCache, error)
 	// Counters selects the relocation trigger (requires a page cache
 	// unless CountersNone).
 	Counters cluster.CounterMode
@@ -38,7 +52,7 @@ type Config struct {
 	// NewDirectory builds the system coherence engine; nil means the
 	// full-map directory. Use directory.NewLimited for the Dir_iB
 	// scalability experiments.
-	NewDirectory func(clusters int) directory.Protocol
+	NewDirectory func(clusters int) (directory.Protocol, error)
 
 	// Migration, when non-nil, enables SGI-Origin-style OS page
 	// migration and replication with the given thresholds. Requires a
@@ -50,6 +64,13 @@ type Config struct {
 	// DecrementCounters enables the §3.4 counter-decrement refinement
 	// for both directory and NC-set relocation counters.
 	DecrementCounters bool
+
+	// Check attaches the coherence invariant checker (internal/check):
+	// after every applied reference the machine-wide invariants for the
+	// touched block are validated, and the first violation surfaces as
+	// an ErrProtocol-wrapped *check.CheckError from Apply/Run. Roughly
+	// doubles per-reference cost; meant for tests and checked sweeps.
+	Check bool
 }
 
 // System is one simulated machine.
@@ -60,21 +81,31 @@ type System struct {
 	clusters []*cluster.Cluster
 	decrDir  bool // decrement directory counters on false invalidations
 	mig      *migration.Engine
+	checker  *check.Checker
+	err      error // sticky: first internal failure, surfaced by Apply
 }
 
 // New builds a system from cfg.
-func New(cfg Config) *System {
+func New(cfg Config) (*System, error) {
 	if err := cfg.Geometry.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	s := &System{
 		geo:   cfg.Geometry,
 		place: cfg.Placement,
 	}
 	if cfg.NewDirectory != nil {
-		s.dir = cfg.NewDirectory(cfg.Geometry.Clusters)
+		d, err := cfg.NewDirectory(cfg.Geometry.Clusters)
+		if err != nil {
+			return nil, err
+		}
+		s.dir = d
 	} else {
-		s.dir = directory.New(cfg.Geometry.Clusters)
+		d, err := directory.New(cfg.Geometry.Clusters)
+		if err != nil {
+			return nil, err
+		}
+		s.dir = d
 	}
 	if s.place == nil {
 		s.place = memsys.NewFirstTouch()
@@ -90,13 +121,21 @@ func New(cfg Config) *System {
 	for i := range s.clusters {
 		var nc core.NC = core.NoNC{}
 		if cfg.NewNC != nil {
-			nc = cfg.NewNC()
+			n, err := cfg.NewNC()
+			if err != nil {
+				return nil, err
+			}
+			nc = n
 		}
 		var pc *pagecache.PageCache
 		if cfg.NewPC != nil {
-			pc = cfg.NewPC()
+			p, err := cfg.NewPC()
+			if err != nil {
+				return nil, err
+			}
+			pc = p
 		}
-		s.clusters[i] = cluster.New(cluster.Config{
+		cl, err := cluster.New(cluster.Config{
 			ID:                i,
 			Procs:             cfg.Geometry.ProcsPerCluster,
 			L1:                cfg.L1,
@@ -107,8 +146,20 @@ func New(cfg Config) *System {
 			MOESI:             cfg.MOESI,
 			DecrementCounters: cfg.DecrementCounters,
 		})
+		if err != nil {
+			return nil, err
+		}
+		s.clusters[i] = cl
 	}
-	return s
+	if cfg.Check {
+		s.checker = check.New(check.Config{
+			Geometry: cfg.Geometry,
+			Dir:      s.dir,
+			Clusters: s.clusters,
+			Home:     s.place.HomeIfPlaced,
+		})
+	}
+	return s, nil
 }
 
 // Geometry returns the machine topology.
@@ -120,9 +171,34 @@ func (s *System) Cluster(i int) *cluster.Cluster { return s.clusters[i] }
 // Directory exposes the system coherence engine (testing and reporting).
 func (s *System) Directory() directory.Protocol { return s.dir }
 
-// Apply drives one reference through the machine.
-func (s *System) Apply(r trace.Ref) {
+// Checker exposes the invariant checker, or nil when Config.Check was
+// off.
+func (s *System) Checker() *check.Checker { return s.checker }
+
+// Err returns the machine's sticky internal error: the first protocol
+// failure recorded during a reference. Once set, every later Apply
+// returns it.
+func (s *System) Err() error { return s.err }
+
+// Apply drives one reference through the machine. It rejects malformed
+// references (ErrBadRef) before touching any state, surfaces internal
+// protocol failures (ErrProtocol), and — when the invariant checker is
+// attached — validates the touched block's machine-wide invariants
+// afterwards.
+func (s *System) Apply(r trace.Ref) error {
+	if s.err != nil {
+		return s.err
+	}
 	pid := int(r.PID)
+	if pid < 0 || pid >= s.geo.Procs() {
+		return fmt.Errorf("%w: pid %d out of range [0,%d)", ErrBadRef, r.PID, s.geo.Procs())
+	}
+	if r.Addr > memsys.MaxAddr {
+		return fmt.Errorf("%w: address %#x beyond %d-bit address space", ErrBadRef, uint64(r.Addr), memsys.AddrSpaceBits)
+	}
+	if r.Op != trace.Read && r.Op != trace.Write {
+		return fmt.Errorf("%w: unknown op %d", ErrBadRef, r.Op)
+	}
 	c := s.geo.ClusterOf(pid)
 	page := memsys.PageOf(r.Addr)
 	home := s.place.Home(page, c)
@@ -143,17 +219,51 @@ func (s *System) Apply(r trace.Ref) {
 		}
 	}
 	s.clusters[c].Access(s.geo.LocalProc(pid), r.Addr, write, home)
+	if s.err != nil {
+		return s.err
+	}
+	if s.checker != nil {
+		if cerr := s.checker.CheckRef(r); cerr != nil {
+			s.err = fmt.Errorf("%w: %w", ErrProtocol, cerr)
+			return s.err
+		}
+	}
+	return nil
 }
 
-// Run drains src through the machine, returning the reference count.
-func (s *System) Run(src trace.Source) int64 {
+// Run drains src through the machine, returning the reference count and
+// the first error: a malformed or invariant-violating reference, or the
+// source's own decode error (sources exposing Err() error, like
+// trace.Reader, are consulted once the stream ends).
+func (s *System) Run(src trace.Source) (int64, error) {
+	return s.RunContext(context.Background(), src)
+}
+
+// RunContext is Run with cancellation: ctx is polled every 1024
+// references, so runaway cells in a sweep can be timed out.
+func (s *System) RunContext(ctx context.Context, src trace.Source) (int64, error) {
+	done := ctx.Done()
 	var n int64
 	for {
+		if done != nil && n&1023 == 0 {
+			select {
+			case <-done:
+				return n, ctx.Err()
+			default:
+			}
+		}
 		r, ok := src.Next()
 		if !ok {
-			return n
+			if fe, ok := src.(interface{ Err() error }); ok {
+				if err := fe.Err(); err != nil {
+					return n, err
+				}
+			}
+			return n, nil
 		}
-		s.Apply(r)
+		if err := s.Apply(r); err != nil {
+			return n, err
+		}
 		n++
 	}
 }
@@ -233,13 +343,24 @@ func (s *System) IsExclusive(c int, b memsys.Block) bool { return s.dir.IsExclus
 // SoleSharer reports whether cluster c is the only presence-bit holder.
 func (s *System) SoleSharer(c int, b memsys.Block) bool { return s.dir.SoleSharer(c, b) }
 
-// HomeOf returns the home cluster of an already-placed page.
+// HomeOf returns the home cluster of an already-placed page. A page
+// referenced before placement is a protocol failure; it is recorded in
+// the machine's sticky error (surfaced by the enclosing Apply) and home
+// 0 is returned so the access can limp to the end of the reference.
 func (s *System) HomeOf(p memsys.Page) int {
 	h, ok := s.place.HomeIfPlaced(p)
 	if !ok {
-		panic(fmt.Sprintf("sim: page %d referenced before placement", p))
+		s.fail(fmt.Errorf("%w: page %d referenced before placement", ErrProtocol, p))
+		return 0
 	}
 	return h
+}
+
+// fail records the machine's first internal error.
+func (s *System) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
 }
 
 // ResetRelocationCounter clears the R-NUMA counter for (p, c).

@@ -6,10 +6,10 @@ import (
 	"dsmnc/internal/cache"
 	"dsmnc/internal/cluster"
 	"dsmnc/internal/core"
-	"dsmnc/memsys"
 	"dsmnc/internal/pagecache"
-	"dsmnc/trace"
+	"dsmnc/memsys"
 	"dsmnc/stats"
+	"dsmnc/trace"
 )
 
 // Test geometry: 2 clusters x 2 processors, tiny caches so evictions are
@@ -19,6 +19,14 @@ func testConfig() Config {
 		Geometry: memsys.Geometry{Clusters: 2, ProcsPerCluster: 2},
 		L1:       cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
 	}
+}
+
+func mustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 func read(pid int, a memsys.Addr) trace.Ref {
@@ -35,7 +43,7 @@ func addr(page, blk int) memsys.Addr {
 }
 
 func TestFirstTouchPlacement(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	// P0 (cluster 0) touches page 0; P2 (cluster 1) touches page 1.
 	s.Apply(read(0, addr(0, 0)))
 	s.Apply(read(2, addr(1, 0)))
@@ -52,7 +60,7 @@ func TestFirstTouchPlacement(t *testing.T) {
 }
 
 func TestRemoteColdMiss(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	s.Apply(read(0, addr(0, 0))) // places page 0 on cluster 0
 	s.Apply(read(2, addr(0, 0))) // cluster 1: remote cold miss
 	tot := s.Totals()
@@ -62,7 +70,7 @@ func TestRemoteColdMiss(t *testing.T) {
 }
 
 func TestL1HitAfterFill(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	s.Apply(read(0, addr(0, 0)))
 	s.Apply(read(0, addr(0, 0)))
 	tot := s.Totals()
@@ -72,7 +80,7 @@ func TestL1HitAfterFill(t *testing.T) {
 }
 
 func TestIntraClusterSharing(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	s.Apply(read(2, addr(0, 0))) // P2 places page 0 on cluster 1... wait, requester cluster
 	s.Apply(read(3, addr(0, 0))) // sibling P3: cache-to-cache, same cluster
 	tot := s.Totals()
@@ -82,7 +90,7 @@ func TestIntraClusterSharing(t *testing.T) {
 }
 
 func TestRemoteC2CAfterRemoteFill(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	s.Apply(read(0, addr(0, 0))) // home cluster 0
 	s.Apply(read(2, addr(0, 0))) // cluster 1 fetches remotely (R state)
 	s.Apply(read(3, addr(0, 0))) // sibling gets it cache-to-cache
@@ -99,7 +107,7 @@ func TestRemoteC2CAfterRemoteFill(t *testing.T) {
 }
 
 func TestWriteInvalidatesRemoteSharers(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	a := addr(0, 0)
 	b := memsys.BlockOf(a)
 	s.Apply(read(0, a))  // home cluster 0
@@ -127,7 +135,7 @@ func TestWriteInvalidatesRemoteSharers(t *testing.T) {
 }
 
 func TestCapacityMissClassification(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	a := addr(0, 0)
 	s.Apply(read(0, a)) // home cluster 0
 	s.Apply(read(2, a)) // cluster 1: cold
@@ -144,10 +152,10 @@ func TestCapacityMissClassification(t *testing.T) {
 
 func TestMESIRVictimGoesToVictimNC(t *testing.T) {
 	cfg := testConfig()
-	cfg.NewNC = func() core.NC {
+	cfg.NewNC = func() (core.NC, error) {
 		return core.NewVictim(core.VictimConfig{Bytes: 4 * memsys.BlockBytes, Ways: 4})
 	}
-	s := New(cfg)
+	s := mustNew(cfg)
 	a := addr(0, 0)
 	b := memsys.BlockOf(a)
 	s.Apply(read(0, a)) // home 0
@@ -178,10 +186,10 @@ func TestMESIRVictimGoesToVictimNC(t *testing.T) {
 
 func TestMastershipTransferAvoidsNC(t *testing.T) {
 	cfg := testConfig()
-	cfg.NewNC = func() core.NC {
+	cfg.NewNC = func() (core.NC, error) {
 		return core.NewVictim(core.VictimConfig{Bytes: 4 * memsys.BlockBytes, Ways: 4})
 	}
-	s := New(cfg)
+	s := mustNew(cfg)
 	a := addr(0, 0)
 	s.Apply(read(0, a)) // home 0
 	s.Apply(read(2, a)) // P2: R
@@ -199,7 +207,7 @@ func TestMastershipTransferAvoidsNC(t *testing.T) {
 }
 
 func TestDirtyVictimWriteback(t *testing.T) {
-	s := New(testConfig()) // no NC, no PC
+	s := mustNew(testConfig()) // no NC, no PC
 	a := addr(0, 0)
 	s.Apply(read(0, a))  // home 0
 	s.Apply(write(2, a)) // cluster 1 dirty
@@ -217,10 +225,10 @@ func TestDirtyVictimWriteback(t *testing.T) {
 
 func TestDowngradeCapturedByVictimNC(t *testing.T) {
 	cfg := testConfig()
-	cfg.NewNC = func() core.NC {
+	cfg.NewNC = func() (core.NC, error) {
 		return core.NewVictim(core.VictimConfig{Bytes: 4 * memsys.BlockBytes, Ways: 4})
 	}
-	s := New(cfg)
+	s := mustNew(cfg)
 	a := addr(0, 0)
 	b := memsys.BlockOf(a)
 	s.Apply(read(0, a))  // home 0
@@ -237,7 +245,7 @@ func TestDowngradeCapturedByVictimNC(t *testing.T) {
 		t.Fatal("captured downgrade still crossed the network")
 	}
 	// Without an NC the downgrade must update remote memory.
-	s2 := New(testConfig())
+	s2 := mustNew(testConfig())
 	s2.Apply(read(0, a))
 	s2.Apply(write(2, a))
 	s2.Apply(read(3, a))
@@ -247,7 +255,7 @@ func TestDowngradeCapturedByVictimNC(t *testing.T) {
 }
 
 func TestUpgradeCountsTraffic(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	a := addr(0, 0)
 	s.Apply(read(0, a))  // home 0
 	s.Apply(read(2, a))  // cluster 1 shares (R)
@@ -269,11 +277,11 @@ func TestUpgradeCountsTraffic(t *testing.T) {
 
 func TestPageCacheHitPath(t *testing.T) {
 	cfg := testConfig()
-	cfg.NewPC = func() *pagecache.PageCache {
+	cfg.NewPC = func() (*pagecache.PageCache, error) {
 		return pagecache.New(2, pagecache.NewFixedPolicy(0)) // threshold 0: relocate on 1st capacity miss
 	}
 	cfg.Counters = cluster.CountersDirectory
-	s := New(cfg)
+	s := mustNew(cfg)
 	a := addr(0, 0)
 	b := memsys.BlockOf(a)
 	s.Apply(read(0, a)) // home 0
@@ -311,11 +319,11 @@ func TestPageCacheHitPath(t *testing.T) {
 
 func TestPageEvictionFlushesCluster(t *testing.T) {
 	cfg := testConfig()
-	cfg.NewPC = func() *pagecache.PageCache {
+	cfg.NewPC = func() (*pagecache.PageCache, error) {
 		return pagecache.New(1, pagecache.NewFixedPolicy(0))
 	}
 	cfg.Counters = cluster.CountersDirectory
-	s := New(cfg)
+	s := mustNew(cfg)
 	// Home everything on cluster 0 via P0 first touch.
 	for pg := 0; pg < 3; pg++ {
 		s.Apply(read(0, addr(pg, 0)))
@@ -353,17 +361,17 @@ func TestPageEvictionFlushesCluster(t *testing.T) {
 
 func TestVxpRelocation(t *testing.T) {
 	cfg := testConfig()
-	cfg.NewNC = func() core.NC {
+	cfg.NewNC = func() (core.NC, error) {
 		return core.NewVictim(core.VictimConfig{
 			Bytes: 4 * memsys.BlockBytes, Ways: 4,
 			Indexing: cache.ByPage, SetCounters: true,
 		})
 	}
-	cfg.NewPC = func() *pagecache.PageCache {
+	cfg.NewPC = func() (*pagecache.PageCache, error) {
 		return pagecache.New(2, pagecache.NewFixedPolicy(2)) // relocate on 3rd victimization
 	}
 	cfg.Counters = cluster.CountersNCSet
-	s := New(cfg)
+	s := mustNew(cfg)
 	// Home page 0 on cluster 0; cluster 1 victimizes its blocks
 	// repeatedly: the NC set counter climbs past the threshold and the
 	// predominant page (page 0) relocates.
@@ -385,12 +393,15 @@ func TestVxpRelocation(t *testing.T) {
 }
 
 func TestRunAndInterleaver(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	refs := []trace.Ref{
 		read(0, addr(0, 0)), write(1, addr(0, 0)),
 		read(2, addr(1, 0)), read(3, addr(1, 0)),
 	}
-	n := s.Run(trace.NewSliceSource(refs))
+	n, err := s.Run(trace.NewSliceSource(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 4 {
 		t.Fatalf("Run = %d refs", n)
 	}

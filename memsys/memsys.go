@@ -21,6 +21,15 @@ const (
 	BlocksPerPage = PageBytes / BlockBytes
 )
 
+// Address-space bounds. The simulated machine exposes a 48-bit physical
+// address space (the width contemporary CC-NUMA machines implement);
+// addresses beyond MaxAddr cannot name real memory and are rejected at
+// the simulator boundary instead of silently aliasing.
+const (
+	AddrSpaceBits      = 48
+	MaxAddr       Addr = 1<<AddrSpaceBits - 1
+)
+
 // Addr is a byte address in the single shared address space.
 type Addr uint64
 

@@ -51,7 +51,7 @@ func TestPaperShapesFig9(t *testing.T) {
 	if testing.Short() {
 		t.Skip("minutes of simulation; run without -short")
 	}
-	exp := Fig9(shapeOptions())
+	exp := mustExp(t, Fig9, shapeOptions())
 
 	// (a) FFT: no NC at all beats an infinite DRAM NC.
 	if v := norm(t, exp, "FFT", "base"); v >= 1 {
@@ -106,7 +106,7 @@ func TestPaperShapesFig10(t *testing.T) {
 	if testing.Short() {
 		t.Skip("minutes of simulation; run without -short")
 	}
-	exp := Fig10(shapeOptions())
+	exp := mustExp(t, Fig10, shapeOptions())
 	// The victim cache cuts Radix traffic dramatically versus ncp.
 	radixNcp := norm(t, exp, "Radix", "ncp")
 	radixVbp := norm(t, exp, "Radix", "vbp")
@@ -131,7 +131,7 @@ func TestPaperShapesFig11(t *testing.T) {
 	if testing.Short() {
 		t.Skip("minutes of simulation; run without -short")
 	}
-	exp := Fig11(shapeOptions())
+	exp := mustExp(t, Fig11, shapeOptions())
 	// LU is the vxp loss (same mechanism as vpp).
 	lu := benchIndex(exp, "LU")
 	if exp.Rows[lu].Values[1].Norm <= exp.Rows[lu].Values[0].Norm {

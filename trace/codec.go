@@ -83,22 +83,69 @@ func (tw *Writer) Flush() error {
 	return tw.w.Flush()
 }
 
-// Reader decodes a binary trace and implements Source.
+// countingReader tracks the byte offset of everything decoded so far, so
+// every decode failure can name the exact position of the damage.
+type countingReader struct {
+	r   *bufio.Reader
+	off int64
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
+// Reader decodes a binary trace and implements Source. It is hardened
+// against adversarial input: varint lengths are bounded, decoded PIDs and
+// addresses are checked against configurable limits, and every decode
+// failure wraps ErrBadTrace with the byte offset of the damage.
 type Reader struct {
-	r        *bufio.Reader
+	r        countingReader
 	lastAddr uint64
 	err      error
 	started  bool
+
+	maxPIDs int         // reject PID >= maxPIDs when > 0
+	maxAddr memsys.Addr // reject Addr > maxAddr
 }
 
 // NewReader returns a Reader over r. Header validation happens on the
-// first Next call.
+// first Next call. By default addresses are bounded by memsys.MaxAddr and
+// PIDs only by the encoding; use SetLimits to bind the reader to a
+// machine geometry.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReader(r)}
+	return &Reader{
+		r:       countingReader{r: bufio.NewReader(r)},
+		maxAddr: memsys.MaxAddr,
+	}
+}
+
+// SetLimits bounds the decoded references: PIDs must be < pids (ignored
+// when pids <= 0) and addresses must not exceed maxAddr (capped at
+// memsys.MaxAddr; pass 0 to keep the default). Call it before the first
+// Next.
+func (tr *Reader) SetLimits(pids int, maxAddr memsys.Addr) {
+	tr.maxPIDs = pids
+	if maxAddr == 0 || maxAddr > memsys.MaxAddr {
+		maxAddr = memsys.MaxAddr
+	}
+	tr.maxAddr = maxAddr
 }
 
 // Err returns the first error encountered (io.EOF is not an error).
 func (tr *Reader) Err() error { return tr.err }
+
+// Offset returns the number of bytes decoded so far.
+func (tr *Reader) Offset() int64 { return tr.r.off }
 
 // Next decodes the next reference.
 func (tr *Reader) Next() (Ref, bool) {
@@ -107,44 +154,65 @@ func (tr *Reader) Next() (Ref, bool) {
 	}
 	if !tr.started {
 		var hdr [5]byte
-		if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		if _, err := io.ReadFull(&tr.r, hdr[:]); err != nil {
 			tr.fail(err)
 			return Ref{}, false
 		}
 		if [4]byte(hdr[:4]) != traceMagic {
-			tr.err = fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
+			tr.err = fmt.Errorf("%w: bad magic %q at offset 0", ErrBadTrace, hdr[:4])
 			return Ref{}, false
 		}
 		if hdr[4] != codecVersion {
-			tr.err = fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr[4])
+			tr.err = fmt.Errorf("%w: unsupported version %d at offset 4", ErrBadTrace, hdr[4])
 			return Ref{}, false
 		}
 		tr.started = true
 	}
-	head, err := binary.ReadUvarint(tr.r)
+	recOff := tr.r.off
+	head, err := binary.ReadUvarint(&tr.r)
 	if err != nil {
 		if err != io.EOF {
 			tr.fail(err)
 		}
 		return Ref{}, false
 	}
-	delta, err := binary.ReadVarint(tr.r)
+	if head > uint64(1)<<32-1 {
+		// head = pid<<1 | op; anything wider cannot be a valid int32 PID.
+		tr.err = fmt.Errorf("%w: record head %#x overflows pid at offset %d",
+			ErrBadTrace, head, recOff)
+		return Ref{}, false
+	}
+	delta, err := binary.ReadVarint(&tr.r)
 	if err != nil {
 		tr.fail(err) // a record with a head but no address is truncation
 		return Ref{}, false
 	}
-	tr.lastAddr += uint64(delta)
+	pid := int32(head >> 1)
+	if tr.maxPIDs > 0 && int(pid) >= tr.maxPIDs {
+		tr.err = fmt.Errorf("%w: pid %d out of range [0,%d) at offset %d",
+			ErrBadTrace, pid, tr.maxPIDs, recOff)
+		return Ref{}, false
+	}
+	addr := tr.lastAddr + uint64(delta)
+	if memsys.Addr(addr) > tr.maxAddr {
+		tr.err = fmt.Errorf("%w: address %#x beyond address space (max %#x) at offset %d",
+			ErrBadTrace, addr, uint64(tr.maxAddr), recOff)
+		return Ref{}, false
+	}
+	tr.lastAddr = addr
 	return Ref{
-		PID:  int32(head >> 1),
+		PID:  pid,
 		Op:   Op(head & 1),
-		Addr: memsys.Addr(tr.lastAddr),
+		Addr: memsys.Addr(addr),
 	}, true
 }
 
 func (tr *Reader) fail(err error) {
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
-		tr.err = fmt.Errorf("%w: truncated", ErrBadTrace)
+		tr.err = fmt.Errorf("%w: truncated at offset %d", ErrBadTrace, tr.r.off)
 		return
 	}
-	tr.err = err
+	// Any other decode failure (varint overflow, underlying read error)
+	// still identifies the stream as bad.
+	tr.err = fmt.Errorf("%w: %v at offset %d", ErrBadTrace, err, tr.r.off)
 }

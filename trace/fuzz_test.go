@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"dsmnc/memsys"
@@ -22,22 +23,45 @@ func FuzzReader(f *testing.F) {
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte("DSMT\x01garbage"))
 	f.Add([]byte{})
+	f.Add([]byte("DSMT\x7f")) // wrong version
+	f.Add([]byte("XSMT\x01")) // wrong magic
+	f.Add(valid[:5])          // header only
+	// A single flipped byte in the record stream.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x80
+	f.Add(flipped)
+	// An overflowing record head after a valid header.
+	f.Add(append([]byte("DSMT\x01"), 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r := NewReader(bytes.NewReader(data))
-		n := 0
-		for {
-			if _, ok := r.Next(); !ok {
-				break
+		// Once unbounded, once bound to a small machine: every decoded
+		// ref must respect the limits, and errors must be typed.
+		for _, bound := range []bool{false, true} {
+			r := NewReader(bytes.NewReader(data))
+			if bound {
+				r.SetLimits(4, 1<<20)
 			}
-			n++
-			if n > 1<<20 {
-				t.Fatal("unbounded refs from bounded input")
+			n := 0
+			for {
+				ref, ok := r.Next()
+				if !ok {
+					break
+				}
+				if bound && (ref.PID >= 4 || ref.Addr > 1<<20) {
+					t.Fatalf("limit-violating ref decoded: %+v", ref)
+				}
+				n++
+				if n > 1<<20 {
+					t.Fatal("unbounded refs from bounded input")
+				}
 			}
-		}
-		// After exhaustion the reader must stay exhausted.
-		if _, ok := r.Next(); ok {
-			t.Fatal("reader resurrected")
+			if err := r.Err(); err != nil && !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("untyped reader error: %v", err)
+			}
+			// After exhaustion the reader must stay exhausted.
+			if _, ok := r.Next(); ok {
+				t.Fatal("reader resurrected")
+			}
 		}
 	})
 }
@@ -53,7 +77,9 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		if write {
 			op = Write
 		}
-		in := Ref{PID: int32(pid), Op: op, Addr: memsys.Addr(addr)}
+		// Addresses beyond the architected space do not round-trip (the
+		// reader rejects them); keep the input legal.
+		in := Ref{PID: int32(pid), Op: op, Addr: memsys.Addr(addr) & memsys.MaxAddr}
 		var buf bytes.Buffer
 		w := NewWriter(&buf)
 		if err := w.Write(in); err != nil {

@@ -2,8 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -284,7 +286,9 @@ func TestCodecPropertyRoundTrip(t *testing.T) {
 			if ops[i] {
 				op = Write
 			}
-			refs[i] = Ref{PID: int32(pids[i]), Op: op, Addr: memsys.Addr(addrs[i])}
+			// The reader bounds addresses by memsys.MaxAddr; only
+			// architecturally valid addresses round-trip.
+			refs[i] = Ref{PID: int32(pids[i]), Op: op, Addr: memsys.Addr(addrs[i]) & memsys.MaxAddr}
 		}
 		var buf bytes.Buffer
 		w := NewWriter(&buf)
@@ -348,5 +352,110 @@ func TestStringers(t *testing.T) {
 	r := Ref{PID: 3, Op: Write, Addr: 0x1000}
 	if r.String() != "P3 W 0x1000" {
 		t.Fatalf("Ref.String = %q", r.String())
+	}
+}
+
+// --- Reader hardening: adversarial input must yield ErrBadTrace with a
+// byte offset, never a panic or silent garbage. ---
+
+// encode produces a valid binary trace of the given refs.
+func encode(t *testing.T, refs []Ref) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range refs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func wantBadTrace(t *testing.T, r *Reader) {
+	t.Helper()
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if !errors.Is(r.Err(), ErrBadTrace) {
+		t.Fatalf("Err() = %v, want ErrBadTrace", r.Err())
+	}
+	if !strings.Contains(r.Err().Error(), "offset") {
+		t.Fatalf("error %q names no byte offset", r.Err())
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	wantBadTrace(t, NewReader(bytes.NewReader([]byte("XSMT\x01rest"))))
+}
+
+func TestReaderRejectsBadVersion(t *testing.T) {
+	wantBadTrace(t, NewReader(bytes.NewReader([]byte("DSMT\x7f"))))
+}
+
+func TestReaderRejectsOutOfRangePID(t *testing.T) {
+	raw := encode(t, mkRefs(9, 0, 64, 128))
+	r := NewReader(bytes.NewReader(raw))
+	r.SetLimits(4, 0) // a 4-processor machine; pid 9 is impossible
+	wantBadTrace(t, r)
+}
+
+func TestReaderRejectsOutOfRangeAddr(t *testing.T) {
+	raw := encode(t, mkRefs(0, 1<<20))
+	r := NewReader(bytes.NewReader(raw))
+	r.SetLimits(0, 1<<16)
+	wantBadTrace(t, r)
+}
+
+func TestReaderRejectsAddrBeyondAddressSpace(t *testing.T) {
+	// Even with no explicit limits, addresses beyond the architected
+	// space are rejected (the writer will happily encode them).
+	raw := encode(t, []Ref{{PID: 0, Op: Read, Addr: memsys.MaxAddr + 1}})
+	wantBadTrace(t, NewReader(bytes.NewReader(raw)))
+}
+
+func TestReaderRejectsOverflowingHead(t *testing.T) {
+	// A record head wider than 32 bits cannot hold a valid pid<<1|op.
+	raw := append([]byte("DSMT\x01"), 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	wantBadTrace(t, NewReader(bytes.NewReader(raw)))
+}
+
+func TestReaderOffsetNamesDamage(t *testing.T) {
+	raw := encode(t, mkRefs(1, 0, 64, 128, 192))
+	cut := raw[:len(raw)-1]
+	r := NewReader(bytes.NewReader(cut))
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no refs decoded before the damage")
+	}
+	if !errors.Is(r.Err(), ErrBadTrace) {
+		t.Fatalf("Err() = %v", r.Err())
+	}
+	if r.Offset() != int64(len(cut)) {
+		t.Fatalf("Offset() = %d, want %d (all bytes consumed)", r.Offset(), len(cut))
+	}
+}
+
+func TestReaderStaysDeadAfterError(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("garbage")))
+	if _, ok := r.Next(); ok {
+		t.Fatal("garbage decoded")
+	}
+	first := r.Err()
+	if _, ok := r.Next(); ok {
+		t.Fatal("reader resurrected")
+	}
+	if r.Err() != first {
+		t.Fatal("error changed on re-poll")
 	}
 }
