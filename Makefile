@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz check ci
+.PHONY: build test race vet fuzz check resume-smoke ci
 
 build:
 	$(GO) build ./...
@@ -18,14 +18,22 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Fuzz the hardened binary-trace decoder for a bounded burst.
+# Fuzz the hardened decoders for a bounded burst each: the binary
+# trace reader and the snapshot loader.
 fuzz:
 	$(GO) test -run '^FuzzReader$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./trace
+	$(GO) test -run '^FuzzSnapshot$$' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/sim
 
 # The checked acceptance matrix: every workload x every principal
 # system organization under the coherence invariant checker.
 check:
 	$(GO) test -run TestCheckedMatrixHasNoViolations .
 
+# The checkpoint/resume acceptance drills: snapshot round trips across
+# the principal organizations, the interrupted fig9 sweep replayed from
+# its journal, and mid-cell checkpoint recovery.
+resume-smoke:
+	$(GO) test -run 'TestSnapshotRoundTrip|TestInterruptedSweepResumes|TestCheckpointResumesMidCell' . ./internal/sim
+
 # Tier-1+ gate (ROADMAP.md): everything CI runs.
-ci: vet build test race fuzz
+ci: vet build test race fuzz resume-smoke

@@ -113,7 +113,7 @@ func Ablations() map[string]func(Options) (Experiment, error) {
 func AblationHops(opt Options) (Experiment, error) {
 	benches := workload.All(opt.Scale)
 	systems := []System{Base(), VB(16 << 10)}
-	results, failed, err := matrix(benches, systems, opt)
+	results, failed, err := matrix("ablate-hops", benches, systems, opt)
 	if err != nil {
 		return Experiment{}, err
 	}
@@ -192,7 +192,7 @@ func AblationContention(opt Options) (Experiment, error) {
 	benches := workload.All(opt.Scale)
 	systems := []System{Base(), NCD(), VB(16 << 10), VBPFrac(16<<10, 5)}
 	all := append([]System{InfiniteDRAM()}, systems...)
-	results, failed, err := matrix(benches, all, opt)
+	results, failed, err := matrix("ablate-contention", benches, all, opt)
 	if err != nil {
 		return Experiment{}, err
 	}

@@ -40,6 +40,7 @@ func main() {
 		migrate    = flag.Bool("migrate", false, "enable OS page migration/replication (SGI-Origin style)")
 		checkInv   = flag.Bool("check", false, "attach the coherence invariant checker (fails on the first protocol violation)")
 		perCluster = flag.Bool("percluster", false, "print the per-cluster event breakdown")
+		progress   = flag.Duration("progress", 0, "print a progress heartbeat at this interval (e.g. 10s); 0 disables")
 		list       = flag.Bool("list", false, "list benchmarks and systems")
 	)
 	flag.Parse()
@@ -117,6 +118,11 @@ func main() {
 	sys.DirPointers = *dirPtrs
 	sys.Migration = *migrate
 	opt.Check = *checkInv
+	if *progress > 0 {
+		opt.Progress = &dsmnc.Progress{}
+		stop := opt.Progress.Heartbeat(os.Stderr, *progress)
+		defer stop()
+	}
 
 	var res dsmnc.Result
 	if *traceFile != "" {

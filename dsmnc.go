@@ -236,6 +236,35 @@ type Options struct {
 	// CellTimeout bounds each (workload, system) cell of a sweep; zero
 	// means no bound. Timed-out cells fail with context.DeadlineExceeded.
 	CellTimeout time.Duration
+
+	// Journal, when set, makes sweeps durable: every finished cell is
+	// appended to the journal (one fsync'd JSON line), and cells the
+	// journal already holds — from an earlier run that crashed or was
+	// killed — are restored instead of re-run. See OpenJournal.
+	Journal *Journal
+	// Retries re-runs transiently-failed cells (timeouts, recovered
+	// panics) up to this many extra attempts; permanent failures —
+	// ErrConfig, protocol violations, bad references or traces,
+	// deliberate cancellation — never retry.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling on
+	// each subsequent one (bounded); zero means a 250ms default.
+	RetryBackoff time.Duration
+	// CheckpointEvery, when positive, snapshots each in-flight cell
+	// every N applied references so a killed run resumes mid-cell from
+	// its last checkpoint instead of from reference zero.
+	CheckpointEvery int64
+	// CheckpointDir is where mid-cell checkpoints live; empty means
+	// next to the journal, or the system temp directory.
+	CheckpointDir string
+	// Progress, when set, receives live counters (references applied,
+	// cells done, journal writes) that Progress.Heartbeat can report.
+	Progress *Progress
+
+	// cellGate, when set, is consulted at the start of every cell
+	// attempt; a non-nil return fails the cell with that error. Test
+	// hook for killing and fault-injecting sweeps deterministically.
+	cellGate func(exp, bench, system string) error
 }
 
 // DefaultOptions is the paper's base configuration: 8 clusters x 4
@@ -285,6 +314,21 @@ func Build(b *workload.Bench, s System, opt Options) (*sim.System, error) {
 // with no data-set size to take the fraction of — fail with an
 // ErrConfig-wrapped error.
 func BuildFor(sharedBytes int64, s System, opt Options) (*sim.System, error) {
+	cfg, err := configFor(sharedBytes, s, opt)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := sim.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrConfig, err)
+	}
+	return machine, nil
+}
+
+// configFor translates a system description into the simulator
+// configuration; BuildFor and RestoreFor share it so a restored machine
+// is constructed exactly like a fresh one.
+func configFor(sharedBytes int64, s System, opt Options) (sim.Config, error) {
 	cfg := sim.Config{
 		Geometry:          opt.Geometry,
 		L1:                cache.Config{Bytes: opt.L1Bytes, Ways: opt.L1Ways},
@@ -326,19 +370,19 @@ func BuildFor(sharedBytes int64, s System, opt Options) (*sim.System, error) {
 	case NCInfiniteDRAM:
 		cfg.NewNC = func() (core.NC, error) { return core.NewInfinite(stats.NCTechDRAM), nil }
 	default:
-		return nil, fmt.Errorf("%w: unknown NC kind %d in system %q", ErrConfig, s.NC, s.Name)
+		return sim.Config{}, fmt.Errorf("%w: unknown NC kind %d in system %q", ErrConfig, s.NC, s.Name)
 	}
 
 	pcBytes := s.PCBytes
 	if s.PCFraction < 0 {
-		return nil, fmt.Errorf("%w: system %q has negative page-cache fraction %d",
+		return sim.Config{}, fmt.Errorf("%w: system %q has negative page-cache fraction %d",
 			ErrConfig, s.Name, s.PCFraction)
 	}
 	if s.PCFraction > 0 {
 		if sharedBytes <= 0 {
 			// Without a data-set size, a fractional page cache would
 			// silently degenerate to a single frame and thrash.
-			return nil, fmt.Errorf("%w: system %q sizes its page cache as 1/%d of the data set, but the shared-data size is %d",
+			return sim.Config{}, fmt.Errorf("%w: system %q sizes its page cache as 1/%d of the data set, but the shared-data size is %d",
 				ErrConfig, s.Name, s.PCFraction, sharedBytes)
 		}
 		pcBytes = sharedBytes / int64(s.PCFraction)
@@ -360,11 +404,7 @@ func BuildFor(sharedBytes int64, s System, opt Options) (*sim.System, error) {
 			return pagecache.New(frames, pol)
 		}
 	}
-	machine, err := sim.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrConfig, err)
-	}
-	return machine, nil
+	return cfg, nil
 }
 
 // Run simulates workload b on system s and returns the event account.
@@ -373,64 +413,11 @@ func Run(b *workload.Bench, s System, opt Options) (Result, error) {
 }
 
 // RunContext is Run with cancellation: the simulation stops with ctx's
-// error shortly after the context ends. Sweeps use it to bound runaway
-// cells.
+// error shortly after the context ends (cancellation is polled off the
+// hot loop). Sweeps use it to bound runaway cells. It honors the
+// checkpoint/resume and progress options the same way sweep cells do.
 func RunContext(ctx context.Context, b *workload.Bench, s System, opt Options) (Result, error) {
-	machine, err := Build(b, s, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	var n int64
-	if ctx.Done() == nil {
-		// Fast path: nothing can cancel us, drive the machine straight
-		// from the generator.
-		var firstErr error
-		b.Emit(opt.Geometry, opt.Quantum, func(r trace.Ref) {
-			if firstErr != nil {
-				return
-			}
-			if err := machine.Apply(r); err != nil {
-				firstErr = err
-				return
-			}
-			n++
-		})
-		if firstErr != nil {
-			return Result{}, firstErr
-		}
-	} else {
-		// Cancelable path: generate in a goroutine and pull through a
-		// channel so the simulation loop can observe ctx.
-		ch := make(chan trace.Ref, 4096)
-		go func() {
-			defer close(ch)
-			stopped := false
-			b.Emit(opt.Geometry, opt.Quantum, func(r trace.Ref) {
-				if stopped {
-					return
-				}
-				select {
-				case ch <- r:
-				case <-ctx.Done():
-					stopped = true
-				}
-			})
-		}()
-		n, err = machine.RunContext(ctx, chanSource(ch))
-		if err != nil {
-			return Result{}, err
-		}
-	}
-	return finish(machine, s, b.Name, n, opt), nil
-}
-
-// chanSource adapts a reference channel to trace.Source.
-type chanSource <-chan trace.Ref
-
-// Next receives the next reference.
-func (c chanSource) Next() (trace.Ref, bool) {
-	r, ok := <-c
-	return r, ok
+	return runCell(ctx, "", runJob{bench: b, sys: s, opt: opt})
 }
 
 func finish(machine *sim.System, s System, bench string, refs int64, opt Options) Result {
@@ -457,6 +444,9 @@ func RunTrace(src trace.Source, name string, sharedBytes int64, s System, opt Op
 	machine, err := BuildFor(sharedBytes, s, opt)
 	if err != nil {
 		return Result{}, err
+	}
+	if opt.Progress != nil {
+		src = progressSource{src: src, p: opt.Progress}
 	}
 	n, err := machine.Run(src)
 	if err != nil {

@@ -2,11 +2,14 @@ package dsmnc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"dsmnc/internal/sim"
 	"dsmnc/stats"
 	"dsmnc/trace"
 	"dsmnc/workload"
@@ -49,10 +52,16 @@ type CellFailure struct {
 	Row    int
 	Col    int
 	Err    error
+	// Attempts is how many times the cell ran before the failure was
+	// declared final (1 unless Options.Retries re-ran it).
+	Attempts int
 }
 
 // String formats the failure for diagnostics.
 func (f CellFailure) String() string {
+	if f.Attempts > 1 {
+		return fmt.Sprintf("%s/%s: %v (after %d attempts)", f.Bench, f.System, f.Err, f.Attempts)
+	}
 	return fmt.Sprintf("%s/%s: %v", f.Bench, f.System, f.Err)
 }
 
@@ -87,13 +96,18 @@ type runJob struct {
 	col   int
 }
 
-// safeRun executes one cell with the job's timeout, converting panics
-// from deep inside the simulator into errors so one poisoned cell
-// cannot take down a whole sweep.
-func safeRun(j runJob) (res Result, err error) {
+// ErrCellPanic marks a sweep cell whose simulation panicked; the panic
+// is recovered into this sentinel so the sweep survives and the retry
+// logic can treat the cell as transiently failed.
+var ErrCellPanic = errors.New("dsmnc: cell panicked")
+
+// safeRun executes one cell attempt with the job's timeout, converting
+// panics from deep inside the simulator into ErrCellPanic so one
+// poisoned cell cannot take down a whole sweep.
+func safeRun(exp string, j runJob) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("cell panicked: %v", r)
+			err = fmt.Errorf("%w: %v", ErrCellPanic, r)
 		}
 	}()
 	ctx := context.Background()
@@ -102,17 +116,98 @@ func safeRun(j runJob) (res Result, err error) {
 		ctx, cancel = context.WithTimeout(ctx, j.opt.CellTimeout)
 		defer cancel()
 	}
-	return RunContext(ctx, j.bench, j.sys, j.opt)
+	if gate := j.opt.cellGate; gate != nil {
+		if err := gate(exp, j.bench.Name, j.sys.Name); err != nil {
+			return Result{}, err
+		}
+	}
+	return runCell(ctx, exp, j)
 }
 
-// runMatrix executes all jobs in parallel and collects results by
-// (row, col). Failed cells are returned separately; unless the jobs ran
-// with KeepGoing, the first failure (in row-major order) is returned as
-// the error.
-func runMatrix(jobs []runJob, rows, cols int) ([][]Result, []CellFailure, error) {
+// transientFailure reports whether a cell failure is worth retrying:
+// timeouts and recovered panics are; configuration errors, protocol
+// violations, bad references or traces, and deliberate cancellation are
+// permanent and retrying them only repeats the failure.
+func transientFailure(err error) bool {
+	switch {
+	case errors.Is(err, ErrConfig),
+		errors.Is(err, sim.ErrProtocol),
+		errors.Is(err, sim.ErrBadRef),
+		errors.Is(err, trace.ErrBadTrace),
+		errors.Is(err, context.Canceled):
+		return false
+	}
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrCellPanic)
+}
+
+// Retry backoff bounds: the first retry waits RetryBackoff (or the
+// default), doubling each attempt up to the cap.
+const (
+	defaultRetryBackoff = 250 * time.Millisecond
+	maxRetryBackoff     = 30 * time.Second
+)
+
+// runWithRetries runs one cell, re-running transient failures up to
+// Options.Retries extra attempts with bounded exponential backoff. It
+// returns the attempt count alongside the final outcome.
+func runWithRetries(exp string, j runJob) (Result, int, error) {
+	backoff := j.opt.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	attempts := 0
+	for {
+		attempts++
+		res, err := safeRun(exp, j)
+		if err == nil || attempts > j.opt.Retries || !transientFailure(err) {
+			return res, attempts, err
+		}
+		time.Sleep(backoff)
+		if backoff < maxRetryBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// runMatrix executes all jobs of experiment exp in parallel and
+// collects results by (row, col). Failed cells are returned separately;
+// unless the jobs ran with KeepGoing, the first failure (in row-major
+// order) is returned as the error. With Options.Journal, cells the
+// journal already holds are restored instead of re-run, and every
+// freshly-finished cell is appended before it counts as done.
+func runMatrix(exp string, jobs []runJob, rows, cols int) ([][]Result, []CellFailure, error) {
 	out := make([][]Result, rows)
 	for i := range out {
 		out[i] = make([]Result, cols)
+	}
+	// Resume pass: restore journaled cells, keep the rest. A record
+	// computed under different options poisons the whole resume rather
+	// than silently mixing incompatible results.
+	todo := make([]runJob, 0, len(jobs))
+	for _, j := range jobs {
+		if j.opt.Journal == nil {
+			todo = append(todo, j)
+			continue
+		}
+		res, ok, err := j.opt.Journal.lookup(exp, j.bench.Name, j.sys.Name, j.opt.fingerprint())
+		if err != nil {
+			return out, nil, err
+		}
+		if ok {
+			out[j.row][j.col] = res
+			if p := j.opt.Progress; p != nil {
+				p.CellsTotal.Add(1)
+				p.CellsDone.Add(1)
+			}
+			continue
+		}
+		todo = append(todo, j)
+	}
+	jobs = todo
+	if len(jobs) > 0 {
+		if p := jobs[0].opt.Progress; p != nil {
+			p.CellsTotal.Add(int64(len(jobs)))
+		}
 	}
 	ch := make(chan runJob)
 	var wg sync.WaitGroup
@@ -131,12 +226,27 @@ func runMatrix(jobs []runJob, rows, cols int) ([][]Result, []CellFailure, error)
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				res, err := safeRun(j)
+				res, attempts, err := runWithRetries(exp, j)
+				if err == nil && j.opt.Journal != nil {
+					// The cell is only done once it is durable: a failed
+					// append degrades it to a failure so the operator
+					// learns the journal is broken before trusting it.
+					err = j.opt.Journal.append(journalRecord{
+						Exp: exp, Bench: j.bench.Name, System: j.sys.Name,
+						Fingerprint: j.opt.fingerprint(), Result: res,
+					})
+					if err == nil && j.opt.Progress != nil {
+						j.opt.Progress.noteJournal()
+					}
+				}
+				if p := j.opt.Progress; p != nil {
+					p.CellsDone.Add(1)
+				}
 				if err != nil {
 					mu.Lock()
 					failed = append(failed, CellFailure{
 						Bench: j.bench.Name, System: j.sys.Name,
-						Row: j.row, Col: j.col, Err: err,
+						Row: j.row, Col: j.col, Err: err, Attempts: attempts,
 					})
 					if !j.opt.KeepGoing {
 						keepGoing = false
@@ -167,14 +277,14 @@ func runMatrix(jobs []runJob, rows, cols int) ([][]Result, []CellFailure, error)
 }
 
 // matrix runs every benchmark against every system with shared options.
-func matrix(benches []*workload.Bench, systems []System, opt Options) ([][]Result, []CellFailure, error) {
+func matrix(exp string, benches []*workload.Bench, systems []System, opt Options) ([][]Result, []CellFailure, error) {
 	var jobs []runJob
 	for r, b := range benches {
 		for c, s := range systems {
 			jobs = append(jobs, runJob{bench: b, sys: s, opt: opt, row: r, col: c})
 		}
 	}
-	return runMatrix(jobs, len(benches), len(systems))
+	return runMatrix(exp, jobs, len(benches), len(systems))
 }
 
 func ratioValue(res Result) Value {
@@ -194,7 +304,7 @@ func ratioValue(res Result) Value {
 // sweeps. With opt.KeepGoing, failing cells are recorded in
 // Experiment.Failed instead of aborting the sweep.
 func Sweep(id, title string, benches []*workload.Bench, systems []System, opt Options) (Experiment, error) {
-	results, failed, err := matrix(benches, systems, opt)
+	results, failed, err := matrix(id, benches, systems, opt)
 	if err != nil {
 		return Experiment{}, err
 	}
@@ -245,7 +355,7 @@ func Fig3(opt Options) (Experiment, error) {
 			col++
 		}
 	}
-	results, failed, err := runMatrix(jobs, len(benches), col)
+	results, failed, err := runMatrix("fig3", jobs, len(benches), col)
 	if err != nil {
 		return Experiment{}, err
 	}
@@ -370,7 +480,7 @@ func normalizedExperiment(id, title, metric string, systems []System, opt Option
 
 	benches := workload.All(opt.Scale)
 	all := append([]System{InfiniteDRAM()}, systems...)
-	results, failed, err := matrix(benches, all, opt)
+	results, failed, err := matrix(id, benches, all, opt)
 	if err != nil {
 		return Experiment{}, err
 	}

@@ -1,0 +1,34 @@
+package bus
+
+import "dsmnc/internal/snapshot"
+
+const tagBus = 0x03
+
+// SaveState serializes every processor cache on the bus. The MOESI flag
+// is configuration, re-derived at restore, so only tag state is written.
+func (b *Bus) SaveState(w *snapshot.Writer) {
+	w.Section(tagBus)
+	w.U32(uint32(len(b.caches)))
+	for _, c := range b.caches {
+		c.SaveState(w)
+	}
+}
+
+// LoadState restores every processor cache in place.
+func (b *Bus) LoadState(r *snapshot.Reader) {
+	r.Section(tagBus)
+	n := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	if n != len(b.caches) {
+		r.Failf("bus has %d caches in snapshot, %d configured", n, len(b.caches))
+		return
+	}
+	for _, c := range b.caches {
+		c.LoadState(r)
+		if r.Err() != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package cache
+
+import (
+	"sort"
+
+	"dsmnc/internal/snapshot"
+	"dsmnc/memsys"
+)
+
+// Snapshot section tags.
+const (
+	tagSetAssoc = 0x01
+	tagInfinite = 0x02
+)
+
+// SaveState serializes the cache: geometry (for cross-checking at
+// restore), the LRU clock, and every line positionally — invalid lines
+// included. Free-slot positions matter: Fill prefers the first free way
+// and SetLines reports valid lines in array order, which feeds the vxp
+// predominant-page tie-break, so bit-identical resume requires the
+// exact array layout, not just the valid set.
+func (c *SetAssoc) SaveState(w *snapshot.Writer) {
+	w.Section(tagSetAssoc)
+	w.U32(uint32(c.sets))
+	w.U32(uint32(c.ways))
+	w.U8(uint8(c.indexing))
+	w.U64(c.tick)
+	for _, ln := range c.lines {
+		w.U64(uint64(ln.Block))
+		w.U8(uint8(ln.State))
+		w.U64(ln.lru)
+	}
+}
+
+// LoadState restores the cache in place. The snapshot's geometry must
+// match the configured one; a mismatch (or an out-of-range state byte)
+// is a decode failure recorded on r.
+func (c *SetAssoc) LoadState(r *snapshot.Reader) {
+	r.Section(tagSetAssoc)
+	sets := int(r.U32())
+	ways := int(r.U32())
+	idx := Indexing(r.U8())
+	tick := r.U64()
+	if r.Err() != nil {
+		return
+	}
+	if sets != c.sets || ways != c.ways || idx != c.indexing {
+		r.Failf("cache geometry mismatch: snapshot %dx%d idx=%d, config %dx%d idx=%d",
+			sets, ways, idx, c.sets, c.ways, c.indexing)
+		return
+	}
+	c.tick = tick
+	for i := range c.lines {
+		b := memsys.Block(r.U64())
+		st := State(r.U8())
+		lru := r.U64()
+		if r.Err() != nil {
+			return
+		}
+		if st > Owned {
+			r.Failf("invalid cache state %d", st)
+			return
+		}
+		c.lines[i] = Line{Block: b, State: st, lru: lru}
+	}
+}
+
+// SaveState serializes the infinite cache in sorted block order, so the
+// same contents always produce the same bytes.
+func (c *Infinite) SaveState(w *snapshot.Writer) {
+	w.Section(tagInfinite)
+	blocks := make([]memsys.Block, 0, len(c.lines))
+	for b := range c.lines {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	w.U64(uint64(len(blocks)))
+	for _, b := range blocks {
+		w.U64(uint64(b))
+		w.U8(uint8(c.lines[b]))
+	}
+}
+
+// LoadState replaces the infinite cache's contents from the snapshot.
+func (c *Infinite) LoadState(r *snapshot.Reader) {
+	r.Section(tagInfinite)
+	n := r.Len(1 << 40)
+	lines := make(map[memsys.Block]State)
+	for i := 0; i < n; i++ {
+		b := memsys.Block(r.U64())
+		st := State(r.U8())
+		if r.Err() != nil {
+			return
+		}
+		if st == Invalid || st > Owned {
+			r.Failf("invalid cache state %d for block %d", st, b)
+			return
+		}
+		lines[b] = st
+	}
+	if r.Err() == nil {
+		c.lines = lines
+	}
+}

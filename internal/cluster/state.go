@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"dsmnc/internal/core"
+	"dsmnc/internal/snapshot"
+)
+
+const tagCluster = 0x0B
+
+// SaveState serializes the cluster's mutable state: the processor
+// caches on the bus, the network cache, the page cache (when present)
+// and the event account. Wiring (home service, counter mode, MOESI) is
+// configuration, re-derived at restore.
+func (cl *Cluster) SaveState(w *snapshot.Writer) error {
+	w.Section(tagCluster)
+	w.U32(uint32(cl.id))
+	cl.bus.SaveState(w)
+	if err := core.SaveNC(w, cl.nc); err != nil {
+		return err
+	}
+	w.Bool(cl.pc != nil)
+	if cl.pc != nil {
+		cl.pc.SaveState(w)
+	}
+	cl.C.SaveState(w)
+	return nil
+}
+
+// LoadState restores the cluster in place. The snapshot must have been
+// taken from an identically-configured cluster; structural mismatches
+// are recorded on r as decode failures.
+func (cl *Cluster) LoadState(r *snapshot.Reader) error {
+	r.Section(tagCluster)
+	id := int(r.U32())
+	if r.Err() != nil {
+		return nil
+	}
+	if id != cl.id {
+		r.Failf("snapshot cluster id %d, restoring into %d", id, cl.id)
+		return nil
+	}
+	cl.bus.LoadState(r)
+	if err := core.LoadNC(r, cl.nc); err != nil {
+		return err
+	}
+	hasPC := r.Bool()
+	if r.Err() != nil {
+		return nil
+	}
+	if hasPC != (cl.pc != nil) {
+		r.Failf("snapshot page cache %t, configured %t", hasPC, cl.pc != nil)
+		return nil
+	}
+	if cl.pc != nil {
+		cl.pc.LoadState(r)
+	}
+	cl.C.LoadState(r)
+	return nil
+}

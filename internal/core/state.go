@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"dsmnc/internal/snapshot"
+)
+
+// NC organization tags, written ahead of each NC's state so a restore
+// into a differently-configured system fails loudly instead of
+// misreading bytes.
+const (
+	tagNC = 0x04
+
+	ncKindNone      = 1
+	ncKindVictim    = 2
+	ncKindRelaxed   = 3
+	ncKindInclusive = 4
+	ncKindInfinite  = 5
+)
+
+func ncKindOf(nc NC) (uint8, error) {
+	switch nc.(type) {
+	case NoNC:
+		return ncKindNone, nil
+	case *VictimNC:
+		return ncKindVictim, nil
+	case *RelaxedNC:
+		return ncKindRelaxed, nil
+	case *InclusiveNC:
+		return ncKindInclusive, nil
+	case *InfiniteNC:
+		return ncKindInfinite, nil
+	}
+	return 0, fmt.Errorf("core: NC type %T is not snapshotable", nc)
+}
+
+// SaveNC serializes any of the five NC organizations. An NC type
+// outside the set is a configuration error, not a stream error.
+func SaveNC(w *snapshot.Writer, nc NC) error {
+	kind, err := ncKindOf(nc)
+	if err != nil {
+		return err
+	}
+	w.Section(tagNC)
+	w.U8(kind)
+	switch n := nc.(type) {
+	case *VictimNC:
+		n.tags.SaveState(w)
+		w.Bool(n.counters != nil)
+		if n.counters != nil {
+			w.U32(uint32(len(n.counters)))
+			for _, v := range n.counters {
+				w.U32(v)
+			}
+		}
+	case *RelaxedNC:
+		n.tags.SaveState(w)
+	case *InclusiveNC:
+		n.tags.SaveState(w)
+	case *InfiniteNC:
+		n.lines.SaveState(w)
+	}
+	return nil
+}
+
+// LoadNC restores nc in place from the snapshot. The recorded
+// organization must match nc's type; a mismatch is recorded on r as a
+// decode failure. An NC type outside the snapshotable set is returned
+// as a plain configuration error.
+func LoadNC(r *snapshot.Reader, nc NC) error {
+	want, err := ncKindOf(nc)
+	if err != nil {
+		return err
+	}
+	r.Section(tagNC)
+	kind := r.U8()
+	if r.Err() != nil {
+		return nil
+	}
+	if kind != want {
+		r.Failf("snapshot NC organization %d, configured %d", kind, want)
+		return nil
+	}
+	switch n := nc.(type) {
+	case *VictimNC:
+		n.tags.LoadState(r)
+		hasCounters := r.Bool()
+		if r.Err() != nil {
+			return nil
+		}
+		if hasCounters != (n.counters != nil) {
+			r.Failf("snapshot vxp counters %t, configured %t", hasCounters, n.counters != nil)
+			return nil
+		}
+		if n.counters != nil {
+			cn := int(r.U32())
+			if r.Err() != nil {
+				return nil
+			}
+			if cn != len(n.counters) {
+				r.Failf("snapshot has %d set counters, cache has %d sets", cn, len(n.counters))
+				return nil
+			}
+			for i := range n.counters {
+				n.counters[i] = r.U32()
+				if r.Err() != nil {
+					return nil
+				}
+			}
+		}
+	case *RelaxedNC:
+		n.tags.LoadState(r)
+	case *InclusiveNC:
+		n.tags.LoadState(r)
+	case *InfiniteNC:
+		n.lines.LoadState(r)
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+
+	"dsmnc/internal/snapshot"
+	"dsmnc/memsys"
+)
+
+// Snapshot section tags.
+const (
+	tagDirFull    = 0x05
+	tagDirLimited = 0x06
+)
+
+// clusterMask returns the presence-bit mask for n clusters (n in
+// [1,64], enforced by the constructors).
+func clusterMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+// sortedBlocks returns m's keys in ascending order, so map-backed
+// directory state always serializes to the same bytes.
+func sortedBlocks[V any](m map[memsys.Block]V) []memsys.Block {
+	keys := make([]memsys.Block, 0, len(m))
+	for b := range m {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func saveCounters(w *snapshot.Writer, counters map[uint64]uint32) {
+	keys := make([]uint64, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.U64(uint64(len(keys)))
+	for _, k := range keys {
+		w.U64(k)
+		w.U32(counters[k])
+	}
+}
+
+func loadCounters(r *snapshot.Reader, clusters int) map[uint64]uint32 {
+	n := r.Len(1 << 40)
+	m := make(map[uint64]uint32)
+	for i := 0; i < n; i++ {
+		k := r.U64()
+		v := r.U32()
+		if r.Err() != nil {
+			return nil
+		}
+		if int(k&0xff) >= clusters {
+			r.Failf("relocation counter names cluster %d of %d", k&0xff, clusters)
+			return nil
+		}
+		if v == 0 {
+			r.Failf("zero-valued relocation counter entry")
+			return nil
+		}
+		m[k] = v
+	}
+	return m
+}
+
+// SaveState serializes the full-map directory: every materialized
+// entry (sorted), the R-NUMA relocation counters, and the invalidation
+// message account.
+func (d *Directory) SaveState(w *snapshot.Writer) {
+	w.Section(tagDirFull)
+	w.U32(uint32(d.clusters))
+	w.Bool(d.countersOn)
+	w.U64(uint64(len(d.blocks)))
+	for _, b := range sortedBlocks(d.blocks) {
+		e := d.blocks[b]
+		w.U64(uint64(b))
+		w.U64(e.sticky)
+		w.U64(e.touched)
+		w.I64(int64(e.dirty))
+	}
+	saveCounters(w, d.counters)
+	w.I64(d.invalMsg)
+}
+
+// LoadState restores the directory in place, validating every entry
+// against the configured cluster count so a corrupt snapshot cannot
+// smuggle in out-of-range owners or presence bits.
+func (d *Directory) LoadState(r *snapshot.Reader) {
+	r.Section(tagDirFull)
+	clusters := int(r.U32())
+	countersOn := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	if clusters != d.clusters {
+		r.Failf("directory spans %d clusters in snapshot, %d configured", clusters, d.clusters)
+		return
+	}
+	if countersOn != d.countersOn {
+		r.Failf("snapshot relocation counters %t, configured %t", countersOn, d.countersOn)
+		return
+	}
+	mask := clusterMask(d.clusters)
+	n := r.Len(1 << 40)
+	blocks := make(map[memsys.Block]*entry)
+	for i := 0; i < n; i++ {
+		b := memsys.Block(r.U64())
+		sticky := r.U64()
+		touched := r.U64()
+		dirty := r.I64()
+		if r.Err() != nil {
+			return
+		}
+		if sticky&^mask != 0 || touched&^mask != 0 {
+			r.Failf("presence bits beyond %d clusters for block %d", d.clusters, b)
+			return
+		}
+		if dirty != NoOwner && (dirty < 0 || dirty >= int64(d.clusters)) {
+			r.Failf("dirty owner %d out of range for block %d", dirty, b)
+			return
+		}
+		blocks[b] = &entry{sticky: sticky, touched: touched, dirty: int8(dirty)}
+	}
+	counters := loadCounters(r, d.clusters)
+	invalMsg := r.I64()
+	if r.Err() != nil {
+		return
+	}
+	d.blocks = blocks
+	if d.countersOn {
+		d.counters = counters
+	}
+	d.invalMsg = invalMsg
+}
+
+// SaveState serializes the limited-pointer directory: entries with
+// their hardware pointers and broadcast bits plus the oracle sticky
+// state, the relocation counters, and the overflow/noise accounts.
+func (d *LimitedDirectory) SaveState(w *snapshot.Writer) {
+	w.Section(tagDirLimited)
+	w.U32(uint32(d.clusters))
+	w.U32(uint32(d.pointers))
+	w.Bool(d.countersOn)
+	w.U64(uint64(len(d.blocks)))
+	for _, b := range sortedBlocks(d.blocks) {
+		e := d.blocks[b]
+		w.U64(uint64(b))
+		w.U8(uint8(len(e.ptrs)))
+		for _, p := range e.ptrs {
+			w.U8(uint8(p))
+		}
+		w.Bool(e.bcast)
+		w.I64(int64(e.dirty))
+		w.U64(e.sticky)
+		w.U64(e.touched)
+	}
+	saveCounters(w, d.counters)
+	w.I64(d.invalMsg)
+	w.I64(d.overflows)
+	w.I64(d.noisy)
+}
+
+// LoadState restores the limited directory in place, enforcing the
+// configured pointer limit and cluster range on every entry.
+func (d *LimitedDirectory) LoadState(r *snapshot.Reader) {
+	r.Section(tagDirLimited)
+	clusters := int(r.U32())
+	pointers := int(r.U32())
+	countersOn := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	if clusters != d.clusters || pointers != d.pointers {
+		r.Failf("Dir_iB geometry mismatch: snapshot %d clusters/%d pointers, config %d/%d",
+			clusters, pointers, d.clusters, d.pointers)
+		return
+	}
+	if countersOn != d.countersOn {
+		r.Failf("snapshot relocation counters %t, configured %t", countersOn, d.countersOn)
+		return
+	}
+	mask := clusterMask(d.clusters)
+	n := r.Len(1 << 40)
+	blocks := make(map[memsys.Block]*lentry)
+	for i := 0; i < n; i++ {
+		b := memsys.Block(r.U64())
+		np := int(r.U8())
+		if r.Err() != nil {
+			return
+		}
+		if np > d.pointers {
+			r.Failf("entry for block %d holds %d pointers, limit %d", b, np, d.pointers)
+			return
+		}
+		e := &lentry{}
+		for j := 0; j < np; j++ {
+			p := int(r.U8())
+			if r.Err() != nil {
+				return
+			}
+			if p >= d.clusters {
+				r.Failf("sharer pointer %d out of range for block %d", p, b)
+				return
+			}
+			e.ptrs = append(e.ptrs, int8(p))
+		}
+		e.bcast = r.Bool()
+		dirty := r.I64()
+		e.sticky = r.U64()
+		e.touched = r.U64()
+		if r.Err() != nil {
+			return
+		}
+		if dirty != NoOwner && (dirty < 0 || dirty >= int64(d.clusters)) {
+			r.Failf("dirty owner %d out of range for block %d", dirty, b)
+			return
+		}
+		e.dirty = int8(dirty)
+		if e.sticky&^mask != 0 || e.touched&^mask != 0 {
+			r.Failf("presence bits beyond %d clusters for block %d", d.clusters, b)
+			return
+		}
+		blocks[b] = e
+	}
+	counters := loadCounters(r, d.clusters)
+	invalMsg := r.I64()
+	overflows := r.I64()
+	noisy := r.I64()
+	if r.Err() != nil {
+		return
+	}
+	d.blocks = blocks
+	if d.countersOn {
+		d.counters = counters
+	}
+	d.invalMsg = invalMsg
+	d.overflows = overflows
+	d.noisy = noisy
+}
+
+// SaveProtocol serializes either directory implementation. An unknown
+// implementation is a configuration error, not a stream error.
+func SaveProtocol(w *snapshot.Writer, p Protocol) error {
+	switch d := p.(type) {
+	case *Directory:
+		d.SaveState(w)
+	case *LimitedDirectory:
+		d.SaveState(w)
+	default:
+		return fmt.Errorf("directory: protocol type %T is not snapshotable", p)
+	}
+	return nil
+}
+
+// LoadProtocol restores either directory implementation in place. A
+// snapshot written by the other implementation fails on its section tag.
+func LoadProtocol(r *snapshot.Reader, p Protocol) error {
+	switch d := p.(type) {
+	case *Directory:
+		d.LoadState(r)
+	case *LimitedDirectory:
+		d.LoadState(r)
+	default:
+		return fmt.Errorf("directory: protocol type %T is not snapshotable", p)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package migration
+
+import (
+	"sort"
+
+	"dsmnc/internal/snapshot"
+	"dsmnc/memsys"
+)
+
+const tagMigration = 0x08
+
+// SaveState serializes the migration engine: per-page reference
+// counters, writer and replica bit-masks (sorted by page, counters
+// sorted by cluster) and the policy's event accounts. Thresholds are
+// configuration, re-derived at restore.
+func (e *Engine) SaveState(w *snapshot.Writer) {
+	w.Section(tagMigration)
+	pages := make([]memsys.Page, 0, len(e.pages))
+	for p := range e.pages {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	w.U64(uint64(len(pages)))
+	for _, p := range pages {
+		st := e.pages[p]
+		w.U64(uint64(p))
+		w.U64(st.writers)
+		w.U64(st.replicas)
+		cs := make([]int, 0, len(st.counts))
+		for c := range st.counts {
+			cs = append(cs, c)
+		}
+		sort.Ints(cs)
+		w.U32(uint32(len(cs)))
+		for _, c := range cs {
+			w.U32(uint32(c))
+			w.U32(st.counts[c])
+		}
+	}
+	w.I64(e.migrations)
+	w.I64(e.replications)
+	w.I64(e.collapses)
+	w.I64(e.replicaHits)
+}
+
+// LoadState restores the engine in place. clusters bounds every
+// cluster-valued field: the simulator indexes its cluster slice with
+// replica and writer bits, so out-of-range state must be rejected here.
+func (e *Engine) LoadState(r *snapshot.Reader, clusters int) {
+	r.Section(tagMigration)
+	var mask uint64
+	if clusters >= 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = 1<<uint(clusters) - 1
+	}
+	n := r.Len(1 << 40)
+	pages := make(map[memsys.Page]*pageState)
+	for i := 0; i < n; i++ {
+		p := memsys.Page(r.U64())
+		writers := r.U64()
+		replicas := r.U64()
+		nc := int(r.U32())
+		if r.Err() != nil {
+			return
+		}
+		if writers&^mask != 0 || replicas&^mask != 0 {
+			r.Failf("writer/replica bits beyond %d clusters for page %d", clusters, p)
+			return
+		}
+		if nc > clusters {
+			r.Failf("page %d counts %d clusters of %d", p, nc, clusters)
+			return
+		}
+		st := &pageState{counts: make(map[int]uint32, nc), writers: writers, replicas: replicas}
+		for j := 0; j < nc; j++ {
+			c := int(r.U32())
+			v := r.U32()
+			if r.Err() != nil {
+				return
+			}
+			if c >= clusters {
+				r.Failf("miss counter names cluster %d of %d", c, clusters)
+				return
+			}
+			st.counts[c] = v
+		}
+		pages[p] = st
+	}
+	migrations := r.I64()
+	replications := r.I64()
+	collapses := r.I64()
+	replicaHits := r.I64()
+	if r.Err() != nil {
+		return
+	}
+	e.pages = pages
+	e.migrations = migrations
+	e.replications = replications
+	e.collapses = collapses
+	e.replicaHits = replicaHits
+}

@@ -1,0 +1,112 @@
+package pagecache
+
+import (
+	"sort"
+
+	"dsmnc/internal/snapshot"
+	"dsmnc/memsys"
+)
+
+const tagPageCache = 0x07
+
+// SaveState serializes the page cache: the LRM clock, every mapped
+// frame (sorted by page) with its valid/dirty masks, recency and hit
+// counter, and the policy's mutable state. Capacity and policy
+// parameters are configuration, re-derived at restore.
+func (pc *PageCache) SaveState(w *snapshot.Writer) {
+	w.Section(tagPageCache)
+	w.U32(uint32(pc.frames))
+	w.U64(pc.clock)
+	pages := make([]memsys.Page, 0, len(pc.byPage))
+	for p := range pc.byPage {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	w.U32(uint32(len(pages)))
+	for _, p := range pages {
+		f := pc.byPage[p]
+		w.U64(uint64(p))
+		w.U64(f.valid)
+		w.U64(f.dirty)
+		w.U64(f.lastMiss)
+		w.U16(f.hits)
+	}
+	pc.policy.saveState(w)
+}
+
+// LoadState restores the page cache in place, enforcing the frame bound
+// and the dirty-implies-valid bit invariant the checker relies on.
+func (pc *PageCache) LoadState(r *snapshot.Reader) {
+	r.Section(tagPageCache)
+	frames := int(r.U32())
+	clock := r.U64()
+	mapped := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	if frames != pc.frames {
+		r.Failf("page cache has %d frames in snapshot, %d configured", frames, pc.frames)
+		return
+	}
+	if mapped > pc.frames {
+		r.Failf("snapshot maps %d pages in %d frames", mapped, pc.frames)
+		return
+	}
+	byPage := make(map[memsys.Page]*frame, mapped)
+	for i := 0; i < mapped; i++ {
+		p := memsys.Page(r.U64())
+		valid := r.U64()
+		dirty := r.U64()
+		lastMiss := r.U64()
+		hits := r.U16()
+		if r.Err() != nil {
+			return
+		}
+		if dirty&^valid != 0 {
+			r.Failf("page %d: dirty bits %#x not covered by valid bits %#x", p, dirty, valid)
+			return
+		}
+		if _, dup := byPage[p]; dup {
+			r.Failf("page %d mapped twice", p)
+			return
+		}
+		byPage[p] = &frame{page: p, valid: valid, dirty: dirty, lastMiss: lastMiss, hits: hits}
+	}
+	pc.policy.loadState(r)
+	if r.Err() != nil {
+		return
+	}
+	pc.clock = clock
+	pc.byPage = byPage
+}
+
+// saveState writes the policy's mutable state: the (possibly raised)
+// threshold and the thrashing-detector accumulators. Adaptivity, step,
+// break-even and window are construction parameters.
+func (p *Policy) saveState(w *snapshot.Writer) {
+	w.U32(p.threshold)
+	w.I64(int64(p.reuses))
+	w.I64(p.thrash)
+	w.I64(p.raises)
+	w.I64(p.reusesTotal)
+}
+
+func (p *Policy) loadState(r *snapshot.Reader) {
+	threshold := r.U32()
+	reuses := r.I64()
+	thrash := r.I64()
+	raises := r.I64()
+	reusesTotal := r.I64()
+	if r.Err() != nil {
+		return
+	}
+	if reuses < 0 || raises < 0 || reusesTotal < 0 {
+		r.Failf("negative policy accumulator")
+		return
+	}
+	p.threshold = threshold
+	p.reuses = int(reuses)
+	p.thrash = thrash
+	p.raises = raises
+	p.reusesTotal = reusesTotal
+}

@@ -82,6 +82,7 @@ type System struct {
 	decrDir  bool // decrement directory counters on false invalidations
 	mig      *migration.Engine
 	checker  *check.Checker
+	applied  int64 // references successfully applied (the trace position)
 	err      error // sticky: first internal failure, surfaced by Apply
 }
 
@@ -228,8 +229,14 @@ func (s *System) Apply(r trace.Ref) error {
 			return s.err
 		}
 	}
+	s.applied++
 	return nil
 }
+
+// RefsApplied returns how many references have been successfully
+// applied — the machine's position in its trace, which checkpoint
+// resume uses to skip the already-consumed prefix.
+func (s *System) RefsApplied() int64 { return s.applied }
 
 // Run drains src through the machine, returning the reference count and
 // the first error: a malformed or invariant-violating reference, or the

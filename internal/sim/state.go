@@ -1,0 +1,159 @@
+// Checkpoint/restore of a whole simulated machine. Snapshot serializes
+// every piece of mutable state — caches, network caches, directory,
+// page caches, migration engine, placement map, event counters and the
+// trace position — through internal/snapshot; Restore rebuilds a
+// machine from the same Config and loads the state back in place, so a
+// resumed run is bit-identical to an uninterrupted one.
+
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"dsmnc/internal/directory"
+	"dsmnc/internal/snapshot"
+	"dsmnc/memsys"
+)
+
+// Machine-level snapshot section tag and placement-policy kinds.
+const (
+	tagMachine = 0x0C
+
+	placeFirstTouch = 1
+	placeRoundRobin = 2
+	placeFixed      = 3
+)
+
+// Snapshot serializes the machine's complete state to w. A machine with
+// a sticky internal error refuses to snapshot (resuming a corrupted run
+// would launder the corruption); the error is returned.
+func (s *System) Snapshot(w io.Writer) error {
+	if s.err != nil {
+		return s.err
+	}
+	sw := snapshot.NewWriter(w)
+	sw.Section(tagMachine)
+	sw.U32(uint32(s.geo.Clusters))
+	sw.U32(uint32(s.geo.ProcsPerCluster))
+	sw.I64(s.applied)
+	if err := s.savePlacement(sw); err != nil {
+		return err
+	}
+	if err := directory.SaveProtocol(sw, s.dir); err != nil {
+		return err
+	}
+	sw.Bool(s.mig != nil)
+	if s.mig != nil {
+		s.mig.SaveState(sw)
+	}
+	for _, cl := range s.clusters {
+		if err := cl.SaveState(sw); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// Restore builds a machine from cfg and loads the snapshot read from r
+// into it. cfg must describe the same system the snapshot was taken
+// from (same geometry, cache sizes, NC organization, directory kind,
+// policies); any mismatch, corruption or truncation yields an
+// ErrBadSnapshot-wrapped error and no machine.
+func Restore(r io.Reader, cfg Config) (*System, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sr := snapshot.NewReader(r)
+	sr.Section(tagMachine)
+	clusters := int(sr.U32())
+	procs := int(sr.U32())
+	applied := sr.I64()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if clusters != s.geo.Clusters || procs != s.geo.ProcsPerCluster {
+		sr.Failf("snapshot geometry %dx%d, config %dx%d",
+			clusters, procs, s.geo.Clusters, s.geo.ProcsPerCluster)
+		return nil, sr.Err()
+	}
+	if applied < 0 {
+		sr.Failf("negative reference count %d", applied)
+		return nil, sr.Err()
+	}
+	if err := s.loadPlacement(sr); err != nil {
+		return nil, err
+	}
+	if err := directory.LoadProtocol(sr, s.dir); err != nil {
+		return nil, err
+	}
+	hasMig := sr.Bool()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if hasMig != (s.mig != nil) {
+		sr.Failf("snapshot migration engine %t, configured %t", hasMig, s.mig != nil)
+		return nil, sr.Err()
+	}
+	if s.mig != nil {
+		s.mig.LoadState(sr, s.geo.Clusters)
+	}
+	for _, cl := range s.clusters {
+		if err := cl.LoadState(sr); err != nil {
+			return nil, err
+		}
+		if err := sr.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if err := sr.Finish(); err != nil {
+		return nil, err
+	}
+	s.applied = applied
+	return s, nil
+}
+
+// savePlacement serializes the placement policy. Stateless policies
+// write only their kind tag; an unknown policy type cannot be resumed
+// and is a configuration error.
+func (s *System) savePlacement(w *snapshot.Writer) error {
+	switch p := s.place.(type) {
+	case *memsys.FirstTouch:
+		w.U8(placeFirstTouch)
+		p.SaveState(w)
+	case memsys.RoundRobin:
+		w.U8(placeRoundRobin)
+	case memsys.Fixed:
+		w.U8(placeFixed)
+	default:
+		return fmt.Errorf("sim: placement policy %T is not snapshotable", s.place)
+	}
+	return nil
+}
+
+func (s *System) loadPlacement(r *snapshot.Reader) error {
+	var want uint8
+	switch s.place.(type) {
+	case *memsys.FirstTouch:
+		want = placeFirstTouch
+	case memsys.RoundRobin:
+		want = placeRoundRobin
+	case memsys.Fixed:
+		want = placeFixed
+	default:
+		return fmt.Errorf("sim: placement policy %T is not snapshotable", s.place)
+	}
+	kind := r.U8()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if kind != want {
+		r.Failf("snapshot placement kind %d, configured %d", kind, want)
+		return r.Err()
+	}
+	if ft, ok := s.place.(*memsys.FirstTouch); ok {
+		ft.LoadState(r, s.geo.Clusters)
+	}
+	return r.Err()
+}

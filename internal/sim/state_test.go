@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dsmnc/internal/cache"
+	"dsmnc/internal/cluster"
+	"dsmnc/internal/core"
+	"dsmnc/internal/directory"
+	"dsmnc/internal/migration"
+	"dsmnc/internal/pagecache"
+	"dsmnc/internal/snapshot"
+	"dsmnc/memsys"
+	"dsmnc/trace"
+)
+
+// synthTrace generates a deterministic pseudo-random shared-reference
+// stream: enough pages and processors to exercise sharing, invalidation,
+// victimization and relocation against tiny caches.
+func synthTrace(procs, pages, n int, seed uint64) []trace.Ref {
+	refs := make([]trace.Ref, 0, n)
+	x := seed
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		pid := int32((x >> 33) % uint64(procs))
+		page := (x >> 21) % uint64(pages)
+		blk := (x >> 10) % uint64(memsys.BlocksPerPage)
+		op := trace.Read
+		if x&3 == 0 {
+			op = trace.Write
+		}
+		a := memsys.Addr(page)*memsys.PageBytes + memsys.Addr(blk)*memsys.BlockBytes
+		refs = append(refs, trace.Ref{PID: pid, Op: op, Addr: a})
+	}
+	return refs
+}
+
+// snapshotConfigs covers every snapshotable shape: each NC
+// organization, both directory kinds, page caches under both counter
+// styles, and the migration engine.
+func snapshotConfigs() map[string]func() Config {
+	base := func() Config {
+		return Config{
+			Geometry: memsys.Geometry{Clusters: 2, ProcsPerCluster: 2},
+			L1:       cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
+			Check:    true,
+		}
+	}
+	ncBytes := 8 * memsys.BlockBytes
+	return map[string]func() Config{
+		"base": base,
+		"vb": func() Config {
+			cfg := base()
+			cfg.NewNC = func() (core.NC, error) {
+				return core.NewVictim(core.VictimConfig{Bytes: ncBytes, Ways: 2})
+			}
+			return cfg
+		},
+		"vp": func() Config {
+			cfg := base()
+			cfg.NewNC = func() (core.NC, error) {
+				return core.NewVictim(core.VictimConfig{Bytes: ncBytes, Ways: 4, Indexing: cache.ByPage})
+			}
+			return cfg
+		},
+		"vxp": func() Config {
+			cfg := base()
+			cfg.NewNC = func() (core.NC, error) {
+				return core.NewVictim(core.VictimConfig{
+					Bytes: ncBytes, Ways: 4, Indexing: cache.ByPage, SetCounters: true,
+				})
+			}
+			cfg.NewPC = func() (*pagecache.PageCache, error) {
+				return pagecache.New(3, pagecache.NewAdaptivePolicy(2))
+			}
+			cfg.Counters = cluster.CountersNCSet
+			cfg.DecrementCounters = true
+			return cfg
+		},
+		"ncp": func() Config {
+			cfg := base()
+			cfg.NewNC = func() (core.NC, error) { return core.NewRelaxed(ncBytes, 2) }
+			cfg.NewPC = func() (*pagecache.PageCache, error) {
+				return pagecache.New(3, pagecache.NewFixedPolicy(2))
+			}
+			cfg.Counters = cluster.CountersDirectory
+			return cfg
+		},
+		"ncd": func() Config {
+			cfg := base()
+			cfg.NewNC = func() (core.NC, error) { return core.NewInclusive(ncBytes, 2) }
+			return cfg
+		},
+		"ncs": func() Config {
+			cfg := base()
+			cfg.NewNC = func() (core.NC, error) { return core.NewInfinite(0), nil }
+			return cfg
+		},
+		"limited-dir": func() Config {
+			cfg := base()
+			cfg.NewDirectory = func(clusters int) (directory.Protocol, error) {
+				return directory.NewLimited(clusters, 1)
+			}
+			return cfg
+		},
+		"origin": func() Config {
+			cfg := base()
+			cfg.Migration = &migration.Config{ReplicateThreshold: 4, MigrateThreshold: 8}
+			return cfg
+		},
+	}
+}
+
+// TestSnapshotRoundTripEquivalence is the tentpole guarantee: run k
+// refs, snapshot, restore, run the rest — and land on bit-identical
+// counters AND a bit-identical re-snapshot versus the uninterrupted
+// run, for every system shape.
+func TestSnapshotRoundTripEquivalence(t *testing.T) {
+	refs := synthTrace(4, 24, 4000, 17)
+	for name, mk := range snapshotConfigs() {
+		t.Run(name, func(t *testing.T) {
+			full := mustNew(mk())
+			for i, r := range refs {
+				if err := full.Apply(r); err != nil {
+					t.Fatalf("full run ref %d: %v", i, err)
+				}
+			}
+			var want bytes.Buffer
+			if err := full.Snapshot(&want); err != nil {
+				t.Fatalf("full snapshot: %v", err)
+			}
+
+			for _, k := range []int{0, 1, 1337, len(refs)} {
+				part := mustNew(mk())
+				for _, r := range refs[:k] {
+					if err := part.Apply(r); err != nil {
+						t.Fatalf("k=%d prefix: %v", k, err)
+					}
+				}
+				var mid bytes.Buffer
+				if err := part.Snapshot(&mid); err != nil {
+					t.Fatalf("k=%d snapshot: %v", k, err)
+				}
+				resumed, err := Restore(bytes.NewReader(mid.Bytes()), mk())
+				if err != nil {
+					t.Fatalf("k=%d restore: %v", k, err)
+				}
+				if got := resumed.RefsApplied(); got != int64(k) {
+					t.Fatalf("k=%d: RefsApplied = %d", k, got)
+				}
+				for _, r := range refs[k:] {
+					if err := resumed.Apply(r); err != nil {
+						t.Fatalf("k=%d resumed run: %v", k, err)
+					}
+				}
+				if resumed.Totals() != full.Totals() {
+					t.Fatalf("k=%d: counters diverge:\nresumed %+v\nfull    %+v",
+						k, resumed.Totals(), full.Totals())
+				}
+				var got bytes.Buffer
+				if err := resumed.Snapshot(&got); err != nil {
+					t.Fatalf("k=%d re-snapshot: %v", k, err)
+				}
+				if !bytes.Equal(got.Bytes(), want.Bytes()) {
+					t.Fatalf("k=%d: machine state diverges from uninterrupted run (snapshot bytes differ)", k)
+				}
+			}
+		})
+	}
+}
+
+// machineSnapshot runs a small workload on a vxp-flavoured machine and
+// returns its snapshot bytes plus the config that produced them.
+func machineSnapshot(t testing.TB) ([]byte, func() Config) {
+	t.Helper()
+	mk := snapshotConfigs()["vxp"]
+	s := mustNew(mk())
+	for _, r := range synthTrace(4, 16, 1200, 5) {
+		if err := s.Apply(r); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return buf.Bytes(), mk
+}
+
+func TestRestoreRejectsCorruption(t *testing.T) {
+	raw, mk := machineSnapshot(t)
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 1, 4, 6, 20, len(raw) / 2, len(raw) - 1} {
+			if _, err := Restore(bytes.NewReader(raw[:n]), mk()); !errors.Is(err, snapshot.ErrBadSnapshot) {
+				t.Fatalf("prefix %d: err = %v, want ErrBadSnapshot", n, err)
+			}
+		}
+	})
+	t.Run("bit-flips", func(t *testing.T) {
+		step := len(raw)/64 + 1
+		for i := 0; i < len(raw); i += step {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= 0x40
+			if _, err := Restore(bytes.NewReader(mut), mk()); !errors.Is(err, snapshot.ErrBadSnapshot) {
+				t.Fatalf("flip at %d: err = %v, want ErrBadSnapshot", i, err)
+			}
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		mut := append(append([]byte(nil), raw...), 0xAA)
+		if _, err := Restore(bytes.NewReader(mut), mk()); !errors.Is(err, snapshot.ErrBadSnapshot) {
+			t.Fatalf("err = %v, want ErrBadSnapshot", err)
+		}
+	})
+}
+
+// TestRestoreRejectsConfigMismatch: a snapshot restored into a
+// different system organization must fail with the sentinel, never
+// silently misread state.
+func TestRestoreRejectsConfigMismatch(t *testing.T) {
+	raw, _ := machineSnapshot(t)
+	cfgs := snapshotConfigs()
+	for _, other := range []string{"base", "vb", "ncp", "ncd", "ncs", "limited-dir", "origin"} {
+		if _, err := Restore(bytes.NewReader(raw), cfgs[other]()); !errors.Is(err, snapshot.ErrBadSnapshot) {
+			t.Fatalf("restore vxp snapshot into %s: err = %v, want ErrBadSnapshot", other, err)
+		}
+	}
+	mk := cfgs["vxp"]
+	big := mk()
+	big.Geometry = memsys.Geometry{Clusters: 4, ProcsPerCluster: 2}
+	if _, err := Restore(bytes.NewReader(raw), big); !errors.Is(err, snapshot.ErrBadSnapshot) {
+		t.Fatalf("restore into larger geometry: err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestSnapshotRefusedWhileBroken: a machine with a sticky protocol
+// error must not checkpoint.
+func TestSnapshotRefusedWhileBroken(t *testing.T) {
+	s := mustNew(testConfig())
+	s.fail(fmt.Errorf("%w: induced", ErrProtocol))
+	if err := s.Snapshot(&bytes.Buffer{}); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Snapshot on broken machine: err = %v, want ErrProtocol", err)
+	}
+}
+
+// FuzzSnapshot mirrors trace.FuzzReader for the snapshot decoder:
+// arbitrary bytes must land on ErrBadSnapshot (or restore a machine
+// that is actually coherent), and never panic.
+func FuzzSnapshot(f *testing.F) {
+	raw, mk := machineSnapshot(f)
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add(raw[:7])
+	f.Add([]byte{})
+	f.Add([]byte("DSNP\x01\x00"))
+	f.Add([]byte("DSNT\x01\x00\x0c"))
+	for _, i := range []int{5, 10, len(raw) / 3, len(raw) - 2} {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0xFF
+		f.Add(mut)
+	}
+	probe := synthTrace(4, 16, 64, 9)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Restore(bytes.NewReader(data), mk())
+		if err != nil {
+			if !errors.Is(err, snapshot.ErrBadSnapshot) {
+				t.Fatalf("non-sentinel restore error: %v", err)
+			}
+			return
+		}
+		// A restore that passed the checksum must be a working, coherent
+		// machine: drive it (checker attached) and sweep the invariants.
+		for _, r := range probe {
+			if err := s.Apply(r); err != nil {
+				t.Fatalf("restored machine broken on first contact: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,290 @@
+// Package snapshot is the versioned, checksummed binary codec that
+// checkpoint/resume is built on. It serializes the complete state of a
+// simulated machine — cache tag arrays with LRU order, network-cache
+// frames and vxp set counters, directory entries and R-NUMA relocation
+// counters, page-cache frames and adaptive-threshold state, migration
+// state, the per-cluster event account and the trace position — so that
+// a run can be parked on disk and resumed bit-identically.
+//
+// The format is deliberately dumb: a magic/version header, a flat
+// sequence of fixed-width little-endian primitives punctuated by
+// one-byte section tags (so a reader that drifts out of sync fails fast
+// instead of silently misinterpreting bytes), and a trailing CRC-32 of
+// everything before it. Map-backed structures are written in sorted key
+// order, so the same machine state always produces the same bytes.
+//
+// Corrupt, truncated or mismatched input lands on the ErrBadSnapshot
+// sentinel, tagged with the byte offset of the first inconsistency —
+// the same discipline as trace.ErrBadTrace — and never on a panic: the
+// package is covered by the repository's AST-enforced panic-free
+// contract.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+)
+
+// ErrBadSnapshot is the sentinel wrapped by every decode failure:
+// truncation, checksum mismatch, section-tag drift, or state that fails
+// validation against the configuration being restored into.
+var ErrBadSnapshot = errors.New("snapshot: malformed snapshot")
+
+// Format constants.
+const (
+	magic   = "DSNP" // DSM network-cache snapshot
+	version = 1
+	endMark = 0xED // closes the section stream, ahead of the CRC
+)
+
+// Writer encodes a snapshot. Encoding errors (from the underlying
+// io.Writer) are sticky; check Close.
+type Writer struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+	off int64
+	err error
+	buf [8]byte
+}
+
+// NewWriter starts a snapshot on w, emitting the magic/version header.
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{w: bufio.NewWriter(w), crc: crc32.NewIEEE()}
+	sw.write([]byte(magic))
+	sw.U16(version)
+	return sw
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(p); err != nil {
+		w.err = err
+		return
+	}
+	w.crc.Write(p)
+	w.off += int64(len(p))
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) {
+	w.buf[0] = v
+	w.write(w.buf[:1])
+}
+
+// U16 writes a little-endian uint16.
+func (w *Writer) U16(v uint16) {
+	binary.LittleEndian.PutUint16(w.buf[:2], v)
+	w.write(w.buf[:2])
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// I64 writes a little-endian int64 (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Bool writes a strict 0/1 byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Section writes a section tag, a cheap synchronization point: the
+// reader verifies it before decoding the section body.
+func (w *Writer) Section(tag uint8) { w.U8(tag) }
+
+// Err returns the sticky encoding error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Close writes the end marker and the CRC-32 trailer and flushes. It
+// returns the first error encountered during encoding.
+func (w *Writer) Close() error {
+	w.U8(endMark)
+	if w.err != nil {
+		return w.err
+	}
+	sum := w.crc.Sum32() // the trailer itself is not hashed
+	binary.LittleEndian.PutUint32(w.buf[:4], sum)
+	if _, err := w.w.Write(w.buf[:4]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a snapshot. Decode errors are sticky: after the first
+// failure every primitive returns a zero value and Err/Finish report
+// the offset-tagged ErrBadSnapshot.
+type Reader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+	off int64
+	err error
+	buf [8]byte
+}
+
+// NewReader opens a snapshot stream, consuming and validating the
+// magic/version header. Header problems surface from Err and from
+// every subsequent read.
+func NewReader(r io.Reader) *Reader {
+	sr := &Reader{r: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	var hdr [len(magic)]byte
+	if !sr.read(hdr[:]) {
+		return sr
+	}
+	if string(hdr[:]) != magic {
+		sr.off = 0
+		sr.Failf("bad magic %q", hdr[:])
+		return sr
+	}
+	if v := sr.U16(); sr.err == nil && v != version {
+		sr.Failf("unsupported version %d (want %d)", v, version)
+	}
+	return sr
+}
+
+func (r *Reader) read(p []byte) bool {
+	if r.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		r.Failf("truncated (%v)", err)
+		return false
+	}
+	r.crc.Write(p)
+	r.off += int64(len(p))
+	return true
+}
+
+// Failf records a decode failure at the current offset, wrapping
+// ErrBadSnapshot. State loaders use it to reject values that do not fit
+// the configuration being restored into. Only the first failure sticks.
+func (r *Reader) Failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d",
+			ErrBadSnapshot, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Offset returns the number of bytes consumed so far.
+func (r *Reader) Offset() int64 { return r.off }
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if !r.read(r.buf[:1]) {
+		return 0
+	}
+	return r.buf[0]
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	if !r.read(r.buf[:2]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(r.buf[:2])
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if !r.read(r.buf[:4]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(r.buf[:4])
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	if !r.read(r.buf[:8]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:8])
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Bool reads a strict boolean: any byte other than 0 or 1 is a decode
+// failure (a drifted reader would otherwise coerce garbage to true).
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Failf("invalid boolean")
+		return false
+	}
+}
+
+// Len reads an element count and bounds it: counts above max (or the
+// int range) are rejected so attacker-controlled headers cannot drive
+// huge allocations. Loaders must still bail out of their fill loops
+// when Err becomes non-nil, which caps work at the actual stream size.
+func (r *Reader) Len(max int64) int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n) < 0 || int64(n) > max {
+		r.Failf("count %d out of range [0,%d]", n, max)
+		return 0
+	}
+	return int(n)
+}
+
+// Section consumes a section tag and verifies it is the expected one.
+func (r *Reader) Section(tag uint8) {
+	got := r.U8()
+	if r.err == nil && got != tag {
+		r.Failf("section tag %#x, want %#x", got, tag)
+	}
+}
+
+// Finish consumes the end marker and the CRC-32 trailer, verifies the
+// checksum, and requires the stream to end there. It returns the sticky
+// decode error, so callers can funnel every failure through one check.
+func (r *Reader) Finish() error {
+	if got := r.U8(); r.err == nil && got != endMark {
+		r.Failf("end marker %#x, want %#x", got, endMark)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	want := r.crc.Sum32() // hash of everything before the trailer
+	if _, err := io.ReadFull(r.r, r.buf[:4]); err != nil {
+		r.Failf("truncated checksum (%v)", err)
+		return r.err
+	}
+	if got := binary.LittleEndian.Uint32(r.buf[:4]); got != want {
+		r.Failf("checksum mismatch: stored %#x, computed %#x", got, want)
+		return r.err
+	}
+	r.off += 4
+	if _, err := r.r.ReadByte(); err != io.EOF {
+		r.Failf("trailing data after checksum")
+	}
+	return r.err
+}

@@ -1,0 +1,173 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// encode writes a fixed mix of primitives and returns the bytes.
+func encode(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section(0x11)
+	w.U8(7)
+	w.U16(0xbeef)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.Bool(true)
+	w.Bool(false)
+	w.U64(3) // a count
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := encode(t)
+	r := NewReader(bytes.NewReader(b))
+	r.Section(0x11)
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U16(); got != 0xbeef {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Bool(); !got {
+		t.Errorf("Bool = false, want true")
+	}
+	if got := r.Bool(); got {
+		t.Errorf("Bool = true, want false")
+	}
+	if got := r.Len(10); got != 3 {
+		t.Errorf("Len = %d", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestTruncationAtEveryPrefix(t *testing.T) {
+	b := encode(t)
+	for n := 0; n < len(b); n++ {
+		r := NewReader(bytes.NewReader(b[:n]))
+		drain(r)
+		if err := r.Finish(); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("prefix %d/%d: err = %v, want ErrBadSnapshot", n, len(b), err)
+		}
+	}
+}
+
+func TestBitFlipFailsChecksum(t *testing.T) {
+	b := encode(t)
+	for i := 0; i < len(b); i++ {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0x80
+		r := NewReader(bytes.NewReader(mut))
+		drain(r)
+		if err := r.Finish(); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("flip at %d: err = %v, want ErrBadSnapshot", i, err)
+		}
+	}
+}
+
+// drain mirrors the encode schema so the checksum is actually computed
+// over the whole body before Finish.
+func drain(r *Reader) {
+	r.Section(0x11)
+	r.U8()
+	r.U16()
+	r.U32()
+	r.U64()
+	r.I64()
+	r.Bool()
+	r.Bool()
+	r.Len(10)
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	r := NewReader(strings.NewReader("NOPE\x01\x00"))
+	if err := r.Err(); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	r = NewReader(strings.NewReader(magic + "\x63\x00"))
+	if err := r.Err(); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("bad version: err = %v", err)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version error lacks detail: %v", err)
+	}
+}
+
+func TestSectionMismatch(t *testing.T) {
+	b := encode(t)
+	r := NewReader(bytes.NewReader(b))
+	r.Section(0x22) // stream holds 0x11
+	if err := r.Err(); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("section mismatch: err = %v", err)
+	}
+}
+
+func TestBoolStrictAndLenBounds(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U8(2) // not a boolean
+	w.U64(1 << 40)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.Bool()
+	if err := r.Err(); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("loose bool accepted: %v", err)
+	}
+
+	r = NewReader(bytes.NewReader(buf.Bytes()))
+	r.U8()
+	r.Len(1 << 20) // stream says 2^40
+	if err := r.Err(); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("oversized count accepted: %v", err)
+	}
+}
+
+func TestTrailingDataRejected(t *testing.T) {
+	b := append(encode(t), 0x00)
+	r := NewReader(bytes.NewReader(b))
+	drain(r)
+	if err := r.Finish(); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+func TestErrorsCarryOffset(t *testing.T) {
+	b := encode(t)
+	r := NewReader(bytes.NewReader(b[:7])) // cut inside the first section
+	drain(r)
+	err := r.Finish()
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error lacks offset tag: %v", err)
+	}
+}
+
+func TestStickyFailure(t *testing.T) {
+	r := NewReader(strings.NewReader("NOPE\x01\x00"))
+	first := r.Err()
+	r.U64()
+	r.Section(9)
+	if r.Err() != first {
+		t.Fatalf("error not sticky: %v then %v", first, r.Err())
+	}
+}

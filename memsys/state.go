@@ -1,0 +1,48 @@
+package memsys
+
+import (
+	"sort"
+
+	"dsmnc/internal/snapshot"
+)
+
+const tagFirstTouch = 0x09
+
+// SaveState serializes the first-touch placement map in sorted page
+// order, so identical placements always produce identical bytes.
+func (ft *FirstTouch) SaveState(w *snapshot.Writer) {
+	w.Section(tagFirstTouch)
+	pages := make([]Page, 0, len(ft.home))
+	for p := range ft.home {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	w.U64(uint64(len(pages)))
+	for _, p := range pages {
+		w.U64(uint64(p))
+		w.U32(uint32(ft.home[p]))
+	}
+}
+
+// LoadState restores the placement map in place. clusters bounds every
+// home: the simulator indexes its cluster slice with these values.
+func (ft *FirstTouch) LoadState(r *snapshot.Reader, clusters int) {
+	r.Section(tagFirstTouch)
+	n := r.Len(1 << 40)
+	home := make(map[Page]int, min(n, 1<<20))
+	for i := 0; i < n; i++ {
+		p := Page(r.U64())
+		h := int(r.U32())
+		if r.Err() != nil {
+			return
+		}
+		if h >= clusters {
+			r.Failf("page %d homed on cluster %d of %d", p, h, clusters)
+			return
+		}
+		home[p] = h
+	}
+	if r.Err() == nil {
+		ft.home = home
+	}
+}

@@ -1,0 +1,91 @@
+package dsmnc
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a concurrency-safe live account of a run or sweep,
+// shared through Options.Progress: the simulation workers bump it, and
+// Heartbeat (or any caller polling the counters) reports it. The zero
+// value is ready to use.
+type Progress struct {
+	// Refs counts references applied across all in-flight cells
+	// (skipped checkpoint prefixes and journal-restored cells do not
+	// count — only simulation actually performed).
+	Refs atomic.Int64
+	// CellsDone and CellsTotal track sweep completion; journal-restored
+	// cells count as done the moment they are skipped.
+	CellsDone  atomic.Int64
+	CellsTotal atomic.Int64
+	// JournalWrites counts durable cell records appended so far.
+	JournalWrites atomic.Int64
+
+	lastJournal atomic.Int64 // unix nanoseconds of the last append
+}
+
+// noteJournal records a successful journal append.
+func (p *Progress) noteJournal() {
+	p.JournalWrites.Add(1)
+	p.lastJournal.Store(time.Now().UnixNano())
+}
+
+// LastJournalWrite returns when the last journal record was written,
+// and whether one has been written at all.
+func (p *Progress) LastJournalWrite() (time.Time, bool) {
+	ns := p.lastJournal.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
+// Heartbeat prints a one-line status to w at the given interval —
+// references applied, reference rate, cells done/total, time since the
+// last journal write — until the returned stop function is called.
+// stop blocks until the reporter has exited, so w is safe to reuse
+// afterwards.
+func (p *Progress) Heartbeat(w io.Writer, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		last := p.Refs.Load()
+		lastT := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				refs := p.Refs.Load()
+				rate := float64(refs-last) / now.Sub(lastT).Seconds()
+				last, lastT = refs, now
+				line := fmt.Sprintf("progress: %d refs (%.0f refs/s)", refs, rate)
+				if total := p.CellsTotal.Load(); total > 0 {
+					line += fmt.Sprintf(", cells %d/%d", p.CellsDone.Load(), total)
+				}
+				if t, ok := p.LastJournalWrite(); ok {
+					line += fmt.Sprintf(", last journal write %s ago",
+						time.Since(t).Round(time.Second))
+				}
+				fmt.Fprintln(w, line)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package stats
+
+import "dsmnc/internal/snapshot"
+
+const tagCounters = 0x0A
+
+func saveOp(w *snapshot.Writer, o OpCount) {
+	w.I64(o.Read)
+	w.I64(o.Write)
+}
+
+func loadOp(r *snapshot.Reader) OpCount {
+	return OpCount{Read: r.I64(), Write: r.I64()}
+}
+
+// SaveState serializes the full event account in fixed field order.
+func (c *Counters) SaveState(w *snapshot.Writer) {
+	w.Section(tagCounters)
+	saveOp(w, c.Refs)
+	saveOp(w, c.L1Hits)
+	saveOp(w, c.C2C)
+	saveOp(w, c.LocalC2C)
+	saveOp(w, c.NCHits)
+	saveOp(w, c.PCHits)
+	saveOp(w, c.LocalMem)
+	for i := range c.RemoteByClass {
+		saveOp(w, c.RemoteByClass[i])
+	}
+	saveOp(w, c.Remote3Hop)
+	saveOp(w, c.Upgrades)
+	w.I64(c.LocalDirtyFetch)
+	w.I64(c.WritebacksHome)
+	w.I64(c.DowngradeWB)
+	w.I64(c.NCInserts)
+	w.I64(c.NCEvictions)
+	w.I64(c.NCForcedL1Evict)
+	w.I64(c.MastershipXfer)
+	w.I64(c.Relocations)
+	w.I64(c.PageEvictions)
+	w.I64(c.PCFlushedDirty)
+	w.I64(c.ThresholdRaises)
+	w.I64(c.Migrations)
+	w.I64(c.Replications)
+	saveOp(w, c.ReplicaHits)
+	w.I64(c.ReplicaFlushes)
+}
+
+// LoadState restores the event account in place.
+func (c *Counters) LoadState(r *snapshot.Reader) {
+	r.Section(tagCounters)
+	var n Counters
+	n.Refs = loadOp(r)
+	n.L1Hits = loadOp(r)
+	n.C2C = loadOp(r)
+	n.LocalC2C = loadOp(r)
+	n.NCHits = loadOp(r)
+	n.PCHits = loadOp(r)
+	n.LocalMem = loadOp(r)
+	for i := range n.RemoteByClass {
+		n.RemoteByClass[i] = loadOp(r)
+	}
+	n.Remote3Hop = loadOp(r)
+	n.Upgrades = loadOp(r)
+	n.LocalDirtyFetch = r.I64()
+	n.WritebacksHome = r.I64()
+	n.DowngradeWB = r.I64()
+	n.NCInserts = r.I64()
+	n.NCEvictions = r.I64()
+	n.NCForcedL1Evict = r.I64()
+	n.MastershipXfer = r.I64()
+	n.Relocations = r.I64()
+	n.PageEvictions = r.I64()
+	n.PCFlushedDirty = r.I64()
+	n.ThresholdRaises = r.I64()
+	n.Migrations = r.I64()
+	n.Replications = r.I64()
+	n.ReplicaHits = loadOp(r)
+	n.ReplicaFlushes = r.I64()
+	if r.Err() == nil {
+		*c = n
+	}
+}
