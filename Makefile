@@ -1,7 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 1x
+BENCH_OUT ?= BENCH_baseline.json
 
-.PHONY: build test race vet fuzz check resume-smoke ci
+.PHONY: build test race vet fuzz check resume-smoke telemetry bench ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +25,7 @@ vet:
 fuzz:
 	$(GO) test -run '^FuzzReader$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./trace
 	$(GO) test -run '^FuzzSnapshot$$' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/sim
+	$(GO) test -run '^FuzzEventTrace$$' -fuzz '^FuzzEventTrace$$' -fuzztime $(FUZZTIME) ./telemetry
 
 # The checked acceptance matrix: every workload x every principal
 # system organization under the coherence invariant checker.
@@ -35,5 +38,21 @@ check:
 resume-smoke:
 	$(GO) test -run 'TestSnapshotRoundTrip|TestInterruptedSweepResumes|TestCheckpointResumesMidCell' . ./internal/sim
 
+# The telemetry gate: the sampler/trace/metrics package and the
+# concurrency-sensitive Progress and end-to-end telemetry tests always
+# run under the race detector (docs/observability.md).
+telemetry:
+	$(GO) test -race ./telemetry
+	$(GO) test -race -run 'TestProgress|TestTelemetryEndToEnd' .
+
+# Record a performance baseline: run the bench_test.go suite once and
+# commit the result as BENCH_baseline.json so later PRs can show deltas
+# (override BENCH_OUT to compare without clobbering the baseline).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) . > BENCH.txt
+	$(GO) run ./cmd/benchjson < BENCH.txt > $(BENCH_OUT)
+	@rm -f BENCH.txt
+	@echo "wrote $(BENCH_OUT)"
+
 # Tier-1+ gate (ROADMAP.md): everything CI runs.
-ci: vet build test race fuzz resume-smoke
+ci: vet build test race fuzz resume-smoke telemetry

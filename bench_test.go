@@ -13,6 +13,7 @@ package dsmnc
 import (
 	"testing"
 
+	"dsmnc/telemetry"
 	"dsmnc/trace"
 	"dsmnc/workload"
 )
@@ -126,6 +127,25 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 // system (L1 + bus + NC + directory) on an L1-hit-heavy stream.
 func BenchmarkApplyHotPath(b *testing.B) {
 	opt := benchOptions()
+	machine, err := Build(workload.Sequential(1024, 1), VB(16<<10), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := trace.Ref{PID: 0, Op: trace.Read, Addr: 0}
+	machine.Apply(r) // warm the line
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		machine.Apply(r)
+	}
+}
+
+// BenchmarkApplyHotPathSampled measures the same stream with the
+// time-series sampler attached at the acceptance cadence
+// (-sample-every 100000), so sampling overhead shows up as a direct
+// delta against BenchmarkApplyHotPath in BENCH_baseline.json.
+func BenchmarkApplyHotPathSampled(b *testing.B) {
+	opt := benchOptions()
+	opt.Sampler = telemetry.NewSampler(100000, telemetry.DefaultCapacity)
 	machine, err := Build(workload.Sequential(1024, 1), VB(16<<10), opt)
 	if err != nil {
 		b.Fatal(err)

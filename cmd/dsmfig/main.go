@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"dsmnc"
+	"dsmnc/telemetry"
 	"dsmnc/workload"
 )
 
@@ -45,6 +46,7 @@ func run() int {
 		ckptEvery = flag.Int64("checkpoint-every", 0, "snapshot in-flight cells every N applied references; 0 disables")
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for mid-cell checkpoints (default: beside the journal)")
 		progress  = flag.Duration("progress", 0, "print a progress heartbeat at this interval (e.g. 10s); 0 disables")
+		metrics   = flag.String("metrics", "", "serve Prometheus metrics and pprof on this address (e.g. :9090, :0 for a free port)")
 	)
 	flag.Parse()
 	if *exp == "" {
@@ -88,10 +90,29 @@ func run() int {
 				jnl.Path(), jnl.Completed())
 		}
 	}
-	if *progress > 0 {
+	if *progress > 0 || *metrics != "" {
 		opt.Progress = &dsmnc.Progress{}
+	}
+	if *progress > 0 {
 		stop := opt.Progress.Heartbeat(os.Stderr, *progress)
 		defer stop()
+	}
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		if err := opt.Progress.RegisterMetrics(reg); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmfig: %v\n", err)
+			return 1
+		}
+		srv, err := telemetry.Serve(*metrics, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsmfig: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "dsmfig: serving metrics on %s (%s)\n", srv.Addr(), srv.URL())
+		}
 	}
 
 	switch *exp {

@@ -16,9 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"dsmnc"
 	"dsmnc/memsys"
+	"dsmnc/telemetry"
 	"dsmnc/trace"
 	"dsmnc/workload"
 )
@@ -42,6 +45,13 @@ func main() {
 		perCluster = flag.Bool("percluster", false, "print the per-cluster event breakdown")
 		progress   = flag.Duration("progress", 0, "print a progress heartbeat at this interval (e.g. 10s); 0 disables")
 		list       = flag.Bool("list", false, "list benchmarks and systems")
+
+		sampleEvery = flag.Int64("sample-every", 0, "record a time-series sample every N applied references; 0 disables")
+		sampleOut   = flag.String("sample-out", "", "write the sample series here (.csv for CSV, anything else JSONL)")
+		sampleCap   = flag.Int("sample-cap", telemetry.DefaultCapacity, "retain at most this many samples (oldest dropped)")
+		traceOut    = flag.String("trace-out", "", "write a binary coherence event trace here (render with dsmtrace)")
+		traceEvery  = flag.Int64("trace-every", 1, "keep every Nth coherence event in -trace-out")
+		metricsAddr = flag.String("metrics", "", "serve Prometheus metrics and pprof on this address (e.g. :9090, :0 for a free port)")
 	)
 	flag.Parse()
 
@@ -118,10 +128,45 @@ func main() {
 	sys.DirPointers = *dirPtrs
 	sys.Migration = *migrate
 	opt.Check = *checkInv
-	if *progress > 0 {
+	if *progress > 0 || *metricsAddr != "" {
 		opt.Progress = &dsmnc.Progress{}
+	}
+	if *progress > 0 {
 		stop := opt.Progress.Heartbeat(os.Stderr, *progress)
 		defer stop()
+	}
+
+	if *sampleEvery > 0 || *sampleOut != "" {
+		if *sampleEvery <= 0 {
+			*sampleEvery = 100000
+		}
+		opt.Sampler = telemetry.NewSampler(*sampleEvery, *sampleCap).WithClock(time.Now)
+	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsmsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracer = telemetry.NewTracer(f, *traceEvery)
+		opt.EventTrace = tracer
+	}
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		fatalIf(telemetry.RegisterRuntimeMetrics(reg))
+		fatalIf(opt.Progress.RegisterMetrics(reg))
+		if opt.Sampler != nil {
+			fatalIf(telemetry.RegisterSamplerMetrics(reg, opt.Sampler))
+		}
+		srv, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsmsim: metrics endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dsmsim: serving metrics on %s (%s)\n", srv.Addr(), srv.URL())
 	}
 
 	var res dsmnc.Result
@@ -142,6 +187,22 @@ func main() {
 		}
 		fmt.Printf("benchmark : %s (%s), %.2f MB shared (paper: %.2f MB)\n",
 			b.Name, b.Params, float64(b.SharedBytes)/(1<<20), b.PaperMB)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmsim: event trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dsmsim: %s: kept %d of %d coherence events\n",
+			*traceOut, tracer.Kept(), tracer.Seen())
+	}
+	if *sampleOut != "" {
+		if err := writeSamples(*sampleOut, opt.Sampler); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmsim: sample series: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dsmsim: %s: %d samples (%d dropped by the ring)\n",
+			*sampleOut, opt.Sampler.Len(), opt.Sampler.Dropped())
 	}
 	c := &res.Counters
 	fmt.Printf("system    : %s   scale: %s   refs: %d\n\n", sys.Name, opt.Scale, res.Refs)
@@ -181,6 +242,33 @@ func main() {
 				cc.PCHits.Total(), cc.Remote().Total(), cc.WritebacksHome)
 		}
 	}
+}
+
+// fatalIf aborts on a metric-registration error (programming errors
+// only: duplicate or malformed names).
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsmsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeSamples dumps the recorded series, picking CSV or JSONL from the
+// file extension.
+func writeSamples(path string, s *telemetry.Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = s.WriteCSV(f)
+	} else {
+		err = s.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // runTraceFile drives the system from a binary trace produced by

@@ -1,0 +1,186 @@
+// Command dsmtrace renders a binary coherence event trace (written by
+// dsmsim -trace-out) as Chrome/Perfetto trace_event JSON, or prints a
+// per-kind summary.
+//
+// Usage:
+//
+//	dsmtrace run.devt > run.json       # load run.json in ui.perfetto.dev
+//	dsmtrace -summary run.devt
+//	dsmtrace -cluster 3 run.devt       # keep only cluster 3's events
+//
+// The JSON places each event on the timeline at its reference count
+// (1 applied reference = 1 µs of trace time), one process row per
+// cluster and one named thread per event kind, so Perfetto's own
+// aggregation tools work on the result.
+//
+// Exit status: 0 on success, 1 on a fatal or decode error, 2 on usage
+// errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"dsmnc/telemetry"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		summary = flag.Bool("summary", false, "print per-kind event counts instead of JSON")
+		cluster = flag.Int("cluster", -1, "keep only events from this cluster (-1 keeps all)")
+		limit   = flag.Int64("limit", 0, "stop after emitting this many events; 0 means no limit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dsmtrace [-summary] [-cluster N] [-limit N] trace.devt\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsmtrace: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	r := telemetry.NewEventReader(bufio.NewReader(f))
+
+	var werr error
+	if *summary {
+		werr = writeSummary(os.Stdout, r, *cluster, *limit)
+	} else {
+		out := bufio.NewWriter(os.Stdout)
+		werr = writeJSON(out, r, *cluster, *limit)
+		if err := out.Flush(); werr == nil {
+			werr = err
+		}
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "dsmtrace: %v\n", werr)
+		return 1
+	}
+	if err := r.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmtrace: %s: offset %d: %v\n", flag.Arg(0), r.Offset(), err)
+		return 1
+	}
+	return 0
+}
+
+// writeJSON emits the trace_event JSON array. Events become instant
+// events ("ph":"i") scoped to their thread; process and thread name
+// metadata rows are emitted lazily the first time a cluster or a
+// (cluster, kind) pair appears.
+func writeJSON(w io.Writer, r *telemetry.EventReader, cluster int, limit int64) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	type thread struct {
+		cluster int
+		kind    telemetry.EventKind
+	}
+	namedProc := make(map[int]bool)
+	namedThread := make(map[thread]bool)
+	first := true
+	emit := func(format string, args ...any) error {
+		sep := ",\n"
+		if first {
+			sep, first = "", false
+		}
+		_, err := fmt.Fprintf(w, sep+format, args...)
+		return err
+	}
+	var emitted int64
+	for {
+		ev, ok := r.Next()
+		if !ok {
+			break
+		}
+		if cluster >= 0 && ev.Cluster != cluster {
+			continue
+		}
+		if !namedProc[ev.Cluster] {
+			namedProc[ev.Cluster] = true
+			if err := emit(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"cluster %d"}}`,
+				ev.Cluster, ev.Cluster); err != nil {
+				return err
+			}
+		}
+		th := thread{ev.Cluster, ev.Kind}
+		if !namedThread[th] {
+			namedThread[th] = true
+			if err := emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`,
+				ev.Cluster, int(ev.Kind), ev.Kind.String()); err != nil {
+				return err
+			}
+		}
+		if err := emit(`{"name":%q,"ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"addr":"0x%x","arg":%d}}`,
+			ev.Kind.String(), ev.Refs, ev.Cluster, int(ev.Kind), ev.Addr, ev.Arg); err != nil {
+			return err
+		}
+		emitted++
+		if limit > 0 && emitted >= limit {
+			break
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+// writeSummary prints per-kind and per-cluster event counts with the
+// reference span the trace covers.
+func writeSummary(w io.Writer, r *telemetry.EventReader, cluster int, limit int64) error {
+	byKind := make(map[telemetry.EventKind]int64)
+	byCluster := make(map[int]int64)
+	var total, firstRefs, lastRefs int64
+	for {
+		ev, ok := r.Next()
+		if !ok {
+			break
+		}
+		if cluster >= 0 && ev.Cluster != cluster {
+			continue
+		}
+		if total == 0 {
+			firstRefs = ev.Refs
+		}
+		lastRefs = ev.Refs
+		byKind[ev.Kind]++
+		byCluster[ev.Cluster]++
+		total++
+		if limit > 0 && total >= limit {
+			break
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%d events over refs %d..%d\n", total, firstRefs, lastRefs); err != nil {
+		return err
+	}
+	kinds := make([]telemetry.EventKind, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		if _, err := fmt.Fprintf(w, "  %-12s %d\n", k.String(), byKind[k]); err != nil {
+			return err
+		}
+	}
+	clusters := make([]int, 0, len(byCluster))
+	for c := range byCluster {
+		clusters = append(clusters, c)
+	}
+	sort.Ints(clusters)
+	for _, c := range clusters {
+		if _, err := fmt.Fprintf(w, "  cluster %-4d %d\n", c, byCluster[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -33,6 +33,7 @@ import (
 	"dsmnc/internal/sim"
 	"dsmnc/memsys"
 	"dsmnc/stats"
+	"dsmnc/telemetry"
 	"dsmnc/trace"
 	"dsmnc/workload"
 )
@@ -261,6 +262,17 @@ type Options struct {
 	// cells done, journal writes) that Progress.Heartbeat can report.
 	Progress *Progress
 
+	// Sampler, when set, records the run's time series: one sample
+	// every Sampler.Every() applied references (see telemetry.Sampler).
+	// Single runs only — sweeps reject it with ErrConfig, because the
+	// cells of a matrix would interleave their series.
+	Sampler *telemetry.Sampler
+	// EventTrace, when set, receives a structured coherence event
+	// stream (fills, victimizations, invalidations, relocations,
+	// write-backs) renderable by cmd/dsmtrace. Single runs only, like
+	// Sampler.
+	EventTrace *telemetry.Tracer
+
 	// cellGate, when set, is consulted at the start of every cell
 	// attempt; a non-nil return fails the cell with that error. Test
 	// hook for killing and fault-injecting sweeps deterministically.
@@ -336,6 +348,8 @@ func configFor(sharedBytes int64, s System, opt Options) (sim.Config, error) {
 		MOESI:             s.MOESI,
 		DecrementCounters: s.DecrementCounters,
 		Check:             opt.Check,
+		Sampler:           opt.Sampler,
+		Tracer:            opt.EventTrace,
 	}
 	if s.DirPointers > 0 {
 		ptrs := s.DirPointers
@@ -421,6 +435,9 @@ func RunContext(ctx context.Context, b *workload.Bench, s System, opt Options) (
 }
 
 func finish(machine *sim.System, s System, bench string, refs int64, opt Options) Result {
+	// The series always ends on the exact end-of-run counters, even when
+	// the run length is not a multiple of the sampling interval.
+	machine.FlushSample()
 	res := Result{
 		System:   s.Name,
 		Bench:    bench,

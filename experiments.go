@@ -180,6 +180,16 @@ func runMatrix(exp string, jobs []runJob, rows, cols int) ([][]Result, []CellFai
 	for i := range out {
 		out[i] = make([]Result, cols)
 	}
+	// A sampler or event trace is a single-run instrument: parallel cells
+	// would interleave their series into nonsense. Refuse loudly.
+	if len(jobs) > 1 {
+		for _, j := range jobs {
+			if j.opt.Sampler != nil || j.opt.EventTrace != nil {
+				return out, nil, fmt.Errorf("%w: Options.Sampler/EventTrace attach to a single run, not a %d-cell sweep",
+					ErrConfig, len(jobs))
+			}
+		}
+	}
 	// Resume pass: restore journaled cells, keep the rest. A record
 	// computed under different options poisons the whole resume rather
 	// than silently mixing incompatible results.
@@ -227,6 +237,9 @@ func runMatrix(exp string, jobs []runJob, rows, cols int) ([][]Result, []CellFai
 			defer wg.Done()
 			for j := range ch {
 				res, attempts, err := runWithRetries(exp, j)
+				if p := j.opt.Progress; p != nil && attempts > 1 {
+					p.CellsRetried.Add(int64(attempts - 1))
+				}
 				if err == nil && j.opt.Journal != nil {
 					// The cell is only done once it is durable: a failed
 					// append degrades it to a failure so the operator
@@ -243,6 +256,9 @@ func runMatrix(exp string, jobs []runJob, rows, cols int) ([][]Result, []CellFai
 					p.CellsDone.Add(1)
 				}
 				if err != nil {
+					if p := j.opt.Progress; p != nil {
+						p.CellsFailed.Add(1)
+					}
 					mu.Lock()
 					failed = append(failed, CellFailure{
 						Bench: j.bench.Name, System: j.sys.Name,

@@ -1,0 +1,63 @@
+package dsmnc
+
+// The simulation library must stay free of networking concerns: only
+// the telemetry package (which owns the metrics endpoint) and the CLIs
+// under cmd/ may import net/http and friends. This lint walks every
+// non-test source file in the module and fails on a net/http-prefixed
+// import anywhere else, so the boundary cannot erode silently.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestHTTPImportsConfinedToTelemetryAndCmd(t *testing.T) {
+	fset := token.NewFileSet()
+	checked := 0
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		allowed := strings.HasPrefix(path, "telemetry"+string(filepath.Separator)) ||
+			strings.HasPrefix(path, "cmd"+string(filepath.Separator))
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		checked++
+		for _, imp := range f.Imports {
+			val, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if val == "net/http" || strings.HasPrefix(val, "net/http/") {
+				if !allowed {
+					t.Errorf("%s: imports %s (net/http is confined to telemetry/ and cmd/)",
+						fset.Position(imp.Pos()), val)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking module: %v", err)
+	}
+	if checked < 40 {
+		t.Fatalf("only %d source files scanned; the walk is broken", checked)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"dsmnc/internal/pagecache"
 	"dsmnc/memsys"
 	"dsmnc/stats"
+	"dsmnc/telemetry"
 )
 
 // CounterMode selects what drives page relocation.
@@ -91,6 +92,11 @@ type Config struct {
 	// invalidation of a block the cluster no longer holds decrements
 	// the relocation counter that its earlier victimization bumped.
 	DecrementCounters bool
+	// Trace, when non-nil, receives a structured event for every
+	// coherence action the cluster takes (fills, victimizations,
+	// invalidations, relocations, write-backs). The simulation is
+	// bit-identical with and without it.
+	Trace *telemetry.Tracer
 }
 
 // Cluster is one SMP node of the DSM.
@@ -104,6 +110,7 @@ type Cluster struct {
 	home  HomeService
 	moesi bool
 	decr  bool
+	tr    *telemetry.Tracer
 
 	// C is the cluster's event account.
 	C stats.Counters
@@ -124,6 +131,7 @@ func New(cfg Config) (*Cluster, error) {
 		home:  cfg.Home,
 		moesi: cfg.MOESI,
 		decr:  cfg.DecrementCounters,
+		tr:    cfg.Trace,
 	}
 	cl.bus.SetMOESI(cfg.MOESI)
 	if cl.nc == nil {
@@ -142,6 +150,13 @@ func New(cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
+// emit forwards one coherence event to the attached tracer, if any.
+func (cl *Cluster) emit(kind telemetry.EventKind, addr uint64, arg uint8) {
+	if cl.tr != nil {
+		cl.tr.Emit(kind, cl.id, addr, arg)
+	}
+}
+
 // ID returns the cluster id.
 func (cl *Cluster) ID() int { return cl.id }
 
@@ -153,6 +168,18 @@ func (cl *Cluster) NC() core.NC { return cl.nc }
 
 // PC exposes the page cache (testing), possibly nil.
 func (cl *Cluster) PC() *pagecache.PageCache { return cl.pc }
+
+// NCOccupancy reports the network cache's used and total frames.
+func (cl *Cluster) NCOccupancy() (used, frames int) { return cl.nc.Occupancy() }
+
+// PCOccupancy reports the page cache's mapped and total frames (0, 0
+// without a page cache).
+func (cl *Cluster) PCOccupancy() (used, frames int) {
+	if cl.pc == nil {
+		return 0, 0
+	}
+	return cl.pc.Mapped(), cl.pc.Frames()
+}
 
 // Access processes one memory reference by local processor p (0-based
 // within the cluster) to addr; home is the block's home cluster.
@@ -320,6 +347,11 @@ func (cl *Cluster) acquireOwnership(b memsys.Block, local bool) {
 	if !local {
 		cl.C.Upgrades.Inc(true)
 	}
+	var arg uint8
+	if local {
+		arg = 1
+	}
+	cl.emit(telemetry.EvUpgrade, uint64(b), arg)
 }
 
 // localFetch satisfies a miss whose home is this cluster from local
@@ -352,6 +384,14 @@ func (cl *Cluster) remoteFetch(p int, b memsys.Block, write bool) {
 	if reply.RemoteDirty {
 		cl.C.Remote3Hop.Inc(write) // dirty intervention: a three-hop access
 	}
+	arg := uint8(reply.Class) & 3
+	if reply.RemoteDirty {
+		arg |= 1 << 6
+	}
+	if write {
+		arg |= 1 << 7
+	}
+	cl.emit(telemetry.EvRemoteMiss, uint64(b), arg)
 
 	pcBacked := false
 	if cl.pc != nil {
@@ -388,6 +428,7 @@ func (cl *Cluster) fill(p int, b memsys.Block, st cache.State, remoteFill bool) 
 			cl.handleNCEviction(ev)
 		}
 	}
+	cl.emit(telemetry.EvFill, uint64(b), uint8(st))
 	victim := cl.bus.Fill(p, b, st)
 	if victim.State.Valid() {
 		cl.handleL1Victim(p, victim)
@@ -411,8 +452,7 @@ func (cl *Cluster) handleL1Victim(p int, victim cache.Line) {
 			return
 		}
 		if res := cl.nc.AcceptVictim(b, false); res.Accepted {
-			cl.C.NCInserts++
-			cl.afterVictimAccept(b, res)
+			cl.afterVictimAccept(b, false, res)
 			return
 		}
 		if cl.pc != nil {
@@ -425,8 +465,7 @@ func (cl *Cluster) handleL1Victim(p int, victim cache.Line) {
 			return
 		}
 		if res := cl.nc.AcceptVictim(b, true); res.Accepted {
-			cl.C.NCInserts++
-			cl.afterVictimAccept(b, res)
+			cl.afterVictimAccept(b, true, res)
 			return
 		}
 		if cl.pc != nil && cl.pc.Deposit(b, true) {
@@ -448,8 +487,7 @@ func (cl *Cluster) captureDowngrade(b memsys.Block, local bool) {
 		return
 	}
 	if res := cl.nc.AcceptVictim(b, true); res.Accepted {
-		cl.C.NCInserts++
-		cl.afterVictimAccept(b, res)
+		cl.afterVictimAccept(b, true, res)
 		return
 	}
 	if cl.pc != nil && cl.pc.Deposit(b, true) {
@@ -458,11 +496,20 @@ func (cl *Cluster) captureDowngrade(b memsys.Block, local bool) {
 	cl.writebackHome(b)
 }
 
-// afterVictimAccept finishes an NC insert: write-through NCs get the
-// dirty data forwarded home, recycled frames are handled and, in vxp
-// mode, the set's victimization counter is checked against the
-// relocation threshold.
-func (cl *Cluster) afterVictimAccept(b memsys.Block, res core.VictimResult) {
+// afterVictimAccept finishes an NC insert: the insert is counted and
+// traced, write-through NCs get the dirty data forwarded home, recycled
+// frames are handled and, in vxp mode, the set's victimization counter
+// is checked against the relocation threshold.
+func (cl *Cluster) afterVictimAccept(b memsys.Block, dirty bool, res core.VictimResult) {
+	cl.C.NCInserts++
+	var arg uint8
+	if dirty {
+		arg |= 1
+	}
+	if res.WriteThrough {
+		arg |= 2
+	}
+	cl.emit(telemetry.EvVictimize, uint64(b), arg)
 	if res.WriteThrough {
 		cl.writebackHome(b)
 	}
@@ -486,6 +533,14 @@ func (cl *Cluster) handleNCEviction(ev core.Eviction) {
 	cl.C.NCEvictions++
 	b := ev.Block
 	dirty := ev.Dirty
+	var arg uint8
+	if ev.Dirty {
+		arg |= 1
+	}
+	if ev.ForceL1Invalidate {
+		arg |= 2
+	}
+	cl.emit(telemetry.EvNCEvict, uint64(b), arg)
 	if ev.ForceL1Invalidate {
 		copies, hadDirty := cl.bus.InvalidateAll(b)
 		cl.C.NCForcedL1Evict += int64(copies)
@@ -508,6 +563,7 @@ func (cl *Cluster) handleNCEviction(ev core.Eviction) {
 // writebackHome sends a dirty block over the network to its home.
 func (cl *Cluster) writebackHome(b memsys.Block) {
 	cl.C.WritebacksHome++
+	cl.emit(telemetry.EvWriteback, uint64(b), 0)
 	cl.home.WriteBack(cl.id, b)
 }
 
@@ -527,8 +583,14 @@ func (cl *Cluster) relocate(page memsys.Page) {
 	if raised {
 		cl.C.ThresholdRaises++
 	}
+	var arg uint8
+	if raised {
+		arg = 1
+	}
+	cl.emit(telemetry.EvRelocate, uint64(page), arg)
 	if ev != nil {
 		cl.C.PageEvictions++
+		cl.emit(telemetry.EvPageEvict, uint64(ev.Page), 0)
 		cl.flushEvictedPage(ev)
 	}
 	cl.home.ResetRelocationCounter(page, cl.id)
@@ -595,6 +657,11 @@ func (cl *Cluster) InvalidateBlock(b memsys.Block) (hadCopy bool) {
 	if !hadCopy && cl.decr && cl.mode == CountersNCSet {
 		cl.scnc.DecrementSetCounterFor(b)
 	}
+	var arg uint8
+	if hadCopy {
+		arg = 1
+	}
+	cl.emit(telemetry.EvInvalidate, uint64(b), arg)
 	return hadCopy
 }
 
@@ -619,6 +686,11 @@ func (cl *Cluster) FlushDirty(b memsys.Block) {
 	if cl.pc != nil && cl.pc.Clean(b) {
 		dirty = true
 	}
+	var arg uint8
+	if dirty {
+		arg = 1
+	}
+	cl.emit(telemetry.EvFlushDirty, uint64(b), arg)
 	if !dirty {
 		return // already clean (stale intervention); nothing crosses the net
 	}

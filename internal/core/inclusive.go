@@ -119,6 +119,11 @@ func (n *InclusiveNC) ContainsDirty(b memsys.Block) bool {
 // Count returns the number of valid frames (testing).
 func (n *InclusiveNC) Count() int { return n.tags.Count() }
 
+// Occupancy reports used and total frames.
+func (n *InclusiveNC) Occupancy() (used, frames int) {
+	return n.tags.Count(), n.tags.Sets() * n.tags.Ways()
+}
+
 // Downgrade marks a dirty frame of b clean, reporting whether one existed.
 func (n *InclusiveNC) Downgrade(b memsys.Block) bool {
 	if ln := n.tags.Lookup(b); ln != nil && ln.State.Dirty() {

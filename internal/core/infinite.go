@@ -92,6 +92,10 @@ func (n *InfiniteNC) ContainsDirty(b memsys.Block) bool {
 // Count returns the number of cached blocks (testing).
 func (n *InfiniteNC) Count() int { return n.lines.Count() }
 
+// Occupancy reports the cached-block count; frames is 0 because the
+// cache is unbounded.
+func (n *InfiniteNC) Occupancy() (used, frames int) { return n.lines.Count(), 0 }
+
 // Downgrade marks a dirty frame of b clean, reporting whether one existed.
 func (n *InfiniteNC) Downgrade(b memsys.Block) bool {
 	if st, ok := n.lines.Lookup(b); ok && st.Dirty() {

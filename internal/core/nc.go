@@ -108,6 +108,11 @@ type NC interface {
 	// cluster's up-to-date data. The coherence invariant checker uses it
 	// to verify dirty inclusion and single-dirty-owner machine-wide.
 	ContainsDirty(b memsys.Block) bool
+
+	// Occupancy reports how many frames hold a block and how many exist
+	// in total, for telemetry. frames is 0 for unbounded organizations
+	// (the infinite reference NCs) and organizations with no storage.
+	Occupancy() (used, frames int)
 }
 
 // SetCounterNC is implemented by NCs that integrate the page-relocation
@@ -157,3 +162,6 @@ func (NoNC) Contains(memsys.Block) bool { return false }
 
 // ContainsDirty is always false.
 func (NoNC) ContainsDirty(memsys.Block) bool { return false }
+
+// Occupancy reports no storage.
+func (NoNC) Occupancy() (used, frames int) { return 0, 0 }

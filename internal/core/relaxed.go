@@ -125,6 +125,11 @@ func (n *RelaxedNC) ContainsDirty(b memsys.Block) bool {
 // Count returns the number of valid frames (testing).
 func (n *RelaxedNC) Count() int { return n.tags.Count() }
 
+// Occupancy reports used and total frames.
+func (n *RelaxedNC) Occupancy() (used, frames int) {
+	return n.tags.Count(), n.tags.Sets() * n.tags.Ways()
+}
+
 // Downgrade marks a dirty frame of b clean, reporting whether one existed.
 func (n *RelaxedNC) Downgrade(b memsys.Block) bool {
 	if ln := n.tags.Lookup(b); ln != nil && ln.State.Dirty() {

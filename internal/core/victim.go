@@ -116,6 +116,11 @@ func (v *VictimNC) ContainsDirty(b memsys.Block) bool {
 // Count returns the number of valid frames (testing).
 func (v *VictimNC) Count() int { return v.tags.Count() }
 
+// Occupancy reports used and total frames.
+func (v *VictimNC) Occupancy() (used, frames int) {
+	return v.tags.Count(), v.tags.Sets() * v.tags.Ways()
+}
+
 // PredominantPage returns the page owning the most frames of set s: the
 // implicit relocation candidate indicated by the set's address tags.
 func (v *VictimNC) PredominantPage(s int) (memsys.Page, bool) {

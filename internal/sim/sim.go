@@ -19,6 +19,7 @@ import (
 	"dsmnc/internal/pagecache"
 	"dsmnc/memsys"
 	"dsmnc/stats"
+	"dsmnc/telemetry"
 	"dsmnc/trace"
 )
 
@@ -71,6 +72,16 @@ type Config struct {
 	// an ErrProtocol-wrapped *check.CheckError from Apply/Run. Roughly
 	// doubles per-reference cost; meant for tests and checked sweeps.
 	Check bool
+
+	// Sampler, when non-nil, records a machine-wide time-series sample
+	// every Sampler.Every() applied references (and participates in
+	// snapshots, so a resumed cell continues its series). The
+	// simulation itself is bit-identical with and without it.
+	Sampler *telemetry.Sampler
+	// Tracer, when non-nil, receives a structured coherence event for
+	// every fill, victimization, invalidation, relocation and
+	// write-back, stamped with the applied-reference clock.
+	Tracer *telemetry.Tracer
 }
 
 // System is one simulated machine.
@@ -84,6 +95,11 @@ type System struct {
 	checker  *check.Checker
 	applied  int64 // references successfully applied (the trace position)
 	err      error // sticky: first internal failure, surfaced by Apply
+
+	sampler     *telemetry.Sampler
+	tracer      *telemetry.Tracer
+	sampleEvery int64 // cached Sampler.Every(); 0 disables sampling
+	nextSample  int64 // applied count that triggers the next sample
 }
 
 // New builds a system from cfg.
@@ -92,8 +108,14 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		geo:   cfg.Geometry,
-		place: cfg.Placement,
+		geo:     cfg.Geometry,
+		place:   cfg.Placement,
+		sampler: cfg.Sampler,
+		tracer:  cfg.Tracer,
+	}
+	if s.sampler != nil {
+		s.sampleEvery = s.sampler.Every()
+		s.nextSample = s.sampleEvery
 	}
 	if cfg.NewDirectory != nil {
 		d, err := cfg.NewDirectory(cfg.Geometry.Clusters)
@@ -146,6 +168,7 @@ func New(cfg Config) (*System, error) {
 			Home:              s,
 			MOESI:             cfg.MOESI,
 			DecrementCounters: cfg.DecrementCounters,
+			Trace:             cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -204,6 +227,9 @@ func (s *System) Apply(r trace.Ref) error {
 	page := memsys.PageOf(r.Addr)
 	home := s.place.Home(page, c)
 	write := r.Op == trace.Write
+	if s.tracer != nil {
+		s.tracer.Tick(s.applied)
+	}
 	if s.mig != nil {
 		if write {
 			// A write to a replicated page collapses every replica
@@ -230,7 +256,55 @@ func (s *System) Apply(r trace.Ref) error {
 		}
 	}
 	s.applied++
+	if s.sampleEvery > 0 && s.applied >= s.nextSample {
+		s.nextSample += s.sampleEvery
+		s.sampler.Record(s.sampleNow())
+	}
 	return nil
+}
+
+// sampleNow reads the machine into one raw telemetry sample: the
+// aggregated event counters plus the NC/PC occupancy of every cluster.
+func (s *System) sampleNow() telemetry.Sample {
+	t := s.Totals()
+	smp := telemetry.Sample{
+		Refs:           s.applied,
+		Reads:          t.Refs.Read,
+		Writes:         t.Refs.Write,
+		L1Hits:         t.L1Hits.Total(),
+		NCHits:         t.NCHits.Total(),
+		PCHits:         t.PCHits.Total(),
+		RemoteMisses:   t.Remote().Total(),
+		RemoteCapacity: t.RemoteCapacity().Total(),
+		NCInserts:      t.NCInserts,
+		NCEvictions:    t.NCEvictions,
+		Relocations:    t.Relocations,
+		PageEvictions:  t.PageEvictions,
+		WritebacksHome: t.WritebacksHome,
+	}
+	for _, cl := range s.clusters {
+		used, frames := cl.NCOccupancy()
+		smp.NCUsed += int64(used)
+		smp.NCFrames += int64(frames)
+		used, frames = cl.PCOccupancy()
+		smp.PCUsed += int64(used)
+		smp.PCFrames += int64(frames)
+	}
+	return smp
+}
+
+// FlushSample records one final sample at the current position, so the
+// series always ends with the machine's exact end-of-run counters. It
+// is a no-op without a sampler or when the last interval sample already
+// sits at the current position.
+func (s *System) FlushSample() {
+	if s.sampler == nil {
+		return
+	}
+	if last, ok := s.sampler.Latest(); ok && last.Refs == s.applied {
+		return
+	}
+	s.sampler.Record(s.sampleNow())
 }
 
 // RefsApplied returns how many references have been successfully

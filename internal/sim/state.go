@@ -52,6 +52,11 @@ func (s *System) Snapshot(w io.Writer) error {
 			return err
 		}
 	}
+	sw.Bool(s.sampler != nil)
+	if s.sampler != nil {
+		s.sampler.SaveState(sw)
+		sw.I64(s.nextSample)
+	}
 	return sw.Close()
 }
 
@@ -106,6 +111,26 @@ func Restore(r io.Reader, cfg Config) (*System, error) {
 		if err := sr.Err(); err != nil {
 			return nil, err
 		}
+	}
+	hasSampler := sr.Bool()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if hasSampler != (s.sampler != nil) {
+		sr.Failf("snapshot sampler %t, configured %t", hasSampler, s.sampler != nil)
+		return nil, sr.Err()
+	}
+	if s.sampler != nil {
+		s.sampler.LoadState(sr)
+		nextSample := sr.I64()
+		if err := sr.Err(); err != nil {
+			return nil, err
+		}
+		if nextSample < applied {
+			sr.Failf("next sample %d already behind reference count %d", nextSample, applied)
+			return nil, sr.Err()
+		}
+		s.nextSample = nextSample
 	}
 	if err := sr.Finish(); err != nil {
 		return nil, err

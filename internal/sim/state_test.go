@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"dsmnc/internal/cache"
@@ -14,6 +15,7 @@ import (
 	"dsmnc/internal/pagecache"
 	"dsmnc/internal/snapshot"
 	"dsmnc/memsys"
+	"dsmnc/telemetry"
 	"dsmnc/trace"
 )
 
@@ -280,4 +282,126 @@ func FuzzSnapshot(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestSamplerSnapshotRoundTrip checks the telemetry tentpole: a
+// mid-cell checkpoint taken *between* samples restores a bit-identical
+// time series across NC organizations — same retained samples, same
+// later samples, same re-snapshot bytes — and the final flushed sample
+// reproduces the machine's exact end-of-run counters.
+func TestSamplerSnapshotRoundTrip(t *testing.T) {
+	const every = 257 // coprime with the checkpoint position: k=1337 falls between samples
+	refs := synthTrace(4, 24, 4000, 23)
+	cfgs := snapshotConfigs()
+	for _, name := range []string{"base", "ncp", "vb", "vp", "vxp"} {
+		mk := cfgs[name]
+		t.Run(name, func(t *testing.T) {
+			withSampler := func() Config {
+				cfg := mk()
+				cfg.Sampler = telemetry.NewSampler(every, 64)
+				return cfg
+			}
+			fullCfg := withSampler()
+			full := mustNew(fullCfg)
+			for i, r := range refs {
+				if err := full.Apply(r); err != nil {
+					t.Fatalf("full run ref %d: %v", i, err)
+				}
+			}
+			full.FlushSample()
+			var want bytes.Buffer
+			if err := full.Snapshot(&want); err != nil {
+				t.Fatalf("full snapshot: %v", err)
+			}
+
+			const k = 1337
+			partCfg := withSampler()
+			part := mustNew(partCfg)
+			for _, r := range refs[:k] {
+				if err := part.Apply(r); err != nil {
+					t.Fatalf("prefix: %v", err)
+				}
+			}
+			var mid bytes.Buffer
+			if err := part.Snapshot(&mid); err != nil {
+				t.Fatalf("mid snapshot: %v", err)
+			}
+
+			// Restore into a FRESH sampler: the series must come back
+			// from the snapshot alone.
+			resumedCfg := withSampler()
+			resumed, err := Restore(bytes.NewReader(mid.Bytes()), resumedCfg)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if !reflect.DeepEqual(resumedCfg.Sampler.Samples(), partCfg.Sampler.Samples()) {
+				t.Fatalf("restored series differs from checkpointed series")
+			}
+			for _, r := range refs[k:] {
+				if err := resumed.Apply(r); err != nil {
+					t.Fatalf("resumed run: %v", err)
+				}
+			}
+			resumed.FlushSample()
+			if !reflect.DeepEqual(resumedCfg.Sampler.Samples(), fullCfg.Sampler.Samples()) {
+				t.Fatalf("resumed series diverges from uninterrupted series:\nresumed %+v\nfull    %+v",
+					resumedCfg.Sampler.Samples(), fullCfg.Sampler.Samples())
+			}
+			var got bytes.Buffer
+			if err := resumed.Snapshot(&got); err != nil {
+				t.Fatalf("re-snapshot: %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("machine+sampler state diverges from uninterrupted run")
+			}
+
+			// The flushed final sample must equal the end-of-run stats
+			// exactly (the -sample-out acceptance criterion).
+			last, ok := fullCfg.Sampler.Latest()
+			if !ok {
+				t.Fatal("no samples recorded")
+			}
+			tot := full.Totals()
+			if last.Refs != full.RefsApplied() ||
+				last.Reads != tot.Refs.Read || last.Writes != tot.Refs.Write ||
+				last.L1Hits != tot.L1Hits.Total() || last.NCHits != tot.NCHits.Total() ||
+				last.RemoteMisses != tot.Remote().Total() ||
+				last.NCInserts != tot.NCInserts || last.Relocations != tot.Relocations ||
+				last.WritebacksHome != tot.WritebacksHome {
+				t.Fatalf("final sample does not equal end-of-run counters:\nsample %+v\ntotals %+v", last, tot)
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsSamplerMismatch: a snapshot taken with a sampler
+// cannot restore into a machine without one (and vice versa) — the
+// series would silently vanish.
+func TestRestoreRejectsSamplerMismatch(t *testing.T) {
+	mk := snapshotConfigs()["base"]
+	cfg := mk()
+	cfg.Sampler = telemetry.NewSampler(100, 8)
+	s := mustNew(cfg)
+	for _, r := range synthTrace(4, 16, 500, 3) {
+		if err := s.Apply(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bytes.NewReader(buf.Bytes()), mk()); !errors.Is(err, snapshot.ErrBadSnapshot) {
+		t.Fatalf("restore without sampler: err = %v, want ErrBadSnapshot", err)
+	}
+	noSampler := mustNew(mk())
+	var plain bytes.Buffer
+	if err := noSampler.Snapshot(&plain); err != nil {
+		t.Fatal(err)
+	}
+	withCfg := mk()
+	withCfg.Sampler = telemetry.NewSampler(100, 8)
+	if _, err := Restore(bytes.NewReader(plain.Bytes()), withCfg); !errors.Is(err, snapshot.ErrBadSnapshot) {
+		t.Fatalf("restore with unexpected sampler: err = %v, want ErrBadSnapshot", err)
+	}
 }

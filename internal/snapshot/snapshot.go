@@ -37,8 +37,11 @@ var ErrBadSnapshot = errors.New("snapshot: malformed snapshot")
 
 // Format constants.
 const (
-	magic   = "DSNP" // DSM network-cache snapshot
-	version = 1
+	magic = "DSNP" // DSM network-cache snapshot
+	// version 2 appended the optional telemetry-sampler state to the
+	// machine section; version-1 snapshots are refused rather than
+	// mis-read past their final cluster.
+	version = 2
 	endMark = 0xED // closes the section stream, ahead of the CRC
 )
 

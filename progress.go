@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dsmnc/telemetry"
 )
 
 // Progress is a concurrency-safe live account of a run or sweep,
@@ -21,10 +23,31 @@ type Progress struct {
 	// cells count as done the moment they are skipped.
 	CellsDone  atomic.Int64
 	CellsTotal atomic.Int64
+	// CellsFailed counts cells whose final outcome (after any retries)
+	// was an error; CellsRetried counts the extra attempts spent on
+	// transiently-failing cells, whatever their final outcome.
+	CellsFailed  atomic.Int64
+	CellsRetried atomic.Int64
 	// JournalWrites counts durable cell records appended so far.
 	JournalWrites atomic.Int64
 
 	lastJournal atomic.Int64 // unix nanoseconds of the last append
+	startNanos  atomic.Int64 // unix nanoseconds of the first observation
+}
+
+// markStart records the observation start time once; Heartbeat and
+// RegisterMetrics call it so rates have a basis.
+func (p *Progress) markStart() {
+	p.startNanos.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// elapsed returns the time since the first observation, 0 before one.
+func (p *Progress) elapsed() time.Duration {
+	ns := p.startNanos.Load()
+	if ns == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, ns))
 }
 
 // noteJournal records a successful journal append.
@@ -43,15 +66,78 @@ func (p *Progress) LastJournalWrite() (time.Time, bool) {
 	return time.Unix(0, ns), true
 }
 
+// ETA estimates the remaining sweep time from the cell completion rate
+// so far. ok is false until at least one cell finished (no basis), or
+// when there is no cell accounting at all.
+func (p *Progress) ETA() (time.Duration, bool) {
+	total := p.CellsTotal.Load()
+	done := p.CellsDone.Load()
+	el := p.elapsed()
+	if total <= 0 || done <= 0 || el <= 0 {
+		return 0, false
+	}
+	remaining := total - done
+	if remaining <= 0 {
+		return 0, true
+	}
+	perCell := el / time.Duration(done)
+	return perCell * time.Duration(remaining), true
+}
+
+// RegisterMetrics exposes the progress counters on a telemetry registry
+// as the dsmnc_* series scraped from the -metrics endpoint: references
+// applied, cell completion and failure counts, retry volume, journal
+// writes and journal lag.
+func (p *Progress) RegisterMetrics(r *telemetry.Registry) error {
+	p.markStart()
+	regs := []error{
+		r.Counter("dsmnc_refs_applied_total", "References applied across all in-flight cells.",
+			func() float64 { return float64(p.Refs.Load()) }),
+		r.Gauge("dsmnc_cells_done", "Sweep cells completed (including journal-restored ones).",
+			func() float64 { return float64(p.CellsDone.Load()) }),
+		r.Gauge("dsmnc_cells_total", "Sweep cells scheduled.",
+			func() float64 { return float64(p.CellsTotal.Load()) }),
+		r.Counter("dsmnc_cells_failed_total", "Cells whose final outcome was an error.",
+			func() float64 { return float64(p.CellsFailed.Load()) }),
+		r.Counter("dsmnc_cell_retries_total", "Extra attempts spent on transiently-failing cells.",
+			func() float64 { return float64(p.CellsRetried.Load()) }),
+		r.Counter("dsmnc_journal_writes_total", "Durable journal records appended.",
+			func() float64 { return float64(p.JournalWrites.Load()) }),
+		r.Gauge("dsmnc_journal_lag_seconds", "Seconds since the last journal append (0 before the first).",
+			func() float64 {
+				t, ok := p.LastJournalWrite()
+				if !ok {
+					return 0
+				}
+				return time.Since(t).Seconds()
+			}),
+		r.Gauge("dsmnc_refs_per_second", "Average reference throughput since observation started.",
+			func() float64 {
+				el := p.elapsed().Seconds()
+				if el <= 0 {
+					return 0
+				}
+				return float64(p.Refs.Load()) / el
+			}),
+	}
+	for _, err := range regs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Heartbeat prints a one-line status to w at the given interval —
-// references applied, reference rate, cells done/total, time since the
-// last journal write — until the returned stop function is called.
-// stop blocks until the reporter has exited, so w is safe to reuse
-// afterwards.
+// references applied, reference rate, cells done/total with an ETA,
+// time since the last journal write — until the returned stop function
+// is called. stop blocks until the reporter has exited, so w is safe to
+// reuse afterwards.
 func (p *Progress) Heartbeat(w io.Writer, every time.Duration) (stop func()) {
 	if every <= 0 {
 		every = 10 * time.Second
 	}
+	p.markStart()
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -72,6 +158,12 @@ func (p *Progress) Heartbeat(w io.Writer, every time.Duration) (stop func()) {
 				line := fmt.Sprintf("progress: %d refs (%.0f refs/s)", refs, rate)
 				if total := p.CellsTotal.Load(); total > 0 {
 					line += fmt.Sprintf(", cells %d/%d", p.CellsDone.Load(), total)
+					if failed := p.CellsFailed.Load(); failed > 0 {
+						line += fmt.Sprintf(" (%d failed)", failed)
+					}
+					if eta, ok := p.ETA(); ok && eta > 0 {
+						line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+					}
 				}
 				if t, ok := p.LastJournalWrite(); ok {
 					line += fmt.Sprintf(", last journal write %s ago",

@@ -1,0 +1,168 @@
+package dsmnc
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dsmnc/telemetry"
+)
+
+// TestProgressConcurrentWriters hammers every Progress counter from
+// concurrent writers while readers poll the derived views — run under
+// -race this is the heartbeat's data-safety proof.
+func TestProgressConcurrentWriters(t *testing.T) {
+	var p Progress
+	p.CellsTotal.Store(64)
+	reg := telemetry.NewRegistry()
+	if err := p.RegisterMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+
+	var hb bytes.Buffer
+	var hbMu sync.Mutex
+	stop := p.Heartbeat(syncWriter{w: &hb, mu: &hbMu}, time.Millisecond)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Refs.Add(1)
+				if i%100 == 0 {
+					p.CellsDone.Add(1)
+					p.noteJournal()
+				}
+				if i%250 == 0 {
+					p.CellsRetried.Add(1)
+				}
+				if i%500 == 0 {
+					p.CellsFailed.Add(1)
+				}
+			}
+		}()
+	}
+	readers := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-readers:
+					return
+				default:
+				}
+				p.ETA()
+				p.LastJournalWrite()
+				_ = reg.WriteText(discard{})
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond) // let the heartbeat tick at least once
+	wg.Wait()
+	close(readers)
+	rg.Wait()
+	stop()
+
+	if got := p.Refs.Load(); got != 8000 {
+		t.Fatalf("Refs = %d, want 8000", got)
+	}
+	if got := p.CellsDone.Load(); got != 80 {
+		t.Fatalf("CellsDone = %d, want 80", got)
+	}
+	if got := p.CellsRetried.Load(); got != 32 {
+		t.Fatalf("CellsRetried = %d, want 32", got)
+	}
+	if got := p.CellsFailed.Load(); got != 16 {
+		t.Fatalf("CellsFailed = %d, want 16", got)
+	}
+	if got := p.JournalWrites.Load(); got != 80 {
+		t.Fatalf("JournalWrites = %d, want 80", got)
+	}
+	if _, ok := p.LastJournalWrite(); !ok {
+		t.Fatal("LastJournalWrite reported no writes")
+	}
+
+	hbMu.Lock()
+	out := hb.String()
+	hbMu.Unlock()
+	if !strings.Contains(out, "progress:") || !strings.Contains(out, "refs/s") {
+		t.Fatalf("heartbeat produced no progress line:\n%s", out)
+	}
+}
+
+// TestProgressETA checks the cell-rate extrapolation.
+func TestProgressETA(t *testing.T) {
+	var p Progress
+	if _, ok := p.ETA(); ok {
+		t.Fatal("ETA with no cell accounting reported ok")
+	}
+	p.CellsTotal.Store(10)
+	p.markStart()
+	if _, ok := p.ETA(); ok {
+		t.Fatal("ETA with zero done cells reported ok")
+	}
+	p.CellsDone.Store(5)
+	time.Sleep(2 * time.Millisecond)
+	eta, ok := p.ETA()
+	if !ok || eta <= 0 {
+		t.Fatalf("ETA = %v, %t; want positive estimate", eta, ok)
+	}
+	p.CellsDone.Store(10)
+	eta, ok = p.ETA()
+	if !ok || eta != 0 {
+		t.Fatalf("ETA after completion = %v, %t; want 0, true", eta, ok)
+	}
+}
+
+// TestProgressMetricsExposition checks the registered series names and
+// values after some activity.
+func TestProgressMetricsExposition(t *testing.T) {
+	var p Progress
+	reg := telemetry.NewRegistry()
+	if err := p.RegisterMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	p.Refs.Add(123)
+	p.CellsTotal.Store(4)
+	p.CellsDone.Store(2)
+	p.CellsFailed.Add(1)
+	p.noteJournal()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dsmnc_refs_applied_total 123",
+		"dsmnc_cells_done 2",
+		"dsmnc_cells_total 4",
+		"dsmnc_cells_failed_total 1",
+		"dsmnc_journal_writes_total 1",
+		"dsmnc_cell_retries_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type syncWriter struct {
+	w  *bytes.Buffer
+	mu *sync.Mutex
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

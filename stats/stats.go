@@ -141,6 +141,13 @@ func (c *Counters) RemoteNecessary() OpCount {
 // RemoteCapacity returns the capacity remote misses.
 func (c *Counters) RemoteCapacity() OpCount { return c.RemoteByClass[Capacity] }
 
+// BusTransactions approximates the cluster-bus load: every reference
+// that missed its own processor cache issued a bus transaction. Snoop
+// upgrades and write-back traffic are not included, so this is a lower
+// bound — good enough for the relative utilization trends telemetry
+// plots.
+func (c *Counters) BusTransactions() int64 { return c.Refs.Total() - c.L1Hits.Total() }
+
 // Add accumulates other into c.
 func (c *Counters) Add(other *Counters) {
 	c.Refs.Add(other.Refs)

@@ -1,0 +1,337 @@
+package telemetry
+
+// The structured coherence event trace: state transitions,
+// victimizations, relocations, invalidations and write-backs, stamped
+// with the applied-reference clock, deterministically sampled and
+// written through a compact varint binary codec. cmd/dsmtrace renders
+// the format to Chrome/Perfetto trace_event JSON.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrBadEventTrace is the sentinel wrapped by every event-trace decode
+// failure: truncation, an unknown event kind, or varint overflow —
+// tagged with the byte offset of the first inconsistency, and never a
+// panic.
+var ErrBadEventTrace = errors.New("telemetry: malformed event trace")
+
+// EventKind classifies one coherence event.
+type EventKind uint8
+
+// Event kinds. Arg carries the kind-specific detail byte documented on
+// each constant.
+const (
+	// EvFill: a block entered a processor cache; Arg is the resulting
+	// cache state (internal/cache.State) — the observable half of every
+	// state transition.
+	EvFill EventKind = iota + 1
+	// EvUpgrade: the cluster acquired system-level write ownership; Arg
+	// is 1 for a local-home block, 0 for remote.
+	EvUpgrade
+	// EvVictimize: a processor-cache victim was accepted by the network
+	// cache; Arg bit0 = dirty, bit1 = write-through.
+	EvVictimize
+	// EvNCEvict: the NC recycled a frame; Arg bit0 = dirty, bit1 =
+	// forced L1 invalidation (inclusion).
+	EvNCEvict
+	// EvInvalidate: a system-level invalidation was applied to the
+	// cluster; Arg is 1 if the cluster still held a copy (0 marks a
+	// false invalidation, the §3.4 counter-decrement case).
+	EvInvalidate
+	// EvWriteback: a dirty block crossed the network to its home.
+	EvWriteback
+	// EvRelocate: a page was relocated into the page cache; Arg is 1
+	// when the adaptive policy raised its threshold on this relocation.
+	EvRelocate
+	// EvPageEvict: a page-cache frame was recycled to make room.
+	EvPageEvict
+	// EvFlushDirty: a read intervention downgraded the cluster's dirty
+	// copy; Arg is 1 if dirty data actually crossed the network.
+	EvFlushDirty
+	// EvRemoteMiss: a reference left the cluster; Arg bits 0-1 are the
+	// stats.MissClass, bit6 = dirty intervention (3-hop), bit7 = write.
+	EvRemoteMiss
+
+	numEventKinds
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvFill:
+		return "fill"
+	case EvUpgrade:
+		return "upgrade"
+	case EvVictimize:
+		return "victimize"
+	case EvNCEvict:
+		return "nc-evict"
+	case EvInvalidate:
+		return "invalidate"
+	case EvWriteback:
+		return "writeback"
+	case EvRelocate:
+		return "relocate"
+	case EvPageEvict:
+		return "page-evict"
+	case EvFlushDirty:
+		return "flush-dirty"
+	case EvRemoteMiss:
+		return "remote-miss"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined kind.
+func (k EventKind) Valid() bool { return k >= EvFill && k < numEventKinds }
+
+// Event is one decoded coherence event.
+type Event struct {
+	Kind EventKind
+	// Refs is the applied-reference timestamp: how many references the
+	// machine had completed when the event occurred.
+	Refs int64
+	// Cluster is the cluster the event happened in.
+	Cluster int
+	// Addr is the block number for block-grained events and the page
+	// number for EvRelocate/EvPageEvict.
+	Addr uint64
+	// Arg is the kind-specific detail byte (see the kind constants).
+	Arg uint8
+}
+
+// Event-trace format constants.
+const (
+	eventMagic   = "DEVT"
+	eventVersion = 1
+)
+
+// Tracer records coherence events through a streaming encoder with
+// deterministic sampling: with SampleEvery = n, every n-th event (by
+// the global event ordinal, starting with the first) is kept, so two
+// runs of the same trace keep exactly the same events. It is safe for
+// concurrent use; encoding errors are sticky and surfaced by Close.
+type Tracer struct {
+	refs atomic.Int64 // current applied-reference clock
+
+	mu       sync.Mutex
+	w        *bufio.Writer
+	every    int64
+	seen     int64
+	kept     int64
+	lastRefs int64 // timestamp of the last written event (delta basis)
+	err      error
+	buf      [2 + 3*binary.MaxVarintLen64]byte
+}
+
+// NewTracer starts an event trace on w with the given sampling stride
+// (n ≤ 1 keeps every event). The header is written immediately.
+func NewTracer(w io.Writer, sampleEvery int64) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	t := &Tracer{w: bufio.NewWriter(w), every: sampleEvery}
+	if _, err := t.w.WriteString(eventMagic); err != nil {
+		t.err = err
+	}
+	if err := t.w.WriteByte(eventVersion); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t
+}
+
+// Tick advances the tracer's applied-reference clock; the simulator
+// calls it once per reference.
+func (t *Tracer) Tick(refs int64) { t.refs.Store(refs) }
+
+// Emit records one event at the current clock, subject to the sampling
+// stride.
+func (t *Tracer) Emit(kind EventKind, cluster int, addr uint64, arg uint8) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seen++
+	if (t.seen-1)%t.every != 0 {
+		return
+	}
+	if t.err != nil {
+		return
+	}
+	refs := t.refs.Load()
+	delta := refs - t.lastRefs
+	if delta < 0 {
+		delta = 0
+		refs = t.lastRefs
+	}
+	b := t.buf[:0]
+	b = append(b, byte(kind))
+	b = binary.AppendUvarint(b, uint64(delta))
+	b = binary.AppendUvarint(b, uint64(cluster))
+	b = binary.AppendUvarint(b, addr)
+	b = append(b, arg)
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.lastRefs = refs
+	t.kept++
+}
+
+// Seen returns how many events were offered to the tracer.
+func (t *Tracer) Seen() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seen
+}
+
+// Kept returns how many events passed the sampling stride and were
+// encoded.
+func (t *Tracer) Kept() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.kept
+}
+
+// Close flushes the encoder and returns the first error encountered
+// while writing the trace.
+func (t *Tracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// EventReader decodes an event trace, mirroring trace.Reader's
+// discipline: Next streams events until the input ends or the first
+// inconsistency, which Err reports as an offset-tagged
+// ErrBadEventTrace.
+type EventReader struct {
+	r    *bufio.Reader
+	off  int64
+	refs int64
+	err  error
+	eof  bool
+}
+
+// NewEventReader opens an event trace, consuming and validating the
+// header; header problems surface from Err and the first Next.
+func NewEventReader(r io.Reader) *EventReader {
+	er := &EventReader{r: bufio.NewReader(r)}
+	var hdr [len(eventMagic) + 1]byte
+	n, err := io.ReadFull(er.r, hdr[:])
+	er.off = int64(n)
+	if err != nil {
+		er.failf("truncated header (%v)", err)
+		return er
+	}
+	if string(hdr[:len(eventMagic)]) != eventMagic {
+		er.off = 0
+		er.failf("bad magic %q", hdr[:len(eventMagic)])
+		return er
+	}
+	if v := hdr[len(eventMagic)]; v != eventVersion {
+		er.failf("unsupported version %d (want %d)", v, eventVersion)
+	}
+	return er
+}
+
+// failf records the first decode failure at the current offset.
+func (r *EventReader) failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d",
+			ErrBadEventTrace, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+// uvarint reads one varint, tracking the offset and failing on
+// truncation or overflow.
+func (r *EventReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(countingByteReader{r})
+	if err != nil {
+		r.failf("%s: %v", what, err)
+		return 0
+	}
+	return v
+}
+
+// countingByteReader forwards single-byte reads while tracking the
+// stream offset for error messages.
+type countingByteReader struct{ r *EventReader }
+
+func (c countingByteReader) ReadByte() (byte, error) {
+	b, err := c.r.r.ReadByte()
+	if err == nil {
+		c.r.off++
+	}
+	return b, err
+}
+
+// Next returns the next event. ok=false marks the end of the stream —
+// clean EOF or the first malformed byte; check Err to distinguish.
+func (r *EventReader) Next() (Event, bool) {
+	if r.err != nil || r.eof {
+		return Event{}, false
+	}
+	kindByte, err := r.r.ReadByte()
+	if err == io.EOF {
+		r.eof = true
+		return Event{}, false
+	}
+	if err != nil {
+		r.failf("reading event kind: %v", err)
+		return Event{}, false
+	}
+	r.off++
+	kind := EventKind(kindByte)
+	if !kind.Valid() {
+		r.off--
+		r.failf("unknown event kind %d", kindByte)
+		return Event{}, false
+	}
+	delta := r.uvarint("refs delta")
+	cluster := r.uvarint("cluster")
+	addr := r.uvarint("address")
+	if r.err != nil {
+		return Event{}, false
+	}
+	arg, err := r.r.ReadByte()
+	if err != nil {
+		r.failf("truncated arg byte (%v)", err)
+		return Event{}, false
+	}
+	r.off++
+	if delta > uint64(1)<<62 || uint64(r.refs)+delta > uint64(1)<<62 {
+		r.failf("refs delta %d overflows the clock", delta)
+		return Event{}, false
+	}
+	if cluster > 1<<20 {
+		r.failf("cluster %d out of any plausible range", cluster)
+		return Event{}, false
+	}
+	r.refs += int64(delta)
+	return Event{
+		Kind:    kind,
+		Refs:    r.refs,
+		Cluster: int(cluster),
+		Addr:    addr,
+		Arg:     arg,
+	}, true
+}
+
+// Err returns the decode error that ended the stream, nil after a clean
+// EOF.
+func (r *EventReader) Err() error { return r.err }
+
+// Offset returns how many bytes have been consumed.
+func (r *EventReader) Offset() int64 { return r.off }

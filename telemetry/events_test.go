@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// emitAll writes n synthetic events through tr, ticking the clock
+// between emissions, and returns what an unsampled reader should see.
+func emitAll(tr *Tracer, n int) []Event {
+	var want []Event
+	refs := int64(0)
+	for i := 0; i < n; i++ {
+		refs += int64(1 + i%3)
+		tr.Tick(refs)
+		kind := EventKind(1 + i%int(numEventKinds-1))
+		ev := Event{
+			Kind:    kind,
+			Refs:    refs,
+			Cluster: i % 5,
+			Addr:    uint64(i * 37),
+			Arg:     uint8(i % 4),
+		}
+		tr.Emit(ev.Kind, ev.Cluster, ev.Addr, ev.Arg)
+		want = append(want, ev)
+	}
+	return want
+}
+
+func readAll(t *testing.T, data []byte) []Event {
+	t.Helper()
+	r := NewEventReader(bytes.NewReader(data))
+	var got []Event
+	for {
+		ev, ok := r.Next()
+		if !ok {
+			break
+		}
+		got = append(got, ev)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func TestEventTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, 1)
+	want := emitAll(tr, 40)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if tr.Seen() != 40 || tr.Kept() != 40 {
+		t.Fatalf("seen %d kept %d, want 40/40", tr.Seen(), tr.Kept())
+	}
+	got := readAll(t, buf.Bytes())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverges:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEventTraceSamplingStride(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, 3)
+	want := emitAll(tr, 10)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if tr.Kept() != 4 { // ordinals 1, 4, 7, 10
+		t.Fatalf("kept %d, want 4", tr.Kept())
+	}
+	got := readAll(t, buf.Bytes())
+	kept := []Event{want[0], want[3], want[6], want[9]}
+	if !reflect.DeepEqual(got, kept) {
+		t.Fatalf("stride sampling diverges:\ngot  %+v\nwant %+v", got, kept)
+	}
+}
+
+func TestEventReaderRejectsMalformed(t *testing.T) {
+	var valid bytes.Buffer
+	tr := NewTracer(&valid, 1)
+	emitAll(tr, 3)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short header":   []byte("DEV"),
+		"bad magic":      []byte("XEVT\x01"),
+		"bad version":    []byte("DEVT\x07"),
+		"unknown kind":   append([]byte("DEVT\x01"), 0xEE, 0, 0, 0, 0),
+		"zero kind":      append([]byte("DEVT\x01"), 0, 0, 0, 0, 0),
+		"truncated body": valid.Bytes()[:valid.Len()-2],
+	}
+	for name, data := range cases {
+		r := NewEventReader(bytes.NewReader(data))
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+		if err := r.Err(); !errors.Is(err, ErrBadEventTrace) {
+			t.Errorf("%s: err = %v, want ErrBadEventTrace", name, err)
+		}
+	}
+}
+
+func TestEventReaderCleanEOF(t *testing.T) {
+	r := NewEventReader(bytes.NewReader([]byte("DEVT\x01")))
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next returned an event from an empty trace")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("clean EOF reported error: %v", err)
+	}
+}
+
+func TestTracerSwallowsWriteErrors(t *testing.T) {
+	tr := NewTracer(failingWriter{}, 1)
+	tr.Tick(1)
+	tr.Emit(EvFill, 0, 0, 0) // must not panic
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close after write failure returned nil")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// FuzzEventTrace feeds arbitrary bytes to the decoder: it must never
+// panic, always terminate, and classify every failure as
+// ErrBadEventTrace.
+func FuzzEventTrace(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("DEVT\x01"))
+	f.Add([]byte("DEVT\x02"))
+	f.Add([]byte("XXXX\x01"))
+	f.Add(append([]byte("DEVT\x01"), 1, 5, 2, 200, 1, 3))
+	f.Add(append([]byte("DEVT\x01"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF))
+	var seed bytes.Buffer
+	tr := NewTracer(&seed, 1)
+	emitAll(tr, 8)
+	if err := tr.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewEventReader(bytes.NewReader(data))
+		prevRefs := int64(-1)
+		for i := 0; ; i++ {
+			ev, ok := r.Next()
+			if !ok {
+				break
+			}
+			if !ev.Kind.Valid() {
+				t.Fatalf("decoder produced invalid kind %d", ev.Kind)
+			}
+			if ev.Refs < prevRefs {
+				t.Fatalf("clock went backwards: %d after %d", ev.Refs, prevRefs)
+			}
+			prevRefs = ev.Refs
+			if i > len(data) {
+				t.Fatalf("decoded more events (%d) than input bytes (%d)", i, len(data))
+			}
+		}
+		if err := r.Err(); err != nil && !errors.Is(err, ErrBadEventTrace) {
+			t.Fatalf("error not wrapping ErrBadEventTrace: %v", err)
+		}
+		if r.Offset() > int64(len(data)) {
+			t.Fatalf("offset %d past input length %d", r.Offset(), len(data))
+		}
+	})
+}

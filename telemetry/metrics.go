@@ -1,0 +1,264 @@
+package telemetry
+
+// The live metrics endpoint: a small Prometheus-style registry of
+// callback-backed counters and gauges, rendered in text exposition
+// format (version 0.0.4) and served over HTTP together with the Go
+// pprof handlers. This file (and cmd/) are the only places in the
+// repository allowed to import net/http — an AST lint enforces it.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrMetric marks an invalid metric registration: a malformed name or a
+// duplicate.
+var ErrMetric = errors.New("telemetry: invalid metric registration")
+
+// metric is one registered time series.
+type metric struct {
+	name string
+	help string
+	typ  string // "counter" or "gauge"
+	fn   func() float64
+}
+
+// Registry holds callback-backed metrics and renders them in Prometheus
+// text exposition format. The zero value is ready to use; it is safe
+// for concurrent registration and scraping.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// validMetricName enforces the Prometheus data-model charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register adds one metric, rejecting bad names and duplicates.
+func (r *Registry) register(name, help, typ string, fn func() float64) error {
+	if !validMetricName(name) {
+		return fmt.Errorf("%w: bad metric name %q", ErrMetric, name)
+	}
+	if fn == nil {
+		return fmt.Errorf("%w: metric %q has no value function", ErrMetric, name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.metrics == nil {
+		r.metrics = map[string]metric{}
+	}
+	if _, dup := r.metrics[name]; dup {
+		return fmt.Errorf("%w: metric %q registered twice", ErrMetric, name)
+	}
+	r.metrics[name] = metric{name: name, help: help, typ: typ, fn: fn}
+	return nil
+}
+
+// Counter registers a monotonically-increasing metric backed by fn.
+func (r *Registry) Counter(name, help string, fn func() float64) error {
+	return r.register(name, help, "counter", fn)
+}
+
+// Gauge registers a point-in-time metric backed by fn.
+func (r *Registry) Gauge(name, help string, fn func() float64) error {
+	return r.register(name, help, "gauge", fn)
+}
+
+// WriteText renders every registered metric in Prometheus text
+// exposition format, sorted by name for stable scrapes.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	ms := make([]metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock() // value callbacks run unlocked: they may take other locks
+
+	for _, m := range ms {
+		v := m.fn()
+		if math.IsNaN(v) {
+			v = 0 // NaN would poison sum/rate queries downstream
+		}
+		if m.help != "" {
+			help := strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(m.help)
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n",
+			m.name, m.typ, m.name, strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry as a Prometheus scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Scrape errors mean the client hung up; nothing to do about it.
+		_ = r.WriteText(w)
+	})
+}
+
+// RegisterRuntimeMetrics adds the Go runtime gauges every endpoint
+// should have: goroutines, heap in use, and GC totals.
+func RegisterRuntimeMetrics(r *Registry) error {
+	read := func(pick func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return pick(&ms)
+		}
+	}
+	regs := []error{
+		r.Gauge("go_goroutines", "Number of live goroutines.",
+			func() float64 { return float64(runtime.NumGoroutine()) }),
+		r.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+			read(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) })),
+		r.Counter("go_gc_cycles_total", "Completed GC cycles.",
+			read(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) })),
+	}
+	return errors.Join(regs...)
+}
+
+// RegisterSamplerMetrics exposes the sampler's latest sample and ring
+// health as dsmnc_sample_* series.
+func RegisterSamplerMetrics(r *Registry, s *Sampler) error {
+	latest := func(pick func(Sample) float64) func() float64 {
+		return func() float64 {
+			smp, ok := s.Latest()
+			if !ok {
+				return 0
+			}
+			return pick(smp)
+		}
+	}
+	regs := []error{
+		r.Counter("dsmnc_sample_refs", "Applied references at the latest sample.",
+			latest(func(s Sample) float64 { return float64(s.Refs) })),
+		r.Gauge("dsmnc_sample_miss_pct", "Cumulative remote miss ratio at the latest sample, percent.",
+			latest(func(s Sample) float64 { return s.MissPct })),
+		r.Gauge("dsmnc_sample_interval_miss_pct", "Remote miss ratio over the latest sampling interval, percent.",
+			latest(func(s Sample) float64 { return s.IntervalMissPct })),
+		r.Gauge("dsmnc_sample_nc_hit_pct", "Cumulative NC hit rate at the latest sample, percent of references.",
+			latest(func(s Sample) float64 { return s.NCHitPct })),
+		r.Gauge("dsmnc_sample_nc_used_frames", "NC frames in use at the latest sample, machine-wide.",
+			latest(func(s Sample) float64 { return float64(s.NCUsed) })),
+		r.Gauge("dsmnc_sample_pc_used_frames", "Page-cache frames in use at the latest sample, machine-wide.",
+			latest(func(s Sample) float64 { return float64(s.PCUsed) })),
+		r.Counter("dsmnc_sample_relocations_total", "Cumulative page relocations at the latest sample.",
+			latest(func(s Sample) float64 { return float64(s.Relocations) })),
+		r.Gauge("dsmnc_sample_bus_util_pct", "Bus transactions per reference over the latest interval, percent.",
+			latest(func(s Sample) float64 { return s.BusUtilPct })),
+		r.Gauge("dsmnc_sample_refs_per_second", "Simulation throughput over the latest interval.",
+			latest(func(s Sample) float64 { return s.RefsPerSec })),
+		r.Counter("dsmnc_samples_recorded_total", "Samples ever recorded.",
+			func() float64 { return float64(s.Recorded()) }),
+		r.Counter("dsmnc_samples_dropped_total", "Samples the bounded ring discarded.",
+			func() float64 { return float64(s.Dropped()) }),
+	}
+	return errors.Join(regs...)
+}
+
+// Server is a live metrics endpoint: /metrics plus the Go pprof
+// handlers under /debug/pprof/.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve starts the endpoint on addr (e.g. ":9090"; ":0" picks a free
+// port — read it back from Addr). The server runs until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "dsmnc metrics endpoint: /metrics, /debug/pprof/")
+	})
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		// http.Serve always returns a non-nil error on Close; that is
+		// the normal shutdown path, not a failure to report.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the listening address, with the real port when the
+// server was started on ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the scrape URL of the /metrics handler.
+func (s *Server) URL() string {
+	host := s.Addr()
+	if strings.HasPrefix(host, "[::]:") {
+		host = "localhost:" + strings.TrimPrefix(host, "[::]:")
+	} else if strings.HasPrefix(host, "0.0.0.0:") {
+		host = "localhost:" + strings.TrimPrefix(host, "0.0.0.0:")
+	}
+	return "http://" + host + "/metrics"
+}
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Counter("zz_total", "Last alphabetically.", func() float64 { return 7 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Gauge("aa_gauge", "First alphabetically.", func() float64 { return 2.5 }); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "# HELP aa_gauge First alphabetically.\n" +
+		"# TYPE aa_gauge gauge\n" +
+		"aa_gauge 2.5\n" +
+		"# HELP zz_total Last alphabetically.\n" +
+		"# TYPE zz_total counter\n" +
+		"zz_total 7\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Counter("ok_total", "", func() float64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	cases := []error{
+		r.Counter("ok_total", "", func() float64 { return 0 }), // duplicate
+		r.Gauge("1bad", "", func() float64 { return 0 }),       // leading digit
+		r.Gauge("has space", "", func() float64 { return 0 }),  // bad char
+		r.Gauge("", "", func() float64 { return 0 }),           // empty
+		r.Gauge("nil_fn", "", nil),                             // no callback
+	}
+	for i, err := range cases {
+		if !errors.Is(err, ErrMetric) {
+			t.Errorf("case %d: err = %v, want ErrMetric", i, err)
+		}
+	}
+}
+
+// checkExposition asserts text parses as Prometheus exposition format:
+// comment lines or `name value` pairs with finite float values.
+func checkExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	vals := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("line %q: bad value: %v", line, err)
+		}
+		vals[name] = f
+	}
+	return vals
+}
+
+func TestSamplerMetricsTrackLatestSample(t *testing.T) {
+	s := NewSampler(100, 8)
+	r := NewRegistry()
+	if err := RegisterSamplerMetrics(r, s); err != nil {
+		t.Fatal(err)
+	}
+	s.Record(mkSample(100))
+	s.Record(mkSample(200))
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vals := checkExposition(t, buf.String())
+	if vals["dsmnc_sample_refs"] != 200 {
+		t.Fatalf("dsmnc_sample_refs = %v, want 200", vals["dsmnc_sample_refs"])
+	}
+	if vals["dsmnc_samples_recorded_total"] != 2 {
+		t.Fatalf("dsmnc_samples_recorded_total = %v, want 2", vals["dsmnc_samples_recorded_total"])
+	}
+	if vals["dsmnc_sample_miss_pct"] != 4 {
+		t.Fatalf("dsmnc_sample_miss_pct = %v, want 4", vals["dsmnc_sample_miss_pct"])
+	}
+}
+
+func TestRuntimeMetricsRegister(t *testing.T) {
+	r := NewRegistry()
+	if err := RegisterRuntimeMetrics(r); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vals := checkExposition(t, buf.String())
+	if vals["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %v, want >= 1", vals["go_goroutines"])
+	}
+}
+
+func TestServerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Gauge("test_gauge", "A test value.", func() float64 { return 42 }); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL())
+	if err != nil {
+		t.Fatalf("GET %s: %v", srv.URL(), err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want exposition format 0.0.4", ct)
+	}
+	vals := checkExposition(t, string(body))
+	if vals["test_gauge"] != 42 {
+		t.Fatalf("test_gauge = %v, want 42", vals["test_gauge"])
+	}
+
+	base := strings.TrimSuffix(srv.URL(), "/metrics")
+	pprofResp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET pprof index: %v", err)
+	}
+	io.Copy(io.Discard, pprofResp.Body)
+	pprofResp.Body.Close()
+	if pprofResp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", pprofResp.StatusCode)
+	}
+
+	missing, err := http.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, missing.Body)
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", missing.StatusCode)
+	}
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+// Snapshot codec for the sampler, so a checkpointed cell resumes with
+// its time series intact: the retained ring, the sequence and drop
+// counters, and the previous-sample basis the next interval derives
+// from all round-trip bit-identically through internal/snapshot.
+// Wall-clock state (the `now` hook and its last reading) is
+// configuration, not series state, and is re-attached by the caller.
+
+import (
+	"math"
+
+	"dsmnc/internal/snapshot"
+)
+
+const tagSampler = 0x0D
+
+// saveSample writes one sample in fixed field order.
+func saveSample(w *snapshot.Writer, s Sample) {
+	w.I64(s.Seq)
+	w.I64(s.Refs)
+	w.I64(s.WallNanos)
+	w.U64(math.Float64bits(s.RefsPerSec))
+	w.I64(s.Reads)
+	w.I64(s.Writes)
+	w.I64(s.L1Hits)
+	w.I64(s.NCHits)
+	w.I64(s.PCHits)
+	w.I64(s.RemoteMisses)
+	w.I64(s.RemoteCapacity)
+	w.I64(s.NCInserts)
+	w.I64(s.NCEvictions)
+	w.I64(s.Relocations)
+	w.I64(s.PageEvictions)
+	w.I64(s.WritebacksHome)
+	w.I64(s.NCUsed)
+	w.I64(s.NCFrames)
+	w.I64(s.PCUsed)
+	w.I64(s.PCFrames)
+	w.U64(math.Float64bits(s.MissPct))
+	w.U64(math.Float64bits(s.NCHitPct))
+	w.I64(s.IntervalRefs)
+	w.U64(math.Float64bits(s.IntervalMissPct))
+	w.U64(math.Float64bits(s.IntervalNCHitPct))
+	w.U64(math.Float64bits(s.BusUtilPct))
+}
+
+// loadSample reads one sample in the saveSample field order.
+func loadSample(r *snapshot.Reader) Sample {
+	return Sample{
+		Seq:              r.I64(),
+		Refs:             r.I64(),
+		WallNanos:        r.I64(),
+		RefsPerSec:       math.Float64frombits(r.U64()),
+		Reads:            r.I64(),
+		Writes:           r.I64(),
+		L1Hits:           r.I64(),
+		NCHits:           r.I64(),
+		PCHits:           r.I64(),
+		RemoteMisses:     r.I64(),
+		RemoteCapacity:   r.I64(),
+		NCInserts:        r.I64(),
+		NCEvictions:      r.I64(),
+		Relocations:      r.I64(),
+		PageEvictions:    r.I64(),
+		WritebacksHome:   r.I64(),
+		NCUsed:           r.I64(),
+		NCFrames:         r.I64(),
+		PCUsed:           r.I64(),
+		PCFrames:         r.I64(),
+		MissPct:          math.Float64frombits(r.U64()),
+		NCHitPct:         math.Float64frombits(r.U64()),
+		IntervalRefs:     r.I64(),
+		IntervalMissPct:  math.Float64frombits(r.U64()),
+		IntervalNCHitPct: math.Float64frombits(r.U64()),
+		BusUtilPct:       math.Float64frombits(r.U64()),
+	}
+}
+
+// SaveState serializes the sampler's series state.
+func (s *Sampler) SaveState(w *snapshot.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Section(tagSampler)
+	w.I64(s.every)
+	w.I64(s.seq)
+	w.I64(s.dropped)
+	w.Bool(s.hasPrev)
+	if s.hasPrev {
+		saveSample(w, s.prev)
+	}
+	w.U64(uint64(s.n))
+	for i := 0; i < s.n; i++ {
+		saveSample(w, s.ring[(s.start+i)%cap(s.ring)])
+	}
+}
+
+// maxSnapshotSamples bounds how many samples a snapshot may claim, so a
+// corrupt header cannot drive a huge allocation. Generous relative to
+// DefaultCapacity; real snapshots are bounded by their ring capacity.
+const maxSnapshotSamples = 1 << 20
+
+// LoadState restores the series state saved by SaveState. The sampler
+// must be configured with the same interval the snapshot was taken
+// under; a mismatch is recorded on r as a decode failure, because a
+// resumed series with a different cadence would silently lie. If the
+// restoring sampler's capacity is smaller than the snapshot's retained
+// count, the oldest samples are dropped (and counted).
+func (s *Sampler) LoadState(r *snapshot.Reader) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Section(tagSampler)
+	every := r.I64()
+	seq := r.I64()
+	dropped := r.I64()
+	hasPrev := r.Bool()
+	var prev Sample
+	if hasPrev {
+		prev = loadSample(r)
+	}
+	n := r.Len(maxSnapshotSamples)
+	if r.Err() != nil {
+		return
+	}
+	if every != s.every {
+		r.Failf("snapshot sampling interval %d, sampler configured with %d", every, s.every)
+		return
+	}
+	if seq < 0 || dropped < 0 || int64(n) > seq {
+		r.Failf("inconsistent sampler counts (seq %d, dropped %d, retained %d)", seq, dropped, n)
+		return
+	}
+	s.ring = s.ring[:0]
+	s.start, s.n = 0, 0
+	s.seq, s.dropped = seq, dropped
+	s.prev, s.hasPrev = prev, hasPrev
+	for i := 0; i < n; i++ {
+		if r.Err() != nil {
+			return
+		}
+		s.append(loadSample(r))
+	}
+}

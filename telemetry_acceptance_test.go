@@ -1,0 +1,179 @@
+package dsmnc
+
+// The ISSUE 3 acceptance run, as a test: a checked simulation with a
+// sampler, an event tracer, and a live metrics endpoint attached must
+// (a) produce a JSONL series whose final cumulative counters equal the
+// run's stats.Counters exactly, (b) serve valid Prometheus text
+// exposition while the simulation is still running, and (c) write an
+// event trace that decodes cleanly back to exactly the kept events.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dsmnc/telemetry"
+	"dsmnc/workload"
+)
+
+func TestTelemetryEndToEnd(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Scale = workload.ScaleTest
+	opt.Check = true
+
+	sampler := telemetry.NewSampler(2000, telemetry.DefaultCapacity)
+	opt.Sampler = sampler
+	var traceBuf bytes.Buffer
+	tracer := telemetry.NewTracer(&traceBuf, 2)
+	opt.EventTrace = tracer
+
+	reg := telemetry.NewRegistry()
+	if err := telemetry.RegisterRuntimeMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.RegisterSamplerMetrics(reg, sampler); err != nil {
+		t.Fatal(err)
+	}
+	prog := &Progress{}
+	opt.Progress = prog
+	if err := prog.RegisterMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := telemetry.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Scrape the endpoint continuously while the simulation runs, so at
+	// least one exposition is captured genuinely mid-run.
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	var scrapeMu sync.Mutex
+	var scrapes int
+	var lastBody string
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL())
+			if err == nil {
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr == nil && resp.StatusCode == http.StatusOK {
+					scrapeMu.Lock()
+					scrapes++
+					lastBody = string(body)
+					scrapeMu.Unlock()
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	res, err := Run(workload.ByName("FFT", opt.Scale), VB(16<<10), opt)
+	close(stopScrape)
+	scrapeWG.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) JSONL series: parseable, final sample == stats exactly.
+	var jsonl bytes.Buffer
+	if err := sampler.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("only %d JSONL samples; want a series", len(lines))
+	}
+	var final map[string]float64
+	for _, line := range lines {
+		final = nil
+		if err := json.Unmarshal([]byte(line), &final); err != nil {
+			t.Fatalf("unparseable sample line %q: %v", line, err)
+		}
+	}
+	c := &res.Counters
+	for name, want := range map[string]int64{
+		"refs":            res.Refs,
+		"reads":           c.Refs.Read,
+		"writes":          c.Refs.Write,
+		"l1_hits":         c.L1Hits.Total(),
+		"nc_hits":         c.NCHits.Total(),
+		"pc_hits":         c.PCHits.Total(),
+		"remote_misses":   c.Remote().Total(),
+		"nc_inserts":      c.NCInserts,
+		"nc_evictions":    c.NCEvictions,
+		"relocations":     c.Relocations,
+		"page_evictions":  c.PageEvictions,
+		"writebacks_home": c.WritebacksHome,
+	} {
+		if got := int64(final[name]); got != want {
+			t.Errorf("final sample %s = %d, want %d (stats)", name, got, want)
+		}
+	}
+
+	// (b) The endpoint answered mid-run with well-formed exposition.
+	scrapeMu.Lock()
+	gotScrapes, body := scrapes, lastBody
+	scrapeMu.Unlock()
+	if gotScrapes == 0 {
+		t.Fatal("metrics endpoint never answered during the run")
+	}
+	for _, want := range []string{
+		"# TYPE dsmnc_sample_refs counter",
+		"dsmnc_samples_recorded_total",
+		"dsmnc_refs_applied_total",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	// (c) The event trace decodes back to exactly the kept events.
+	er := telemetry.NewEventReader(&traceBuf)
+	var decoded int64
+	for {
+		ev, ok := er.Next()
+		if !ok {
+			break
+		}
+		if !ev.Kind.Valid() {
+			t.Fatalf("decoded invalid kind %d", ev.Kind)
+		}
+		decoded++
+	}
+	if err := er.Err(); err != nil {
+		t.Fatalf("event trace decode: %v", err)
+	}
+	if decoded != tracer.Kept() {
+		t.Fatalf("decoded %d events, tracer kept %d", decoded, tracer.Kept())
+	}
+	if tracer.Seen() <= tracer.Kept() {
+		t.Fatalf("sampling kept everything (seen %d, kept %d); stride not applied",
+			tracer.Seen(), tracer.Kept())
+	}
+}
