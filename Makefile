@@ -2,8 +2,9 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCH_OUT ?= BENCH_baseline.json
+BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build test race vet fuzz check resume-smoke telemetry bench ci
+.PHONY: build test race vet fuzz check resume-smoke telemetry bench bench-check cover ci
 
 build:
 	$(GO) build ./...
@@ -54,5 +55,30 @@ bench:
 	@rm -f BENCH.txt
 	@echo "wrote $(BENCH_OUT)"
 
+# Compare a fresh benchmark run against the committed baseline and fail
+# if any benchmark's ns/op regressed more than BENCH_TOLERANCE (a
+# fraction; 0.10 = 10%). Run on a quiet machine — it is not part of
+# `make ci` because shared-runner noise would make it flap; it is the
+# gate for performance-sensitive PRs (docs/performance.md).
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) . > BENCH_current.txt
+	$(GO) run ./cmd/benchjson -check BENCH_baseline.json -tolerance $(BENCH_TOLERANCE) < BENCH_current.txt
+	@rm -f BENCH_current.txt
+
+# Coverage floors for the protocol-critical packages: the directory
+# implementations and the cluster engine. The floors ratchet up, never
+# down (docs/performance.md).
+cover:
+	@set -e; \
+	floor() { \
+		pct=$$($(GO) test -cover $$1 | awk -F'coverage: ' '/coverage:/{print $$2}' | awk -F'%' '{print $$1}'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$1"; exit 1; fi; \
+		echo "cover: $$1 $$pct% (floor $$2%)"; \
+		awk -v p="$$pct" -v f="$$2" 'BEGIN{exit !(p+0 >= f+0)}' || \
+			{ echo "cover: $$1 coverage $$pct% is below the $$2% floor"; exit 1; }; \
+	}; \
+	floor ./internal/directory 45; \
+	floor ./internal/core 66
+
 # Tier-1+ gate (ROADMAP.md): everything CI runs.
-ci: vet build test race fuzz resume-smoke telemetry
+ci: vet build test race fuzz resume-smoke telemetry cover

@@ -1,0 +1,236 @@
+package dsmnc
+
+// The differential-equivalence harness: the proof layer for hot-path
+// work. Every {base, nc, vb, vp, vxp} x workload cell is run with the
+// time-series sampler and the coherence event trace attached, and its
+// complete observable outcome — the full stats.Counters, the sampler
+// series bytes and the event-trace bytes — is reduced to digests and
+// compared against the committed corpus in testdata/difftest/. Any
+// engine change that alters a single counter, sample or traced event
+// anywhere in the corpus fails here, which is what lets the simulator
+// internals be rebuilt for speed with confidence ("byte-identical or it
+// doesn't merge").
+//
+// Regenerate the corpus (only when an intentional behavior change is
+// being made) with:
+//
+//	go test -run 'TestGoldenStats|TestDifferentialEquivalence' -update .
+//
+// The sibling golden_test.go holds the readable half of the corpus: the
+// full per-cell counters with a field-level diff on drift.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dsmnc/stats"
+	"dsmnc/telemetry"
+	"dsmnc/workload"
+)
+
+// update regenerates the committed corpora (testdata/golden and
+// testdata/difftest) instead of comparing against them.
+var update = flag.Bool("update", false, "rewrite the golden-stats and difftest corpora from the current engine")
+
+// Corpus parameters. The sampler interval and trace stride are chosen
+// so every cell retains a multi-sample series and a multi-event trace
+// at ScaleSmall without the corpus run taking longer than a few
+// seconds.
+const (
+	diffSampleEvery = 25_000
+	diffTraceEvery  = 499
+)
+
+// diffSystems returns the five principal organizations of the paper's
+// design space, sized as in bench_test.go.
+func diffSystems() []System {
+	return []System{
+		Base(),
+		NC(16 << 10),
+		VB(16 << 10),
+		VP(16 << 10),
+		VXPFrac(16<<10, 5, 32),
+	}
+}
+
+// diffBenches returns the workload axis of the corpus. The -short run
+// (the race gate) keeps two representative workloads so the full
+// equivalence property is still exercised under the race detector
+// without exceeding its budget.
+func diffBenches(short bool) []string {
+	if short {
+		return []string{"FFT", "Ocean"}
+	}
+	return workload.Names()
+}
+
+// cellName returns the file-safe name of a corpus cell.
+func cellName(sys System, bench string) string {
+	r := strings.NewReplacer("(", "-", ")", "", "/", "-", " ", "")
+	return r.Replace(sys.Name) + "_" + bench
+}
+
+// diffOutcome is the complete observable result of one cell: the
+// reference count, the aggregated event counters, and digests of the
+// sampler series and the event-trace stream.
+type diffOutcome struct {
+	Refs        int64          `json:"refs"`
+	Stats       stats.Counters `json:"stats"`
+	SamplerLen  int            `json:"sampler_len"`
+	SamplerSHA  string         `json:"sampler_sha256"`
+	TraceEvents int64          `json:"trace_events"`
+	TraceSHA    string         `json:"trace_sha256"`
+}
+
+// digest is the compact committed form of an outcome: everything
+// reduced to lengths and hashes (the readable counters live in
+// testdata/golden/).
+type diffDigest struct {
+	Refs        int64  `json:"refs"`
+	StatsSHA    string `json:"stats_sha256"`
+	SamplerLen  int    `json:"sampler_len"`
+	SamplerSHA  string `json:"sampler_sha256"`
+	TraceEvents int64  `json:"trace_events"`
+	TraceSHA    string `json:"trace_sha256"`
+}
+
+func (o diffOutcome) digest() (diffDigest, error) {
+	statsJSON, err := json.Marshal(o.Stats)
+	if err != nil {
+		return diffDigest{}, err
+	}
+	return diffDigest{
+		Refs:        o.Refs,
+		StatsSHA:    shaHex(statsJSON),
+		SamplerLen:  o.SamplerLen,
+		SamplerSHA:  o.SamplerSHA,
+		TraceEvents: o.TraceEvents,
+		TraceSHA:    o.TraceSHA,
+	}, nil
+}
+
+func shaHex(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// runDiffCell simulates one cell with the full telemetry stack attached
+// (clockless, so every byte of the series is deterministic) and returns
+// its observable outcome.
+func runDiffCell(sys System, benchName string) (diffOutcome, error) {
+	opt := DefaultOptions()
+	opt.Scale = workload.ScaleSmall
+	opt.Sampler = telemetry.NewSampler(diffSampleEvery, telemetry.DefaultCapacity)
+	var traceBuf bytes.Buffer
+	tracer := telemetry.NewTracer(&traceBuf, diffTraceEvery)
+	opt.EventTrace = tracer
+
+	bench := workload.ByName(benchName, opt.Scale)
+	if bench == nil {
+		return diffOutcome{}, fmt.Errorf("unknown workload %q", benchName)
+	}
+	res, err := Run(bench, sys, opt)
+	if err != nil {
+		return diffOutcome{}, err
+	}
+	if err := tracer.Close(); err != nil {
+		return diffOutcome{}, err
+	}
+	var series bytes.Buffer
+	if err := opt.Sampler.WriteJSONL(&series); err != nil {
+		return diffOutcome{}, err
+	}
+	return diffOutcome{
+		Refs:        res.Refs,
+		Stats:       res.Counters,
+		SamplerLen:  opt.Sampler.Len(),
+		SamplerSHA:  shaHex(series.Bytes()),
+		TraceEvents: tracer.Kept(),
+		TraceSHA:    shaHex(traceBuf.Bytes()),
+	}, nil
+}
+
+// The corpus cells are simulated once per test binary and shared
+// between TestGoldenStats and TestDifferentialEquivalence.
+var (
+	diffCacheMu sync.Mutex
+	diffCache   = map[string]diffOutcome{}
+)
+
+func diffCellOutcome(t *testing.T, sys System, benchName string) diffOutcome {
+	t.Helper()
+	key := cellName(sys, benchName)
+	diffCacheMu.Lock()
+	out, ok := diffCache[key]
+	diffCacheMu.Unlock()
+	if ok {
+		return out
+	}
+	out, err := runDiffCell(sys, benchName)
+	if err != nil {
+		t.Fatalf("cell %s: %v", key, err)
+	}
+	diffCacheMu.Lock()
+	diffCache[key] = out
+	diffCacheMu.Unlock()
+	return out
+}
+
+// TestDifferentialEquivalence is the equivalence gate: every corpus
+// cell must reproduce the committed digests exactly — same reference
+// count, byte-identical counters, byte-identical sampler series,
+// byte-identical event trace.
+func TestDifferentialEquivalence(t *testing.T) {
+	for _, sys := range diffSystems() {
+		for _, benchName := range diffBenches(testing.Short()) {
+			sys, benchName := sys, benchName
+			t.Run(cellName(sys, benchName), func(t *testing.T) {
+				out := diffCellOutcome(t, sys, benchName)
+				got, err := out.digest()
+				if err != nil {
+					t.Fatal(err)
+				}
+				path := filepath.Join("testdata", "difftest", cellName(sys, benchName)+".json")
+				if *update {
+					writeJSONFile(t, path, got)
+					return
+				}
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("no committed digest (run with -update to create it): %v", err)
+				}
+				var want diffDigest
+				if err := json.Unmarshal(raw, &want); err != nil {
+					t.Fatalf("corrupt digest file %s: %v", path, err)
+				}
+				if got != want {
+					t.Errorf("observable behavior drifted from the committed corpus:\n got %+v\nwant %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
+func writeJSONFile(t *testing.T, path string, v any) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

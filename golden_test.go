@@ -1,0 +1,72 @@
+package dsmnc
+
+// Golden-stats corpus: the human-readable half of the equivalence
+// corpus built by difftest_test.go. For every {base, nc, vb, vp, vxp}
+// x benchmark cell the full stats.Counters is committed under
+// testdata/golden/, and TestGoldenStats fails with a field-level diff
+// on any drift. Regenerate (only for an intentional behavior change)
+// with:
+//
+//	go test -run TestGoldenStats -update .
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dsmnc/stats"
+)
+
+// goldenCell is the committed form of one cell: the reference count and
+// the complete counter set.
+type goldenCell struct {
+	Refs  int64          `json:"refs"`
+	Stats stats.Counters `json:"stats"`
+}
+
+func TestGoldenStats(t *testing.T) {
+	for _, sys := range diffSystems() {
+		for _, benchName := range diffBenches(testing.Short()) {
+			sys, benchName := sys, benchName
+			t.Run(cellName(sys, benchName), func(t *testing.T) {
+				out := diffCellOutcome(t, sys, benchName)
+				got := goldenCell{Refs: out.Refs, Stats: out.Stats}
+				path := filepath.Join("testdata", "golden", cellName(sys, benchName)+".json")
+				if *update {
+					writeJSONFile(t, path, got)
+					return
+				}
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("no committed golden (run with -update to create it): %v", err)
+				}
+				var want goldenCell
+				if err := json.Unmarshal(raw, &want); err != nil {
+					t.Fatalf("corrupt golden file %s: %v", path, err)
+				}
+				if got.Refs != want.Refs {
+					t.Errorf("Refs drifted: got %d, want %d", got.Refs, want.Refs)
+				}
+				diffCounters(t, got.Stats, want.Stats)
+			})
+		}
+	}
+}
+
+// diffCounters reports every stats.Counters field that differs, by
+// name, so a drift failure points straight at the affected event class.
+func diffCounters(t *testing.T, got, want stats.Counters) {
+	t.Helper()
+	gv := reflect.ValueOf(got)
+	wv := reflect.ValueOf(want)
+	typ := gv.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		g := gv.Field(i).Interface()
+		w := wv.Field(i).Interface()
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("Counters.%s drifted: got %v, want %v", typ.Field(i).Name, g, w)
+		}
+	}
+}

@@ -63,6 +63,10 @@ func (b *Bus) Probe(p int, blk memsys.Block) *cache.Line {
 // Touch refreshes LRU recency of blk in p's cache.
 func (b *Bus) Touch(p int, blk memsys.Block) { b.caches[p].Touch(blk) }
 
+// TouchLine refreshes LRU recency of a line Probe already located in
+// p's cache, without a second tag lookup.
+func (b *Bus) TouchLine(p int, ln *cache.Line) { b.caches[p].TouchLine(ln) }
+
 // SnoopResult describes what sibling caches answered to a bus request.
 type SnoopResult struct {
 	Supplier int         // cache that supplied the data, or -1

@@ -95,7 +95,24 @@ type SetAssoc struct {
 	setMask  uint64
 	indexing Indexing
 	tick     uint64
+
+	// last memoizes the line returned by the previous successful
+	// Lookup/Fill. References cluster on a block (word-level streams),
+	// so most lookups re-find the line the previous one did; the memo
+	// turns those into a single tag compare. It is only ever a hint: a
+	// hit requires the memoized line to still hold the requested block
+	// in a valid state, which re-verifies it against every possible
+	// intervening eviction, invalidation or replacement. The lines
+	// array never reallocates, so the pointer itself cannot dangle.
+	// It starts pointing at a shared always-Invalid sentinel so the
+	// check needs no nil test (keeping Lookup within the inline budget).
+	last *Line
 }
+
+// noLine is the initial memo target: permanently Invalid, never written
+// (the memo only ever returns lines that pass the validity check, and
+// TouchLine/Fill only receive lines inside a cache's own array).
+var noLine = &Line{}
 
 // New builds a cache from cfg. A malformed configuration (non-power-of-two
 // set count, zero ways) is a configuration error, reported rather than
@@ -118,6 +135,7 @@ func New(cfg Config) (*SetAssoc, error) {
 		sets:     sets,
 		setMask:  uint64(sets - 1),
 		indexing: cfg.Indexing,
+		last:     noLine,
 	}, nil
 }
 
@@ -148,11 +166,23 @@ func (c *SetAssoc) set(b memsys.Block) []Line {
 
 // Lookup returns the line holding b, or nil. It does not touch LRU state;
 // use Touch for that, so that probes (snoops) don't perturb recency.
+// The memo check is kept loop-free so Lookup inlines into its callers
+// and the common re-reference costs three compares, not a call.
 func (c *SetAssoc) Lookup(b memsys.Block) *Line {
-	set := c.set(b)
-	for i := range set {
-		if set[i].State.Valid() && set[i].Block == b {
-			return &set[i]
+	if ln := c.last; ln.Block == b && ln.State != Invalid {
+		return ln
+	}
+	return c.lookupScan(b)
+}
+
+// lookupScan is the slow half of Lookup: the set scan.
+func (c *SetAssoc) lookupScan(b memsys.Block) *Line {
+	base := c.SetOf(b) * c.ways
+	lines := c.lines[base : base+c.ways]
+	for i := range lines {
+		if lines[i].Block == b && lines[i].State != Invalid {
+			c.last = &lines[i]
+			return &lines[i]
 		}
 	}
 	return nil
@@ -161,9 +191,16 @@ func (c *SetAssoc) Lookup(b memsys.Block) *Line {
 // Touch marks b most recently used. It is a no-op if b is absent.
 func (c *SetAssoc) Touch(b memsys.Block) {
 	if ln := c.Lookup(b); ln != nil {
-		c.tick++
-		ln.lru = c.tick
+		c.TouchLine(ln)
 	}
+}
+
+// TouchLine marks a line already located by Lookup most recently used,
+// skipping the second set scan Touch would pay. ln must be a pointer
+// returned by this cache's Lookup.
+func (c *SetAssoc) TouchLine(ln *Line) {
+	c.tick++
+	ln.lru = c.tick
 }
 
 // Fill inserts b with the given state, replacing the LRU line of the set
@@ -197,6 +234,7 @@ func (c *SetAssoc) Fill(b memsys.Block, st State) (victim Line) {
 		victim = *target
 	}
 	*target = Line{Block: b, State: st, lru: c.tick}
+	c.last = target
 	return victim
 }
 
@@ -214,16 +252,22 @@ func (c *SetAssoc) Evict(b memsys.Block) Line {
 // guaranteed. The victim-cache relocation machinery uses it to find the
 // predominant page tag of a set (paper §3.4).
 func (c *SetAssoc) SetLines(s int) []Line {
+	return c.AppendSetLines(nil, s)
+}
+
+// AppendSetLines appends the valid lines of set s to dst and returns the
+// extended slice: the allocation-free form of SetLines for callers on
+// the relocation hot path that keep a scratch buffer.
+func (c *SetAssoc) AppendSetLines(dst []Line, s int) []Line {
 	if s < 0 || s >= c.sets {
-		return nil
+		return dst
 	}
-	var out []Line
 	for _, ln := range c.lines[s*c.ways : (s+1)*c.ways] {
 		if ln.State.Valid() {
-			out = append(out, ln)
+			dst = append(dst, ln)
 		}
 	}
-	return out
+	return dst
 }
 
 // EvictPage removes every block of page p, returning the removed lines.

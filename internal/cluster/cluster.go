@@ -190,7 +190,7 @@ func (cl *Cluster) Access(p int, addr memsys.Addr, write bool, home int) {
 
 	// Processor cache hit path.
 	if ln := cl.bus.Probe(p, b); ln != nil {
-		cl.bus.Touch(p, b)
+		cl.bus.TouchLine(p, ln)
 		cl.C.L1Hits.Inc(write)
 		if !write {
 			return

@@ -457,3 +457,54 @@ func TestInfiniteContains(t *testing.T) {
 		t.Fatal("filled block missing")
 	}
 }
+
+// TestVictimPredominantPageTieBreak pins the tie-break rule the scratch
+// rewrite must preserve: with an even split, the first page to reach the
+// winning count in line order wins.
+func TestVictimPredominantPageTieBreak(t *testing.T) {
+	v := newSmallVictim(cache.ByPage, true)
+	pa := memsys.Page(1)
+	setA := v.AcceptVictim(memsys.FirstBlock(pa), false).Set
+	var pb memsys.Page
+	for q := memsys.Page(2); q < 64; q++ {
+		r := v.AcceptVictim(memsys.FirstBlock(q)+1, false)
+		if r.Set == setA {
+			pb = q
+			break
+		}
+		v.Invalidate(memsys.FirstBlock(q) + 1)
+	}
+	if pb == 0 {
+		t.Fatal("no colliding page found")
+	}
+	// Two frames each: pa occupies ways 0 and 2, pb ways 1 and 3.
+	v.AcceptVictim(memsys.FirstBlock(pa)+2, false)
+	v.AcceptVictim(memsys.FirstBlock(pb)+3, false)
+	pp, ok := v.PredominantPage(setA)
+	if !ok || pp != pa {
+		t.Fatalf("PredominantPage tie = (%d,%v), want first-in-line-order (%d,true)", pp, ok, pa)
+	}
+}
+
+// BenchmarkPredominantPage measures the per-call cost of the relocation
+// candidate scan; the scratch-slice rewrite must report 0 allocs/op
+// (the original built a map per call).
+func BenchmarkPredominantPage(b *testing.B) {
+	v := newSmallVictim(cache.ByPage, true)
+	pa, pb := memsys.Page(1), memsys.Page(5)
+	set := v.AcceptVictim(memsys.FirstBlock(pa), false).Set
+	for i := 1; i < 4; i++ {
+		p := pa
+		if i%2 == 1 {
+			p = pb
+		}
+		v.AcceptVictim(memsys.FirstBlock(p)+memsys.Block(i), false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := v.PredominantPage(set); !ok {
+			b.Fatal("empty set")
+		}
+	}
+}

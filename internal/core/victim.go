@@ -23,6 +23,14 @@ type VictimNC struct {
 	tags     *cache.SetAssoc
 	counters []uint32 // per-set victimization counters (nil unless vxp)
 	evBuf    []Eviction
+
+	// Scratch for PredominantPage: a set holds at most Ways lines, so
+	// per-page counting is a short linear scan over parallel slices —
+	// no per-call map (or anything else) is allocated on the
+	// relocation-candidate path.
+	lineBuf  []cache.Line
+	pageBuf  []memsys.Page
+	countBuf []int
 }
 
 // VictimConfig sizes a VictimNC.
@@ -123,19 +131,37 @@ func (v *VictimNC) Occupancy() (used, frames int) {
 
 // PredominantPage returns the page owning the most frames of set s: the
 // implicit relocation candidate indicated by the set's address tags.
+// Ties keep the first page to reach the winning count in line order,
+// exactly as the original map-based count did (strictly-greater
+// comparison in a single pass).
 func (v *VictimNC) PredominantPage(s int) (memsys.Page, bool) {
-	lines := v.tags.SetLines(s)
+	v.lineBuf = v.tags.AppendSetLines(v.lineBuf[:0], s)
+	lines := v.lineBuf
 	if len(lines) == 0 {
 		return 0, false
 	}
-	counts := make(map[memsys.Page]int, len(lines))
+	v.pageBuf = v.pageBuf[:0]
+	v.countBuf = v.countBuf[:0]
 	var best memsys.Page
 	bestN := 0
 	for _, ln := range lines {
 		p := memsys.PageOfBlock(ln.Block)
-		counts[p]++
-		if counts[p] > bestN {
-			best, bestN = p, counts[p]
+		n := 1
+		found := false
+		for i, q := range v.pageBuf {
+			if q == p {
+				v.countBuf[i]++
+				n = v.countBuf[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			v.pageBuf = append(v.pageBuf, p)
+			v.countBuf = append(v.countBuf, 1)
+		}
+		if n > bestN {
+			best, bestN = p, n
 		}
 	}
 	return best, true

@@ -20,6 +20,7 @@ package directory
 import (
 	"fmt"
 
+	"dsmnc/internal/flatmap"
 	"dsmnc/memsys"
 	"dsmnc/stats"
 )
@@ -35,17 +36,19 @@ type entry struct {
 
 // Directory is the full-map, block-grain system directory. The simulator
 // owns one Directory for the whole machine; entries are logically
-// distributed to home nodes but a single map suffices functionally.
+// distributed to home nodes but a single store suffices functionally.
+// Entries live inline in an open-addressed table (internal/flatmap):
+// materializing one on a cold miss is a slot write, not an allocation.
 type Directory struct {
 	clusters int
-	blocks   map[memsys.Block]*entry
+	blocks   flatmap.Map[entry]
 
 	// R-NUMA capacity-miss counters, keyed by page<<8|cluster. Only
-	// maintained when countersOn; the map grows with the set of
+	// maintained when countersOn; the table grows with the set of
 	// (page, cluster) pairs that actually miss — the very memory
 	// overhead the paper criticizes in §3.4.
 	countersOn bool
-	counters   map[uint64]uint32
+	counters   flatmap.Counter
 
 	invalBuf []int // scratch for AccessResult.Invalidate
 	invalMsg int64 // invalidation messages sent
@@ -56,26 +59,19 @@ func New(clusters int) (*Directory, error) {
 	if clusters <= 0 || clusters > 64 {
 		return nil, fmt.Errorf("directory: unsupported cluster count %d", clusters)
 	}
-	return &Directory{
-		clusters: clusters,
-		blocks:   make(map[memsys.Block]*entry),
-	}, nil
+	return &Directory{clusters: clusters}, nil
 }
 
 // EnableCounters turns on the R-NUMA per-(page,cluster) capacity-miss
 // counters.
 func (d *Directory) EnableCounters() {
 	d.countersOn = true
-	if d.counters == nil {
-		d.counters = make(map[uint64]uint32)
-	}
 }
 
 func (d *Directory) entryOf(b memsys.Block) *entry {
-	e := d.blocks[b]
-	if e == nil {
-		e = &entry{dirty: NoOwner}
-		d.blocks[b] = e
+	e, created := d.blocks.Put(uint64(b))
+	if created {
+		e.dirty = NoOwner
 	}
 	return e
 }
@@ -112,9 +108,7 @@ func (d *Directory) Access(c int, b memsys.Block, write, countCapacity bool) Acc
 	case e.sticky&bit != 0:
 		res.Class = stats.Capacity
 		if d.countersOn && countCapacity {
-			k := counterKey(memsys.PageOfBlock(b), c)
-			d.counters[k]++
-			res.CapacityCount = d.counters[k]
+			res.CapacityCount = d.counters.Incr(counterKey(memsys.PageOfBlock(b), c))
 		}
 	case e.touched&bit != 0:
 		res.Class = stats.Coherence
@@ -161,7 +155,7 @@ func (d *Directory) Upgrade(c int, b memsys.Block) []int {
 // home. Sticky bits are deliberately left set (R-NUMA keeps presence bits
 // on after a dirty write-back so a later re-fetch classifies as capacity).
 func (d *Directory) WriteBack(c int, b memsys.Block) {
-	e := d.blocks[b]
+	e := d.blocks.Get(uint64(b))
 	if e != nil && int(e.dirty) == c {
 		e.dirty = NoOwner
 	}
@@ -170,7 +164,7 @@ func (d *Directory) WriteBack(c int, b memsys.Block) {
 // DirtyOwner returns the cluster holding the modified copy of b, or
 // NoOwner.
 func (d *Directory) DirtyOwner(b memsys.Block) int {
-	if e := d.blocks[b]; e != nil {
+	if e := d.blocks.Get(uint64(b)); e != nil {
 		return int(e.dirty)
 	}
 	return NoOwner
@@ -184,7 +178,7 @@ func (d *Directory) IsExclusive(c int, b memsys.Block) bool {
 
 // Sticky reports whether cluster c's presence bit for b is set.
 func (d *Directory) Sticky(c int, b memsys.Block) bool {
-	if e := d.blocks[b]; e != nil {
+	if e := d.blocks.Get(uint64(b)); e != nil {
 		return e.sticky&(1<<uint(c)) != 0
 	}
 	return false
@@ -192,7 +186,7 @@ func (d *Directory) Sticky(c int, b memsys.Block) bool {
 
 // StickyCount returns how many clusters have their presence bit set.
 func (d *Directory) StickyCount(b memsys.Block) int {
-	if e := d.blocks[b]; e != nil {
+	if e := d.blocks.Get(uint64(b)); e != nil {
 		n := 0
 		for s := e.sticky; s != 0; s &= s - 1 {
 			n++
@@ -205,14 +199,14 @@ func (d *Directory) StickyCount(b memsys.Block) int {
 // SoleSharer reports whether c is the only cluster with a presence bit on
 // b. Fresh local fills use it to pick Exclusive over Shared.
 func (d *Directory) SoleSharer(c int, b memsys.Block) bool {
-	if e := d.blocks[b]; e != nil {
+	if e := d.blocks.Get(uint64(b)); e != nil {
 		return e.sticky == uint64(1)<<uint(c)
 	}
 	return true
 }
 
 // Blocks returns the number of directory entries materialized.
-func (d *Directory) Blocks() int { return len(d.blocks) }
+func (d *Directory) Blocks() int { return d.blocks.Len() }
 
 // InvalMessages returns the cumulative invalidation messages sent.
 func (d *Directory) InvalMessages() int64 { return d.invalMsg }
@@ -223,29 +217,23 @@ func counterKey(p memsys.Page, c int) uint64 {
 
 // Counter returns the current R-NUMA capacity counter for (p, c).
 func (d *Directory) Counter(p memsys.Page, c int) uint32 {
-	return d.counters[counterKey(p, c)]
+	return d.counters.Get(counterKey(p, c))
 }
 
 // ResetCounter zeroes the R-NUMA counter for (p, c); called when the page
 // is relocated into (or evicted from) cluster c's page cache.
 func (d *Directory) ResetCounter(p memsys.Page, c int) {
-	delete(d.counters, counterKey(p, c))
+	d.counters.Del(counterKey(p, c))
 }
 
 // CounterEntries returns the number of live (page, cluster) counters —
 // the memory-overhead metric the paper's §3.4 scalability argument is
 // about.
-func (d *Directory) CounterEntries() int { return len(d.counters) }
+func (d *Directory) CounterEntries() int { return d.counters.Len() }
 
 // DecrementCounter undoes one capacity count for (p, c): the §3.4
 // counter-decrement refinement applied to directory-controlled counters
 // when an invalidation reaches a cluster that no longer holds the block.
 func (d *Directory) DecrementCounter(p memsys.Page, c int) {
-	k := counterKey(p, c)
-	switch v := d.counters[k]; {
-	case v > 1:
-		d.counters[k] = v - 1
-	case v == 1:
-		delete(d.counters, k)
-	}
+	d.counters.Dec(counterKey(p, c))
 }

@@ -2,7 +2,9 @@ package directory
 
 import (
 	"fmt"
+	"math/bits"
 
+	"dsmnc/internal/flatmap"
 	"dsmnc/memsys"
 	"dsmnc/stats"
 )
@@ -24,10 +26,10 @@ import (
 type LimitedDirectory struct {
 	clusters int
 	pointers int
-	blocks   map[memsys.Block]*lentry
+	blocks   flatmap.Map[lentry]
 
 	countersOn bool
-	counters   map[uint64]uint32
+	counters   flatmap.Counter
 
 	invalBuf  []int
 	invalMsg  int64
@@ -36,9 +38,14 @@ type LimitedDirectory struct {
 }
 
 type lentry struct {
-	ptrs  []int8 // sharer pointers, up to the directory's limit
-	bcast bool   // pointers overflowed: invalidations broadcast
-	dirty int8
+	// ptrMask holds the hardware sharer pointers as a cluster bitset
+	// (popcount bounded by the directory's pointer limit). A bitset
+	// loses the pointers' arrival order, so invalidations and snapshot
+	// bytes enumerate sharers in ascending cluster order — the same
+	// order the full-map directory uses.
+	ptrMask uint64
+	bcast   bool // pointers overflowed: invalidations broadcast
+	dirty   int8
 
 	// Oracle state for measurement-model classification only (the
 	// hardware does not have it).
@@ -57,7 +64,6 @@ func NewLimited(clusters, pointers int) (*LimitedDirectory, error) {
 	return &LimitedDirectory{
 		clusters: clusters,
 		pointers: pointers,
-		blocks:   make(map[memsys.Block]*lentry),
 	}, nil
 }
 
@@ -65,27 +71,22 @@ func NewLimited(clusters, pointers int) (*LimitedDirectory, error) {
 // undercount under pointer overflow — the point of the experiment).
 func (d *LimitedDirectory) EnableCounters() {
 	d.countersOn = true
-	if d.counters == nil {
-		d.counters = make(map[uint64]uint32)
-	}
 }
 
 func (d *LimitedDirectory) entryOf(b memsys.Block) *lentry {
-	e := d.blocks[b]
-	if e == nil {
-		e = &lentry{dirty: NoOwner}
-		d.blocks[b] = e
+	e, created := d.blocks.Put(uint64(b))
+	if created {
+		e.dirty = NoOwner
 	}
 	return e
 }
 
 func (e *lentry) hasPtr(c int) bool {
-	for _, p := range e.ptrs {
-		if int(p) == c {
-			return true
-		}
-	}
-	return false
+	return e.ptrMask&(1<<uint(c)) != 0
+}
+
+func (e *lentry) ptrCount() int {
+	return bits.OnesCount64(e.ptrMask)
 }
 
 // Access processes a fetch request (see Directory.Access). Classification
@@ -115,9 +116,7 @@ func (d *LimitedDirectory) Access(c int, b memsys.Block, write, countCapacity bo
 	// exactly why the paper calls the scheme full-map-only (§3.4).
 	if d.countersOn && countCapacity {
 		if e.hasPtr(c) || e.bcast {
-			k := counterKey(memsys.PageOfBlock(b), c)
-			d.counters[k]++
-			res.CapacityCount = d.counters[k]
+			res.CapacityCount = d.counters.Incr(counterKey(memsys.PageOfBlock(b), c))
 			if res.Class != stats.Capacity {
 				d.noisy++
 			}
@@ -138,10 +137,8 @@ func (d *LimitedDirectory) Access(c int, b memsys.Block, write, countCapacity bo
 				}
 			}
 		} else {
-			for _, p := range e.ptrs {
-				if int(p) != c {
-					d.invalBuf = append(d.invalBuf, int(p))
-				}
+			for others := e.ptrMask &^ bit; others != 0; others &= others - 1 {
+				d.invalBuf = append(d.invalBuf, bits.TrailingZeros64(others))
 			}
 			// The oracle may know of sharers the pointers forgot; the
 			// hardware cannot — but overflow always sets bcast before a
@@ -149,14 +146,14 @@ func (d *LimitedDirectory) Access(c int, b memsys.Block, write, countCapacity bo
 		}
 		res.Invalidate = d.invalBuf
 		d.invalMsg += int64(len(d.invalBuf))
-		e.ptrs = append(e.ptrs[:0], int8(c))
+		e.ptrMask = bit
 		e.bcast = false
 		e.sticky = bit
 		e.dirty = int8(c)
 	} else {
 		if !e.hasPtr(c) && !e.bcast {
-			if len(e.ptrs) < d.pointers {
-				e.ptrs = append(e.ptrs, int8(c))
+			if e.ptrCount() < d.pointers {
+				e.ptrMask |= bit
 			} else {
 				e.bcast = true
 				d.overflows++
@@ -177,14 +174,14 @@ func (d *LimitedDirectory) Upgrade(c int, b memsys.Block) []int {
 // WriteBack records a dirty block arriving home; like R-NUMA, the
 // presence record survives.
 func (d *LimitedDirectory) WriteBack(c int, b memsys.Block) {
-	if e := d.blocks[b]; e != nil && int(e.dirty) == c {
+	if e := d.blocks.Get(uint64(b)); e != nil && int(e.dirty) == c {
 		e.dirty = NoOwner
 	}
 }
 
 // DirtyOwner returns the dirty cluster or NoOwner.
 func (d *LimitedDirectory) DirtyOwner(b memsys.Block) int {
-	if e := d.blocks[b]; e != nil {
+	if e := d.blocks.Get(uint64(b)); e != nil {
 		return int(e.dirty)
 	}
 	return NoOwner
@@ -197,32 +194,26 @@ func (d *LimitedDirectory) IsExclusive(c int, b memsys.Block) bool {
 
 // SoleSharer uses the hardware view: a single pointer and no broadcast.
 func (d *LimitedDirectory) SoleSharer(c int, b memsys.Block) bool {
-	e := d.blocks[b]
+	e := d.blocks.Get(uint64(b))
 	if e == nil {
 		return true
 	}
-	return !e.bcast && len(e.ptrs) == 1 && int(e.ptrs[0]) == c
+	return !e.bcast && e.ptrMask == uint64(1)<<uint(c)
 }
 
 // Counter returns the hardware relocation counter for (p, c).
 func (d *LimitedDirectory) Counter(p memsys.Page, c int) uint32 {
-	return d.counters[counterKey(p, c)]
+	return d.counters.Get(counterKey(p, c))
 }
 
 // ResetCounter clears the counter for (p, c).
 func (d *LimitedDirectory) ResetCounter(p memsys.Page, c int) {
-	delete(d.counters, counterKey(p, c))
+	d.counters.Del(counterKey(p, c))
 }
 
 // DecrementCounter undoes one capacity count (§3.4 refinement).
 func (d *LimitedDirectory) DecrementCounter(p memsys.Page, c int) {
-	k := counterKey(p, c)
-	switch v := d.counters[k]; {
-	case v > 1:
-		d.counters[k] = v - 1
-	case v == 1:
-		delete(d.counters, k)
-	}
+	d.counters.Dec(counterKey(p, c))
 }
 
 // Presence reports whether the hardware directory still sees cluster c as
@@ -230,7 +221,7 @@ func (d *LimitedDirectory) DecrementCounter(p memsys.Page, c int) {
 // This is the conservative superset the invariant checker validates
 // against actual cached copies.
 func (d *LimitedDirectory) Presence(c int, b memsys.Block) bool {
-	e := d.blocks[b]
+	e := d.blocks.Get(uint64(b))
 	if e == nil {
 		return false
 	}
@@ -240,15 +231,15 @@ func (d *LimitedDirectory) Presence(c int, b memsys.Block) bool {
 // PointerCount returns how many sharer pointers entry b holds (0 for an
 // unmaterialized entry).
 func (d *LimitedDirectory) PointerCount(b memsys.Block) int {
-	if e := d.blocks[b]; e != nil {
-		return len(e.ptrs)
+	if e := d.blocks.Get(uint64(b)); e != nil {
+		return e.ptrCount()
 	}
 	return 0
 }
 
 // Broadcast reports whether entry b has fallen back to broadcast mode.
 func (d *LimitedDirectory) Broadcast(b memsys.Block) bool {
-	e := d.blocks[b]
+	e := d.blocks.Get(uint64(b))
 	return e != nil && e.bcast
 }
 

@@ -2,8 +2,9 @@ package directory
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
+	"dsmnc/internal/flatmap"
 	"dsmnc/internal/snapshot"
 	"dsmnc/memsys"
 )
@@ -23,48 +24,33 @@ func clusterMask(n int) uint64 {
 	return 1<<uint(n) - 1
 }
 
-// sortedBlocks returns m's keys in ascending order, so map-backed
-// directory state always serializes to the same bytes.
-func sortedBlocks[V any](m map[memsys.Block]V) []memsys.Block {
-	keys := make([]memsys.Block, 0, len(m))
-	for b := range m {
-		keys = append(keys, b)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
-}
-
-func saveCounters(w *snapshot.Writer, counters map[uint64]uint32) {
-	keys := make([]uint64, 0, len(counters))
-	for k := range counters {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+func saveCounters(w *snapshot.Writer, counters *flatmap.Counter) {
+	keys := counters.Keys()
 	w.U64(uint64(len(keys)))
 	for _, k := range keys {
 		w.U64(k)
-		w.U32(counters[k])
+		w.U32(counters.Get(k))
 	}
 }
 
-func loadCounters(r *snapshot.Reader, clusters int) map[uint64]uint32 {
+func loadCounters(r *snapshot.Reader, clusters int) flatmap.Counter {
 	n := r.Len(1 << 40)
-	m := make(map[uint64]uint32)
+	var m flatmap.Counter
 	for i := 0; i < n; i++ {
 		k := r.U64()
 		v := r.U32()
 		if r.Err() != nil {
-			return nil
+			return flatmap.Counter{}
 		}
 		if int(k&0xff) >= clusters {
 			r.Failf("relocation counter names cluster %d of %d", k&0xff, clusters)
-			return nil
+			return flatmap.Counter{}
 		}
 		if v == 0 {
 			r.Failf("zero-valued relocation counter entry")
-			return nil
+			return flatmap.Counter{}
 		}
-		m[k] = v
+		m.Set(k, v)
 	}
 	return m
 }
@@ -76,15 +62,15 @@ func (d *Directory) SaveState(w *snapshot.Writer) {
 	w.Section(tagDirFull)
 	w.U32(uint32(d.clusters))
 	w.Bool(d.countersOn)
-	w.U64(uint64(len(d.blocks)))
-	for _, b := range sortedBlocks(d.blocks) {
-		e := d.blocks[b]
-		w.U64(uint64(b))
+	w.U64(uint64(d.blocks.Len()))
+	for _, k := range d.blocks.Keys() {
+		e := d.blocks.Get(k)
+		w.U64(k)
 		w.U64(e.sticky)
 		w.U64(e.touched)
 		w.I64(int64(e.dirty))
 	}
-	saveCounters(w, d.counters)
+	saveCounters(w, &d.counters)
 	w.I64(d.invalMsg)
 }
 
@@ -108,7 +94,7 @@ func (d *Directory) LoadState(r *snapshot.Reader) {
 	}
 	mask := clusterMask(d.clusters)
 	n := r.Len(1 << 40)
-	blocks := make(map[memsys.Block]*entry)
+	var blocks flatmap.Map[entry]
 	for i := 0; i < n; i++ {
 		b := memsys.Block(r.U64())
 		sticky := r.U64()
@@ -125,7 +111,8 @@ func (d *Directory) LoadState(r *snapshot.Reader) {
 			r.Failf("dirty owner %d out of range for block %d", dirty, b)
 			return
 		}
-		blocks[b] = &entry{sticky: sticky, touched: touched, dirty: int8(dirty)}
+		e, _ := blocks.Put(uint64(b))
+		*e = entry{sticky: sticky, touched: touched, dirty: int8(dirty)}
 	}
 	counters := loadCounters(r, d.clusters)
 	invalMsg := r.I64()
@@ -140,27 +127,29 @@ func (d *Directory) LoadState(r *snapshot.Reader) {
 }
 
 // SaveState serializes the limited-pointer directory: entries with
-// their hardware pointers and broadcast bits plus the oracle sticky
-// state, the relocation counters, and the overflow/noise accounts.
+// their hardware pointers (in ascending cluster order — the bitset
+// representation has no arrival order) and broadcast bits plus the
+// oracle sticky state, the relocation counters, and the overflow/noise
+// accounts.
 func (d *LimitedDirectory) SaveState(w *snapshot.Writer) {
 	w.Section(tagDirLimited)
 	w.U32(uint32(d.clusters))
 	w.U32(uint32(d.pointers))
 	w.Bool(d.countersOn)
-	w.U64(uint64(len(d.blocks)))
-	for _, b := range sortedBlocks(d.blocks) {
-		e := d.blocks[b]
-		w.U64(uint64(b))
-		w.U8(uint8(len(e.ptrs)))
-		for _, p := range e.ptrs {
-			w.U8(uint8(p))
+	w.U64(uint64(d.blocks.Len()))
+	for _, k := range d.blocks.Keys() {
+		e := d.blocks.Get(k)
+		w.U64(k)
+		w.U8(uint8(e.ptrCount()))
+		for m := e.ptrMask; m != 0; m &= m - 1 {
+			w.U8(uint8(bits.TrailingZeros64(m)))
 		}
 		w.Bool(e.bcast)
 		w.I64(int64(e.dirty))
 		w.U64(e.sticky)
 		w.U64(e.touched)
 	}
-	saveCounters(w, d.counters)
+	saveCounters(w, &d.counters)
 	w.I64(d.invalMsg)
 	w.I64(d.overflows)
 	w.I64(d.noisy)
@@ -187,7 +176,7 @@ func (d *LimitedDirectory) LoadState(r *snapshot.Reader) {
 	}
 	mask := clusterMask(d.clusters)
 	n := r.Len(1 << 40)
-	blocks := make(map[memsys.Block]*lentry)
+	var blocks flatmap.Map[lentry]
 	for i := 0; i < n; i++ {
 		b := memsys.Block(r.U64())
 		np := int(r.U8())
@@ -198,7 +187,7 @@ func (d *LimitedDirectory) LoadState(r *snapshot.Reader) {
 			r.Failf("entry for block %d holds %d pointers, limit %d", b, np, d.pointers)
 			return
 		}
-		e := &lentry{}
+		var e lentry
 		for j := 0; j < np; j++ {
 			p := int(r.U8())
 			if r.Err() != nil {
@@ -208,7 +197,7 @@ func (d *LimitedDirectory) LoadState(r *snapshot.Reader) {
 				r.Failf("sharer pointer %d out of range for block %d", p, b)
 				return
 			}
-			e.ptrs = append(e.ptrs, int8(p))
+			e.ptrMask |= uint64(1) << uint(p)
 		}
 		e.bcast = r.Bool()
 		dirty := r.I64()
@@ -226,7 +215,8 @@ func (d *LimitedDirectory) LoadState(r *snapshot.Reader) {
 			r.Failf("presence bits beyond %d clusters for block %d", d.clusters, b)
 			return
 		}
-		blocks[b] = e
+		slot, _ := blocks.Put(uint64(b))
+		*slot = e
 	}
 	counters := loadCounters(r, d.clusters)
 	invalMsg := r.I64()

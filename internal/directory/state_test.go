@@ -1,0 +1,146 @@
+package directory
+
+import (
+	"bytes"
+	"testing"
+
+	"dsmnc/internal/snapshot"
+	"dsmnc/memsys"
+)
+
+// exercise drives a deterministic mix of reads, writes, upgrades and
+// write-backs through p so the directory holds a non-trivial mix of
+// shared, dirty and invalidated entries plus relocation counters.
+func exercise(p Protocol) {
+	for i := 0; i < 200; i++ {
+		b := memsys.Block(i % 37)
+		c := i % 7
+		p.Access(c, b, i%5 == 0, true)
+	}
+	p.WriteBack(3, memsys.Block(5))
+	p.Upgrade(2, memsys.Block(11))
+}
+
+// snapshotBytes serializes p through SaveProtocol and returns the
+// finished stream.
+func snapshotBytes(t *testing.T, p Protocol) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := snapshot.NewWriter(&buf)
+	if err := SaveProtocol(w, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// loadFrom restores a stream into p via LoadProtocol, returning any
+// stream error.
+func loadFrom(t *testing.T, p Protocol, data []byte) error {
+	t.Helper()
+	r := snapshot.NewReader(bytes.NewReader(data))
+	if err := LoadProtocol(r, p); err != nil {
+		return err
+	}
+	return r.Finish()
+}
+
+func TestFullDirectoryStateRoundTrip(t *testing.T) {
+	src := mustNew(8)
+	src.EnableCounters()
+	exercise(src)
+	data := snapshotBytes(t, src)
+
+	dst := mustNew(8)
+	dst.EnableCounters()
+	if err := loadFrom(t, dst, data); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got, want := dst.Blocks(), src.Blocks(); got != want {
+		t.Fatalf("restored %d blocks, want %d", got, want)
+	}
+	if got, want := dst.InvalMessages(), src.InvalMessages(); got != want {
+		t.Fatalf("restored %d invalidation messages, want %d", got, want)
+	}
+	// A second snapshot of the restored directory must be bit-identical:
+	// the strongest whole-state comparison available.
+	if !bytes.Equal(snapshotBytes(t, dst), data) {
+		t.Fatal("re-snapshot of restored directory differs")
+	}
+}
+
+func TestLimitedDirectoryStateRoundTrip(t *testing.T) {
+	src := mustNewLimited(16, 4)
+	src.EnableCounters()
+	exercise(src)
+	// Force an overflow so broadcast bits are exercised.
+	b := memsys.Block(500)
+	for c := 0; c < 8; c++ {
+		src.Access(c, b, false, true)
+	}
+	if !src.Broadcast(b) {
+		t.Fatal("no broadcast entry after pointer overflow")
+	}
+	data := snapshotBytes(t, src)
+
+	dst := mustNewLimited(16, 4)
+	dst.EnableCounters()
+	if err := loadFrom(t, dst, data); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got, want := dst.Overflows(), src.Overflows(); got != want {
+		t.Fatalf("restored %d overflows, want %d", got, want)
+	}
+	if !dst.Broadcast(b) {
+		t.Fatal("broadcast bit lost in round trip")
+	}
+	if got, want := dst.PointerCount(memsys.Block(1)), src.PointerCount(memsys.Block(1)); got != want {
+		t.Fatalf("restored pointer count %d, want %d", got, want)
+	}
+	if dst.PointerLimit() != 4 {
+		t.Fatalf("PointerLimit = %d", dst.PointerLimit())
+	}
+	for c := 0; c < 16; c++ {
+		if dst.Presence(c, b) != src.Presence(c, b) {
+			t.Fatalf("presence of cluster %d diverged", c)
+		}
+	}
+	if !bytes.Equal(snapshotBytes(t, dst), data) {
+		t.Fatal("re-snapshot of restored directory differs")
+	}
+}
+
+func TestStateGeometryMismatchRejected(t *testing.T) {
+	src := mustNew(8)
+	exercise(src)
+	data := snapshotBytes(t, src)
+	if err := loadFrom(t, mustNew(4), data); err == nil {
+		t.Fatal("4-cluster directory accepted an 8-cluster snapshot")
+	}
+
+	lsrc := mustNewLimited(8, 4)
+	exercise(lsrc)
+	ldata := snapshotBytes(t, lsrc)
+	if err := loadFrom(t, mustNewLimited(8, 2), ldata); err == nil {
+		t.Fatal("2-pointer directory accepted a 4-pointer snapshot")
+	}
+	// Cross-implementation streams fail on the section tag.
+	if err := loadFrom(t, mustNewLimited(8, 4), data); err == nil {
+		t.Fatal("limited directory accepted a full-map snapshot")
+	}
+	if err := loadFrom(t, mustNew(8), ldata); err == nil {
+		t.Fatal("full-map directory accepted a limited snapshot")
+	}
+}
+
+func TestStateCounterToggleMismatchRejected(t *testing.T) {
+	src := mustNew(8)
+	src.EnableCounters()
+	exercise(src)
+	data := snapshotBytes(t, src)
+	if err := loadFrom(t, mustNew(8), data); err == nil {
+		t.Fatal("counter-less directory accepted a countered snapshot")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"dsmnc/internal/flatmap"
 	"dsmnc/memsys"
 )
 
@@ -44,10 +45,15 @@ type Evicted struct {
 	Hits  int            // hits the frame collected during its lifetime
 }
 
-// PageCache is one cluster's page cache.
+// PageCache is one cluster's page cache. Frames live inline in an
+// open-addressed table keyed by page number: the per-reference state
+// probes (Lookup/Invalidate on the remote-access path) are a single
+// linear-probe scan with no pointer chase or runtime map assist. Frame
+// pointers obtained from the table are used immediately and never
+// retained across a Relocate/Unmap (which may move entries).
 type PageCache struct {
 	frames   int
-	byPage   map[memsys.Page]*frame
+	byPage   flatmap.Map[frame]
 	clock    uint64 // advances on installing misses (LRM recency)
 	policy   *Policy
 	dirtyBuf []memsys.Block
@@ -66,7 +72,6 @@ func New(frames int, policy *Policy) (*PageCache, error) {
 	policy.bindFrames(frames)
 	return &PageCache{
 		frames: frames,
-		byPage: make(map[memsys.Page]*frame, frames),
 		policy: policy,
 	}, nil
 }
@@ -75,14 +80,14 @@ func New(frames int, policy *Policy) (*PageCache, error) {
 func (pc *PageCache) Frames() int { return pc.frames }
 
 // Mapped returns how many frames are in use.
-func (pc *PageCache) Mapped() int { return len(pc.byPage) }
+func (pc *PageCache) Mapped() int { return pc.byPage.Len() }
 
 // Policy returns the relocation-threshold policy.
 func (pc *PageCache) Policy() *Policy { return pc.policy }
 
 // Lookup returns the state of block b in the cache.
 func (pc *PageCache) Lookup(b memsys.Block) BlockState {
-	f := pc.byPage[memsys.PageOfBlock(b)]
+	f := pc.byPage.Get(uint64(memsys.PageOfBlock(b)))
 	if f == nil {
 		return BlockState{}
 	}
@@ -99,7 +104,7 @@ func (pc *PageCache) Lookup(b memsys.Block) BlockState {
 // deliberately NOT updated: replacement is least-recently-*missed*, so a
 // page that hits forever but stops missing ages out.
 func (pc *PageCache) RecordHit(b memsys.Block) {
-	if f := pc.byPage[memsys.PageOfBlock(b)]; f != nil && f.hits < hitSaturation {
+	if f := pc.byPage.Get(uint64(memsys.PageOfBlock(b))); f != nil && f.hits < hitSaturation {
 		f.hits++
 	}
 }
@@ -109,7 +114,7 @@ func (pc *PageCache) RecordHit(b memsys.Block) {
 // page, and refreshes the page's LRM recency. Installing into an
 // unmapped page is a no-op.
 func (pc *PageCache) Install(b memsys.Block, dirty bool) {
-	f := pc.byPage[memsys.PageOfBlock(b)]
+	f := pc.byPage.Get(uint64(memsys.PageOfBlock(b)))
 	if f == nil {
 		return
 	}
@@ -135,7 +140,7 @@ func (pc *PageCache) WriteDirty(b memsys.Block) bool { return pc.Deposit(b, true
 // serving a block the NC just dropped. It reports whether the page was
 // mapped.
 func (pc *PageCache) Deposit(b memsys.Block, dirty bool) bool {
-	f := pc.byPage[memsys.PageOfBlock(b)]
+	f := pc.byPage.Get(uint64(memsys.PageOfBlock(b)))
 	if f == nil {
 		return false
 	}
@@ -150,7 +155,7 @@ func (pc *PageCache) Deposit(b memsys.Block, dirty bool) bool {
 // Invalidate drops block b (system-level invalidation), reporting whether
 // the frame copy was dirty.
 func (pc *PageCache) Invalidate(b memsys.Block) bool {
-	f := pc.byPage[memsys.PageOfBlock(b)]
+	f := pc.byPage.Get(uint64(memsys.PageOfBlock(b)))
 	if f == nil {
 		return false
 	}
@@ -165,7 +170,7 @@ func (pc *PageCache) Invalidate(b memsys.Block) bool {
 // the data went home but the frame keeps serving reads). It reports
 // whether a dirty copy was found.
 func (pc *PageCache) Clean(b memsys.Block) bool {
-	f := pc.byPage[memsys.PageOfBlock(b)]
+	f := pc.byPage.Get(uint64(memsys.PageOfBlock(b)))
 	if f == nil {
 		return false
 	}
@@ -181,7 +186,7 @@ func (pc *PageCache) Clean(b memsys.Block) bool {
 // page is mapped at all. The invariant checker uses it to verify that
 // dirty bits never outrun valid bits.
 func (pc *PageCache) Bits(p memsys.Page) (valid, dirty uint64, ok bool) {
-	f := pc.byPage[p]
+	f := pc.byPage.Get(uint64(p))
 	if f == nil {
 		return 0, 0, false
 	}
@@ -190,8 +195,7 @@ func (pc *PageCache) Bits(p memsys.Page) (valid, dirty uint64, ok bool) {
 
 // IsMapped reports whether page p has a frame.
 func (pc *PageCache) IsMapped(p memsys.Page) bool {
-	_, ok := pc.byPage[p]
-	return ok
+	return pc.byPage.Get(uint64(p)) != nil
 }
 
 // Relocate maps page p into the cache, evicting the least-recently-missed
@@ -199,58 +203,58 @@ func (pc *PageCache) IsMapped(p memsys.Page) bool {
 // whether the adaptive policy raised the threshold as a result of the
 // reuse. Relocating an already-mapped page is a no-op.
 func (pc *PageCache) Relocate(p memsys.Page) (ev *Evicted, raised bool) {
-	if _, ok := pc.byPage[p]; ok {
+	if pc.byPage.Get(uint64(p)) != nil {
 		return nil, false
 	}
-	var f *frame
-	if len(pc.byPage) >= pc.frames {
-		victim := pc.lrmVictim()
-		ev = pc.flush(victim)
+	if pc.byPage.Len() >= pc.frames {
+		ev = pc.flush(pc.lrmVictim())
 		raised = pc.policy.frameReused(ev.Hits, pc)
-		f = victim
-	} else {
-		f = &frame{}
 	}
 	pc.clock++
+	f, _ := pc.byPage.Put(uint64(p))
 	*f = frame{page: p, lastMiss: pc.clock}
-	pc.byPage[p] = f
 	return ev, raised
 }
 
 // Unmap removes page p without replacement pressure (used by tests and by
 // dynamic PC resizing), returning its flush record.
 func (pc *PageCache) Unmap(p memsys.Page) *Evicted {
-	f := pc.byPage[p]
+	f := pc.byPage.Get(uint64(p))
 	if f == nil {
 		return nil
 	}
 	return pc.flush(f)
 }
 
-// lrmVictim picks the frame whose last installing miss is oldest.
+// lrmVictim picks the frame whose last installing miss is oldest. LRM
+// recencies are unique (the clock advances on every install), so the
+// minimum is unambiguous regardless of table order.
 func (pc *PageCache) lrmVictim() *frame {
 	var victim *frame
-	for _, f := range pc.byPage {
+	pc.byPage.Range(func(_ uint64, f *frame) bool {
 		if victim == nil || f.lastMiss < victim.lastMiss {
 			victim = f
 		}
-	}
+		return true
+	})
 	return victim
 }
 
-// flush extracts a frame's dirty blocks and unmaps the page.
+// flush extracts a frame's dirty blocks and unmaps the page. The frame's
+// fields are read before the Del, whose compaction may overwrite them.
 func (pc *PageCache) flush(f *frame) *Evicted {
+	page, dirtyMask, hits := f.page, f.dirty, f.hits
 	pc.dirtyBuf = pc.dirtyBuf[:0]
-	first := memsys.FirstBlock(f.page)
-	for d := f.dirty; d != 0; d &= d - 1 {
+	first := memsys.FirstBlock(page)
+	for d := dirtyMask; d != 0; d &= d - 1 {
 		i := bits.TrailingZeros64(d)
 		pc.dirtyBuf = append(pc.dirtyBuf, first+memsys.Block(i))
 	}
-	ev := &Evicted{Page: f.page, Hits: int(f.hits)}
+	ev := &Evicted{Page: page, Hits: int(hits)}
 	if len(pc.dirtyBuf) > 0 {
 		ev.Dirty = append([]memsys.Block(nil), pc.dirtyBuf...)
 	}
-	delete(pc.byPage, f.page)
+	pc.byPage.Del(uint64(page))
 	return ev
 }
 
@@ -266,9 +270,8 @@ func (pc *PageCache) Resize(frames int) []*Evicted {
 		frames = 1
 	}
 	var evicted []*Evicted
-	for len(pc.byPage) > frames {
-		victim := pc.lrmVictim()
-		ev := pc.flush(victim)
+	for pc.byPage.Len() > frames {
+		ev := pc.flush(pc.lrmVictim())
 		pc.policy.frameReused(ev.Hits, pc)
 		evicted = append(evicted, ev)
 	}
@@ -277,11 +280,13 @@ func (pc *PageCache) Resize(frames int) []*Evicted {
 	return evicted
 }
 
-// MappedPages returns the mapped pages (testing and reporting).
+// MappedPages returns the mapped pages in ascending order (testing and
+// reporting).
 func (pc *PageCache) MappedPages() []memsys.Page {
-	out := make([]memsys.Page, 0, len(pc.byPage))
-	for p := range pc.byPage {
-		out = append(out, p)
+	keys := pc.byPage.Keys()
+	out := make([]memsys.Page, len(keys))
+	for i, k := range keys {
+		out[i] = memsys.Page(k)
 	}
 	return out
 }
@@ -289,7 +294,8 @@ func (pc *PageCache) MappedPages() []memsys.Page {
 // resetAllHitCounters supports the adaptive policy: when the threshold is
 // raised, all per-frame hit counters restart (paper §6.2).
 func (pc *PageCache) resetAllHitCounters() {
-	for _, f := range pc.byPage {
+	pc.byPage.Range(func(_ uint64, f *frame) bool {
 		f.hits = 0
-	}
+		return true
+	})
 }

@@ -1,8 +1,7 @@
 package pagecache
 
 import (
-	"sort"
-
+	"dsmnc/internal/flatmap"
 	"dsmnc/internal/snapshot"
 	"dsmnc/memsys"
 )
@@ -17,15 +16,11 @@ func (pc *PageCache) SaveState(w *snapshot.Writer) {
 	w.Section(tagPageCache)
 	w.U32(uint32(pc.frames))
 	w.U64(pc.clock)
-	pages := make([]memsys.Page, 0, len(pc.byPage))
-	for p := range pc.byPage {
-		pages = append(pages, p)
-	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	pages := pc.byPage.Keys() // ascending, same byte order as before
 	w.U32(uint32(len(pages)))
 	for _, p := range pages {
-		f := pc.byPage[p]
-		w.U64(uint64(p))
+		f := pc.byPage.Get(p)
+		w.U64(p)
 		w.U64(f.valid)
 		w.U64(f.dirty)
 		w.U64(f.lastMiss)
@@ -52,7 +47,7 @@ func (pc *PageCache) LoadState(r *snapshot.Reader) {
 		r.Failf("snapshot maps %d pages in %d frames", mapped, pc.frames)
 		return
 	}
-	byPage := make(map[memsys.Page]*frame, mapped)
+	var byPage flatmap.Map[frame]
 	for i := 0; i < mapped; i++ {
 		p := memsys.Page(r.U64())
 		valid := r.U64()
@@ -66,11 +61,12 @@ func (pc *PageCache) LoadState(r *snapshot.Reader) {
 			r.Failf("page %d: dirty bits %#x not covered by valid bits %#x", p, dirty, valid)
 			return
 		}
-		if _, dup := byPage[p]; dup {
+		f, created := byPage.Put(uint64(p))
+		if !created {
 			r.Failf("page %d mapped twice", p)
 			return
 		}
-		byPage[p] = &frame{page: p, valid: valid, dirty: dirty, lastMiss: lastMiss, hits: hits}
+		*f = frame{page: p, valid: valid, dirty: dirty, lastMiss: lastMiss, hits: hits}
 	}
 	pc.policy.loadState(r)
 	if r.Err() != nil {

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dsmnc/trace"
+)
+
+// The metamorphic properties of a deterministic machine: how a trace is
+// delivered must not change where it ends up.
+//
+//  1. Applying a trace in one shot and applying it with a
+//     Snapshot/Restore round-trip wedged at any reference k must yield
+//     bit-identical machines (checkpoint transparency).
+//  2. Applying references one at a time and applying them in batches of
+//     any size must yield bit-identical machines (ApplyBatch is exactly
+//     a loop of Apply).
+//
+// Both are checked with System.Fingerprint — the SHA-256 of the complete
+// snapshot — plus the aggregated counters for a readable failure mode.
+
+// splitPoints derives deterministic pseudo-random split positions in
+// (0, n), always including the edges 1 and n-1.
+func splitPoints(n, count int, seed uint64) []int {
+	pts := map[int]bool{1: true, n - 1: true}
+	x := seed
+	for len(pts) < count+2 {
+		x = x*6364136223846793005 + 1442695040888963407
+		k := 1 + int((x>>33)%uint64(n-1))
+		pts[k] = true
+	}
+	out := make([]int, 0, len(pts))
+	for k := range pts {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// applyAll drives refs through m one at a time, failing the test on any
+// error.
+func applyAll(t *testing.T, m *System, refs []trace.Ref) {
+	t.Helper()
+	for i, r := range refs {
+		if err := m.Apply(r); err != nil {
+			t.Fatalf("ref %d: %v", i, err)
+		}
+	}
+}
+
+// fingerprintOf is Fingerprint with test plumbing.
+func fingerprintOf(t *testing.T, m *System) [32]byte {
+	t.Helper()
+	fp, err := m.Fingerprint()
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	return fp
+}
+
+// TestMetamorphicSnapshotSplit checks property 1 over every snapshotable
+// system shape and a set of seeded random split points: run the whole
+// trace one-shot, then re-run it with Snapshot → Restore at reference k,
+// and require identical fingerprints and counters.
+func TestMetamorphicSnapshotSplit(t *testing.T) {
+	const n = 3000
+	refs := synthTrace(4, 24, n, 0xfeed)
+	for name, mk := range snapshotConfigs() {
+		t.Run(name, func(t *testing.T) {
+			oneShot, err := New(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyAll(t, oneShot, refs)
+			wantFP := fingerprintOf(t, oneShot)
+			wantTotals := oneShot.Totals()
+
+			for _, k := range splitPoints(n, 4, uint64(len(name))*0x9e3779b97f4a7c15) {
+				head, err := New(mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				applyAll(t, head, refs[:k])
+				var buf bytes.Buffer
+				if err := head.Snapshot(&buf); err != nil {
+					t.Fatalf("split %d: snapshot: %v", k, err)
+				}
+				tail, err := Restore(&buf, mk())
+				if err != nil {
+					t.Fatalf("split %d: restore: %v", k, err)
+				}
+				if got := tail.RefsApplied(); got != int64(k) {
+					t.Fatalf("split %d: restored position %d", k, got)
+				}
+				applyAll(t, tail, refs[k:])
+				if got := fingerprintOf(t, tail); got != wantFP {
+					gotTotals := tail.Totals()
+					if !reflect.DeepEqual(gotTotals, wantTotals) {
+						t.Fatalf("split %d: counters diverged:\none-shot %+v\nresumed  %+v", k, wantTotals, gotTotals)
+					}
+					t.Fatalf("split %d: fingerprints differ with identical counters (non-counter state diverged)", k)
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicApplyBatch checks property 2: delivering the trace in
+// batches of assorted sizes (including sizes that straddle the internal
+// fast path's poll boundaries) lands the machine in the same state as
+// one-at-a-time delivery. Check is left off so the batched run exercises
+// the hoisted fast loop.
+func TestMetamorphicApplyBatch(t *testing.T) {
+	const n = 3000
+	refs := synthTrace(4, 24, n, 0xbeef)
+	for name, mk := range snapshotConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg := mk()
+			cfg.Check = false
+			single, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyAll(t, single, refs)
+			wantFP := fingerprintOf(t, single)
+
+			for _, size := range []int{1, 3, 7, 64, 1023, 1024, n} {
+				cfg := mk()
+				cfg.Check = false
+				batched, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i += size {
+					end := i + size
+					if end > n {
+						end = n
+					}
+					done, err := batched.ApplyBatch(refs[i:end])
+					if err != nil {
+						t.Fatalf("size %d: batch at %d: %v", size, i, err)
+					}
+					if done != end-i {
+						t.Fatalf("size %d: batch at %d applied %d of %d", size, i, done, end-i)
+					}
+				}
+				if got := batched.RefsApplied(); got != int64(n) {
+					t.Fatalf("size %d: applied %d refs", size, got)
+				}
+				if got := fingerprintOf(t, batched); got != wantFP {
+					t.Fatalf("size %d: fingerprint diverged from one-at-a-time delivery", size)
+				}
+			}
+		})
+	}
+}

@@ -88,13 +88,21 @@ type Config struct {
 type System struct {
 	geo      memsys.Geometry
 	dir      directory.Protocol
+	dirFull  *directory.Directory // non-nil when dir is the full-map directory: direct calls skip the interface dispatch on every miss
 	place    memsys.PlacementPolicy
+	ft       *memsys.FirstTouch // non-nil when place is first-touch: direct calls skip the interface dispatch on every reference
 	clusters []*cluster.Cluster
 	decrDir  bool // decrement directory counters on false invalidations
 	mig      *migration.Engine
 	checker  *check.Checker
 	applied  int64 // references successfully applied (the trace position)
 	err      error // sticky: first internal failure, surfaced by Apply
+
+	// pidCluster/pidLocal precompute the Geometry.ClusterOf/LocalProc
+	// divisions for every processor id — Apply decodes a pid with two
+	// indexed loads instead of a div and a mod.
+	pidCluster []int32
+	pidLocal   []int32
 
 	sampler     *telemetry.Sampler
 	tracer      *telemetry.Tracer
@@ -130,8 +138,17 @@ func New(cfg Config) (*System, error) {
 		}
 		s.dir = d
 	}
+	s.dirFull, _ = s.dir.(*directory.Directory)
 	if s.place == nil {
 		s.place = memsys.NewFirstTouch()
+	}
+	s.ft, _ = s.place.(*memsys.FirstTouch)
+	procs := cfg.Geometry.Procs()
+	s.pidCluster = make([]int32, procs)
+	s.pidLocal = make([]int32, procs)
+	for pid := 0; pid < procs; pid++ {
+		s.pidCluster[pid] = int32(cfg.Geometry.ClusterOf(pid))
+		s.pidLocal[pid] = int32(cfg.Geometry.LocalProc(pid))
 	}
 	if cfg.Migration != nil {
 		s.mig = migration.NewEngine(*cfg.Migration)
@@ -214,7 +231,7 @@ func (s *System) Apply(r trace.Ref) error {
 		return s.err
 	}
 	pid := int(r.PID)
-	if pid < 0 || pid >= s.geo.Procs() {
+	if pid < 0 || pid >= len(s.pidCluster) {
 		return fmt.Errorf("%w: pid %d out of range [0,%d)", ErrBadRef, r.PID, s.geo.Procs())
 	}
 	if r.Addr > memsys.MaxAddr {
@@ -223,9 +240,14 @@ func (s *System) Apply(r trace.Ref) error {
 	if r.Op != trace.Read && r.Op != trace.Write {
 		return fmt.Errorf("%w: unknown op %d", ErrBadRef, r.Op)
 	}
-	c := s.geo.ClusterOf(pid)
+	c := int(s.pidCluster[pid])
 	page := memsys.PageOf(r.Addr)
-	home := s.place.Home(page, c)
+	var home int
+	if s.ft != nil {
+		home = s.ft.Home(page, c)
+	} else {
+		home = s.place.Home(page, c)
+	}
 	write := r.Op == trace.Write
 	if s.tracer != nil {
 		s.tracer.Tick(s.applied)
@@ -245,7 +267,7 @@ func (s *System) Apply(r trace.Ref) error {
 			home = c
 		}
 	}
-	s.clusters[c].Access(s.geo.LocalProc(pid), r.Addr, write, home)
+	s.clusters[c].Access(int(s.pidLocal[pid]), r.Addr, write, home)
 	if s.err != nil {
 		return s.err
 	}
@@ -261,6 +283,56 @@ func (s *System) Apply(r trace.Ref) error {
 		s.sampler.Record(s.sampleNow())
 	}
 	return nil
+}
+
+// ApplyBatch drives a run of references through the machine, returning
+// how many applied and the first error. It is exactly a loop of Apply —
+// same validation, same sticky-error behavior, same counters — but when
+// no tracer, migration engine, checker or sampler is attached, the
+// per-reference nil checks for those hooks are hoisted out of the loop.
+func (s *System) ApplyBatch(refs []trace.Ref) (int, error) {
+	if s.tracer != nil || s.mig != nil || s.checker != nil || s.sampleEvery > 0 || s.ft == nil {
+		for i := range refs {
+			if err := s.Apply(refs[i]); err != nil {
+				return i, err
+			}
+		}
+		return len(refs), nil
+	}
+	if s.err != nil {
+		return 0, s.err
+	}
+	ft, pidCluster, pidLocal, clusters := s.ft, s.pidCluster, s.pidLocal, s.clusters
+	// Local (page → home) memo: without a migration engine a placed
+	// page's home never changes, so consecutive same-page references
+	// (the common case under quantum interleaving) skip the placement
+	// lookup entirely. haveLast starts false so the first reference
+	// always consults FirstTouch.
+	var (
+		lastPage memsys.Page
+		lastHome int
+		haveLast bool
+	)
+	for i := range refs {
+		r := refs[i]
+		pid := int(r.PID)
+		if pid < 0 || pid >= len(pidCluster) || r.Addr > memsys.MaxAddr ||
+			(r.Op != trace.Read && r.Op != trace.Write) {
+			return i, s.Apply(r) // rejects with the exact Apply error
+		}
+		c := int(pidCluster[pid])
+		page := memsys.PageOf(r.Addr)
+		if !haveLast || page != lastPage {
+			lastHome = ft.Home(page, c)
+			lastPage, haveLast = page, true
+		}
+		clusters[c].Access(int(pidLocal[pid]), r.Addr, r.Op == trace.Write, lastHome)
+		if s.err != nil {
+			return i, s.err
+		}
+		s.applied++
+	}
+	return len(refs), nil
 }
 
 // sampleNow reads the machine into one raw telemetry sample: the
@@ -366,7 +438,12 @@ func (s *System) Totals() stats.Counters {
 // relocation counters track capacity misses to remote data only.
 func (s *System) Fetch(c int, b memsys.Block, write bool) cluster.FetchReply {
 	home := s.HomeOf(memsys.PageOfBlock(b))
-	res := s.dir.Access(c, b, write, c != home)
+	var res directory.AccessResult
+	if d := s.dirFull; d != nil {
+		res = d.Access(c, b, write, c != home)
+	} else {
+		res = s.dir.Access(c, b, write, c != home)
+	}
 	if s.mig != nil && c != home {
 		page := memsys.PageOfBlock(b)
 		switch s.mig.OnRemoteMiss(c, page, write) {
@@ -416,20 +493,44 @@ func (s *System) invalidate(oc int, b memsys.Block) {
 }
 
 // WriteBack delivers a dirty block to home memory.
-func (s *System) WriteBack(c int, b memsys.Block) { s.dir.WriteBack(c, b) }
+func (s *System) WriteBack(c int, b memsys.Block) {
+	if d := s.dirFull; d != nil {
+		d.WriteBack(c, b)
+		return
+	}
+	s.dir.WriteBack(c, b)
+}
 
 // IsExclusive reports whether cluster c owns b system-wide.
-func (s *System) IsExclusive(c int, b memsys.Block) bool { return s.dir.IsExclusive(c, b) }
+func (s *System) IsExclusive(c int, b memsys.Block) bool {
+	if d := s.dirFull; d != nil {
+		return d.IsExclusive(c, b)
+	}
+	return s.dir.IsExclusive(c, b)
+}
 
 // SoleSharer reports whether cluster c is the only presence-bit holder.
-func (s *System) SoleSharer(c int, b memsys.Block) bool { return s.dir.SoleSharer(c, b) }
+func (s *System) SoleSharer(c int, b memsys.Block) bool {
+	if d := s.dirFull; d != nil {
+		return d.SoleSharer(c, b)
+	}
+	return s.dir.SoleSharer(c, b)
+}
 
 // HomeOf returns the home cluster of an already-placed page. A page
 // referenced before placement is a protocol failure; it is recorded in
 // the machine's sticky error (surfaced by the enclosing Apply) and home
 // 0 is returned so the access can limp to the end of the reference.
 func (s *System) HomeOf(p memsys.Page) int {
-	h, ok := s.place.HomeIfPlaced(p)
+	var (
+		h  int
+		ok bool
+	)
+	if s.ft != nil {
+		h, ok = s.ft.HomeIfPlaced(p)
+	} else {
+		h, ok = s.place.HomeIfPlaced(p)
+	}
 	if !ok {
 		s.fail(fmt.Errorf("%w: page %d referenced before placement", ErrProtocol, p))
 		return 0

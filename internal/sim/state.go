@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"io"
 
@@ -58,6 +59,22 @@ func (s *System) Snapshot(w io.Writer) error {
 		sw.I64(s.nextSample)
 	}
 	return sw.Close()
+}
+
+// Fingerprint returns the SHA-256 digest of the machine's complete
+// snapshot. Two machines in identical observable state produce the same
+// fingerprint, which turns whole-machine equivalence checks (the
+// metamorphic tests' one-shot vs checkpoint-resumed runs) into a single
+// comparison. Like Snapshot, it refuses a machine carrying a sticky
+// internal error.
+func (s *System) Fingerprint() ([sha256.Size]byte, error) {
+	h := sha256.New()
+	if err := s.Snapshot(h); err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d, nil
 }
 
 // Restore builds a machine from cfg and loads the snapshot read from r

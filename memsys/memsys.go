@@ -10,7 +10,11 @@
 // them and fixed shifts keep the simulator hot path branch-free.
 package memsys
 
-import "fmt"
+import (
+	"fmt"
+
+	"dsmnc/internal/flatmap"
+)
 
 // Address geometry constants (paper §5.1: 64-byte blocks, 4 KB pages).
 const (
@@ -120,26 +124,44 @@ type PlacementPolicy interface {
 // FirstTouch places each page on the cluster whose processor touches it
 // first (paper §5.2, Marchetti et al. [17]). The SPLASH-2 programs are
 // written so that first-touch is near-optimal.
+//
+// Placement is consulted on every applied reference, so the page→home
+// assignment lives in an open-addressed table with a one-entry memo in
+// front of it: consecutive references usually stay on one page, and the
+// memo turns that run into a single compare.
 type FirstTouch struct {
-	home map[Page]int
+	home flatmap.Map[int32]
+
+	lastPage Page
+	lastHome int32
+	hasLast  bool
 }
 
 // NewFirstTouch returns an empty first-touch placement map.
-func NewFirstTouch() *FirstTouch { return &FirstTouch{home: make(map[Page]int)} }
+func NewFirstTouch() *FirstTouch { return &FirstTouch{} }
 
 // Home returns (and on first use assigns) the home cluster of p.
 func (ft *FirstTouch) Home(p Page, requester int) int {
-	if h, ok := ft.home[p]; ok {
-		return h
+	if ft.hasLast && p == ft.lastPage {
+		return int(ft.lastHome)
 	}
-	ft.home[p] = requester
-	return requester
+	h, created := ft.home.Put(uint64(p))
+	if created {
+		*h = int32(requester)
+	}
+	ft.lastPage, ft.lastHome, ft.hasLast = p, *h, true
+	return int(*h)
 }
 
 // HomeIfPlaced returns the home of p if it has been assigned.
 func (ft *FirstTouch) HomeIfPlaced(p Page) (int, bool) {
-	h, ok := ft.home[p]
-	return h, ok
+	if ft.hasLast && p == ft.lastPage {
+		return int(ft.lastHome), true
+	}
+	if h := ft.home.Get(uint64(p)); h != nil {
+		return int(*h), true
+	}
+	return 0, false
 }
 
 // Rehomer is implemented by placement policies that support OS page
@@ -149,19 +171,26 @@ type Rehomer interface {
 }
 
 // Rehome migrates page p to cluster c (OS page migration).
-func (ft *FirstTouch) Rehome(p Page, c int) { ft.home[p] = c }
+func (ft *FirstTouch) Rehome(p Page, c int) {
+	h, _ := ft.home.Put(uint64(p))
+	*h = int32(c)
+	if ft.hasLast && ft.lastPage == p {
+		ft.lastHome = int32(c)
+	}
+}
 
 // Pages returns the number of placed pages.
-func (ft *FirstTouch) Pages() int { return len(ft.home) }
+func (ft *FirstTouch) Pages() int { return ft.home.Len() }
 
 // PagesOn returns how many pages are homed on cluster c.
 func (ft *FirstTouch) PagesOn(c int) int {
 	n := 0
-	for _, h := range ft.home {
-		if h == c {
+	ft.home.Range(func(_ uint64, h *int32) bool {
+		if int(*h) == c {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 

@@ -1,8 +1,7 @@
 package memsys
 
 import (
-	"sort"
-
+	"dsmnc/internal/flatmap"
 	"dsmnc/internal/snapshot"
 )
 
@@ -12,15 +11,11 @@ const tagFirstTouch = 0x09
 // order, so identical placements always produce identical bytes.
 func (ft *FirstTouch) SaveState(w *snapshot.Writer) {
 	w.Section(tagFirstTouch)
-	pages := make([]Page, 0, len(ft.home))
-	for p := range ft.home {
-		pages = append(pages, p)
-	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	pages := ft.home.Keys()
 	w.U64(uint64(len(pages)))
 	for _, p := range pages {
-		w.U64(uint64(p))
-		w.U32(uint32(ft.home[p]))
+		w.U64(p)
+		w.U32(uint32(*ft.home.Get(p)))
 	}
 }
 
@@ -29,7 +24,7 @@ func (ft *FirstTouch) SaveState(w *snapshot.Writer) {
 func (ft *FirstTouch) LoadState(r *snapshot.Reader, clusters int) {
 	r.Section(tagFirstTouch)
 	n := r.Len(1 << 40)
-	home := make(map[Page]int, min(n, 1<<20))
+	var home flatmap.Map[int32]
 	for i := 0; i < n; i++ {
 		p := Page(r.U64())
 		h := int(r.U32())
@@ -40,9 +35,11 @@ func (ft *FirstTouch) LoadState(r *snapshot.Reader, clusters int) {
 			r.Failf("page %d homed on cluster %d of %d", p, h, clusters)
 			return
 		}
-		home[p] = h
+		slot, _ := home.Put(uint64(p))
+		*slot = int32(h)
 	}
 	if r.Err() == nil {
 		ft.home = home
+		ft.hasLast = false
 	}
 }

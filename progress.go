@@ -131,8 +131,10 @@ func (p *Progress) RegisterMetrics(r *telemetry.Registry) error {
 // Heartbeat prints a one-line status to w at the given interval —
 // references applied, reference rate, cells done/total with an ETA,
 // time since the last journal write — until the returned stop function
-// is called. stop blocks until the reporter has exited, so w is safe to
-// reuse afterwards.
+// is called. stop prints one final status line (so every observed run
+// ends with its up-to-date totals, even one shorter than the interval)
+// and blocks until the reporter has exited, so w is safe to reuse
+// afterwards.
 func (p *Progress) Heartbeat(w io.Writer, every time.Duration) (stop func()) {
 	if every <= 0 {
 		every = 10 * time.Second
@@ -147,29 +149,36 @@ func (p *Progress) Heartbeat(w io.Writer, every time.Duration) (stop func()) {
 		defer tick.Stop()
 		last := p.Refs.Load()
 		lastT := time.Now()
+		report := func(now time.Time) {
+			refs := p.Refs.Load()
+			rate := 0.0
+			if dt := now.Sub(lastT).Seconds(); dt > 0 {
+				rate = float64(refs-last) / dt
+			}
+			last, lastT = refs, now
+			line := fmt.Sprintf("progress: %d refs (%.0f refs/s)", refs, rate)
+			if total := p.CellsTotal.Load(); total > 0 {
+				line += fmt.Sprintf(", cells %d/%d", p.CellsDone.Load(), total)
+				if failed := p.CellsFailed.Load(); failed > 0 {
+					line += fmt.Sprintf(" (%d failed)", failed)
+				}
+				if eta, ok := p.ETA(); ok && eta > 0 {
+					line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+				}
+			}
+			if t, ok := p.LastJournalWrite(); ok {
+				line += fmt.Sprintf(", last journal write %s ago",
+					time.Since(t).Round(time.Second))
+			}
+			fmt.Fprintln(w, line)
+		}
 		for {
 			select {
 			case <-done:
+				report(time.Now())
 				return
 			case now := <-tick.C:
-				refs := p.Refs.Load()
-				rate := float64(refs-last) / now.Sub(lastT).Seconds()
-				last, lastT = refs, now
-				line := fmt.Sprintf("progress: %d refs (%.0f refs/s)", refs, rate)
-				if total := p.CellsTotal.Load(); total > 0 {
-					line += fmt.Sprintf(", cells %d/%d", p.CellsDone.Load(), total)
-					if failed := p.CellsFailed.Load(); failed > 0 {
-						line += fmt.Sprintf(" (%d failed)", failed)
-					}
-					if eta, ok := p.ETA(); ok && eta > 0 {
-						line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
-					}
-				}
-				if t, ok := p.LastJournalWrite(); ok {
-					line += fmt.Sprintf(", last journal write %s ago",
-						time.Since(t).Round(time.Second))
-				}
-				fmt.Fprintln(w, line)
+				report(now)
 			}
 		}
 	}()

@@ -67,7 +67,7 @@ func runCell(ctx context.Context, exp string, j runJob) (Result, error) {
 	n := skip
 	var seen, sinceCkpt int64
 	var firstErr error
-	b.Emit(opt.Geometry, opt.Quantum, func(r trace.Ref) {
+	sink := func(r trace.Ref) {
 		if firstErr != nil {
 			return
 		}
@@ -94,7 +94,41 @@ func runCell(ctx context.Context, exp string, j runJob) (Result, error) {
 				ck.save(machine)
 			}
 		}
-	})
+	}
+	if ck == nil && skip == 0 && opt.Progress == nil {
+		// The common fresh-run case: no prefix to skip, no checkpoint
+		// slot, no progress counter. Batch delivery drops the per-ref
+		// closure dispatch and the per-ref branches those features
+		// need; behavior is identical — ApplyBatch is exactly a loop
+		// of Apply, and cancellation is still polled every 1024
+		// references (each ApplyBatch run is cut at the poll points).
+		b.EmitBatch(opt.Geometry, opt.Quantum, func(refs []trace.Ref) {
+			if firstErr != nil {
+				return
+			}
+			for i := 0; i < len(refs); {
+				if n&1023 == 0 {
+					if err := ctx.Err(); err != nil {
+						firstErr = err
+						return
+					}
+				}
+				run := int(1024 - (n & 1023))
+				if rem := len(refs) - i; run > rem {
+					run = rem
+				}
+				done, err := machine.ApplyBatch(refs[i : i+run])
+				n += int64(done)
+				i += done
+				if err != nil {
+					firstErr = err
+					return
+				}
+			}
+		})
+	} else {
+		b.Emit(opt.Geometry, opt.Quantum, sink)
+	}
 	if firstErr != nil {
 		return Result{}, firstErr
 	}

@@ -19,6 +19,7 @@ package workload
 
 import (
 	"fmt"
+	"slices"
 
 	"dsmnc/memsys"
 	"dsmnc/trace"
@@ -74,6 +75,18 @@ func (b *Bench) Emit(g memsys.Geometry, quantum int, sink func(trace.Ref)) {
 	e.Barrier()
 }
 
+// EmitBatch is Emit delivering each processor turn as one slice instead
+// of one call per reference: the stream, flattened, is identical to what
+// Emit produces, but the per-reference closure dispatch is amortized over
+// the quantum. The slice is only valid during the callback — the emitter
+// reuses its buffers.
+func (b *Bench) EmitBatch(g memsys.Geometry, quantum int, sink func([]trace.Ref)) {
+	e := NewEmitter(g.Procs(), quantum, nil)
+	e.batch = sink
+	b.run(e)
+	e.Barrier()
+}
+
 // Source returns the benchmark's trace as a pull Source. The entire trace
 // is buffered per barrier phase; prefer Emit for large runs.
 func (b *Bench) Source(g memsys.Geometry, quantum int) trace.Source {
@@ -90,6 +103,7 @@ func (b *Bench) Source(g memsys.Geometry, quantum int) trace.Source {
 type Emitter struct {
 	bufs     [][]trace.Ref
 	sink     func(trace.Ref)
+	batch    func([]trace.Ref) // when non-nil, used instead of sink
 	quantum  int
 	buffered int
 	flushAt  int
@@ -134,15 +148,50 @@ func (e *Emitter) Write(pid int, a memsys.Addr) {
 // ReadRange emits sequential reads covering [a, a+bytes) at the given
 // access granularity (e.g. 8 for doubles).
 func (e *Emitter) ReadRange(pid int, a memsys.Addr, bytes, grain int64) {
-	for off := int64(0); off < bytes; off += grain {
-		e.Read(pid, a+memsys.Addr(off))
-	}
+	e.emitRange(pid, a, bytes, grain, trace.Read)
 }
 
 // WriteRange emits sequential writes covering [a, a+bytes).
 func (e *Emitter) WriteRange(pid int, a memsys.Addr, bytes, grain int64) {
-	for off := int64(0); off < bytes; off += grain {
-		e.Write(pid, a+memsys.Addr(off))
+	e.emitRange(pid, a, bytes, grain, trace.Write)
+}
+
+// emitRange appends a whole sequential run in chunks instead of going
+// through the per-reference Read/Write + bump path — ranges are the bulk
+// of the SPLASH-2 kernels' references, and the chunked form removes a
+// call, a flush check and an append bounds dance per reference. Flush
+// points are reproduced exactly: the original flushed the moment the
+// buffered count reached flushAt, so each chunk is capped at the room
+// left before the threshold.
+func (e *Emitter) emitRange(pid int, a memsys.Addr, bytes, grain int64, op trace.Op) {
+	if grain <= 0 || bytes <= 0 {
+		return
+	}
+	n := (bytes + grain - 1) / grain
+	off := int64(0)
+	for n > 0 {
+		chunk := n
+		if room := int64(e.flushAt - e.buffered); chunk > room {
+			chunk = room
+		}
+		buf := e.bufs[pid]
+		base := len(buf)
+		need := base + int(chunk)
+		if cap(buf) < need {
+			buf = slices.Grow(buf, int(chunk))
+		}
+		buf = buf[:need]
+		p32 := int32(pid)
+		for i := base; i < need; i++ {
+			buf[i] = trace.Ref{PID: p32, Op: op, Addr: a + memsys.Addr(off)}
+			off += grain
+		}
+		e.bufs[pid] = buf
+		e.buffered += int(chunk)
+		n -= chunk
+		if e.buffered >= e.flushAt {
+			e.flush()
+		}
 	}
 }
 
@@ -161,19 +210,32 @@ func (e *Emitter) flush() {
 	if e.buffered == 0 {
 		return
 	}
+	sink, batch, quantum := e.sink, e.batch, e.quantum
 	pos := make([]int, len(e.bufs))
 	remaining := e.buffered
 	for remaining > 0 {
 		for p := range e.bufs {
 			buf := e.bufs[p]
-			for q := 0; q < e.quantum && pos[p] < len(buf); q++ {
-				e.sink(buf[pos[p]])
-				pos[p]++
-				remaining--
-				e.emitted++
+			i := pos[p]
+			end := i + quantum
+			if end > len(buf) {
+				end = len(buf)
 			}
+			if i == end {
+				continue
+			}
+			if batch != nil {
+				batch(buf[i:end])
+			} else {
+				for j := i; j < end; j++ {
+					sink(buf[j])
+				}
+			}
+			remaining -= end - i
+			pos[p] = end
 		}
 	}
+	e.emitted += int64(e.buffered)
 	for p := range e.bufs {
 		e.bufs[p] = e.bufs[p][:0]
 	}
