@@ -4,7 +4,7 @@ BENCHTIME ?= 1x
 BENCH_OUT ?= BENCH_baseline.json
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build test race vet fuzz check resume-smoke telemetry bench bench-check cover ci
+.PHONY: build test race vet fuzz check resume-smoke serve-smoke telemetry bench bench-check cover ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ fuzz:
 	$(GO) test -run '^FuzzReader$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./trace
 	$(GO) test -run '^FuzzSnapshot$$' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/sim
 	$(GO) test -run '^FuzzEventTrace$$' -fuzz '^FuzzEventTrace$$' -fuzztime $(FUZZTIME) ./telemetry
+	$(GO) test -run '^FuzzJobRequest$$' -fuzz '^FuzzJobRequest$$' -fuzztime $(FUZZTIME) ./serve
 
 # The checked acceptance matrix: every workload x every principal
 # system organization under the coherence invariant checker.
@@ -38,6 +39,17 @@ check:
 # its journal, and mid-cell checkpoint recovery.
 resume-smoke:
 	$(GO) test -run 'TestSnapshotRoundTrip|TestInterruptedSweepResumes|TestCheckpointResumesMidCell' . ./internal/sim
+
+# The serving acceptance drills (docs/serving.md): the scheduler soak
+# under the race detector (64 submitters vs a 4-worker pool, bounded
+# queue, zero leaked goroutines), the backpressure and forced-drain
+# contracts, and the built-binary smoke: start dsmserved, submit the
+# Figure-9 base/FFT cell over HTTP, poll to completion, diff the served
+# stats against testdata/golden, SIGTERM, clean exit. The full
+# served-vs-golden corpus cross-check runs in `test` (TestServedGoldenStats).
+serve-smoke:
+	$(GO) test -race -run 'TestServeSoak|TestBackpressure|TestDrainRejectsAndForcedDrainCancels' -count=1 ./serve
+	$(GO) test -run 'TestServeSmokeBinary' -count=1 ./cmd/dsmserved
 
 # The telemetry gate: the sampler/trace/metrics package and the
 # concurrency-sensitive Progress and end-to-end telemetry tests always
@@ -81,4 +93,4 @@ cover:
 	floor ./internal/core 66
 
 # Tier-1+ gate (ROADMAP.md): everything CI runs.
-ci: vet build test race fuzz resume-smoke telemetry cover
+ci: vet build test race fuzz resume-smoke serve-smoke telemetry cover

@@ -1,0 +1,246 @@
+// Command dsmserved serves the dsmnc simulator as a service: a small
+// JSON API over the serve package's bounded job scheduler. Submissions
+// beyond the queue bound are shed with 429 and a Retry-After instead of
+// buffered without bound, identical submissions coalesce onto one job,
+// and SIGTERM drains the pool gracefully before exiting. A served cell
+// runs through exactly the machinery a local run uses, so its stats are
+// byte-identical to dsmsim's (docs/serving.md).
+//
+// Usage:
+//
+//	dsmserved [-addr :8080] [-workers N] [-queue 256] [-timeout 0]
+//	          [-max-timeout 0] [-keep 1024] [-drain 30s] [-q]
+//
+// API:
+//
+//	POST   /v1/jobs             submit a job request  -> 202 (or 200 when coalesced)
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result terminal status + full result
+//	GET    /v1/jobs/{id}/stream status transitions as server-sent events
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /metrics             Prometheus metrics (dsmnc_serve_*)
+//	GET    /healthz             200 while accepting, 503 once draining
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dsmnc"
+	"dsmnc/serve"
+	"dsmnc/telemetry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (:0 picks a free port; the chosen address is printed)")
+		workers    = flag.Int("workers", 0, "worker pool size; 0 means NumCPU")
+		queue      = flag.Int("queue", 256, "queue bound; submissions beyond it get 429")
+		timeout    = flag.Duration("timeout", 0, "default per-job deadline for requests without timeout_ms; 0 means none")
+		maxTimeout = flag.Duration("max-timeout", 0, "cap on request-supplied deadlines; 0 means uncapped")
+		keep       = flag.Int("keep", 1024, "finished jobs (and results) to retain before evicting the oldest")
+		drainGrace = flag.Duration("drain", 30*time.Second, "how long a SIGTERM drain waits before cancelling live jobs")
+		quiet      = flag.Bool("q", false, "suppress the startup and shutdown log lines")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("dsmserved: ")
+
+	var progress dsmnc.Progress
+	sched, err := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		KeepResults:    *keep,
+		Progress:       &progress,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	if err := sched.RegisterMetrics(reg); err != nil {
+		log.Fatal(err)
+	}
+	if err := progress.RegisterMetricsLabeled(reg, "serve"); err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           newHandler(sched, reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if !*quiet {
+		log.Printf("listening on %s", ln.Addr())
+	}
+	// The port-discovery line for scripts (make serve-smoke): always on
+	// stdout, regardless of -q.
+	fmt.Printf("dsmserved listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	if !*quiet {
+		log.Printf("draining (up to %s)", *drainGrace)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	forced := sched.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = srv.Shutdown(shutCtx)
+	if forced != nil {
+		log.Fatalf("drain deadline hit; live jobs were canceled: %v", forced)
+	}
+	if !*quiet {
+		log.Print("drained cleanly")
+	}
+}
+
+// newHandler binds the scheduler and metrics registry to the HTTP API.
+// It is transport glue only — every decision (validation, backpressure,
+// idempotency, deadlines) lives in the serve package, which is what the
+// loopback acceptance tests drive through this handler.
+func newHandler(s *serve.Scheduler, reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, serve.MaxRequestBytes))
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: %v", serve.ErrBadRequest, err))
+			return
+		}
+		req, err := serve.ParseRequest(body)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		st, err := s.Submit(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		// A brand-new job is accepted for later; a coalesced submission
+		// reports the existing job directly.
+		code := http.StatusAccepted
+		if st.State != serve.StateQueued {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, st, err := s.Result(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if !st.State.Terminal() {
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error": "job not finished", "status": st,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": st, "result": res})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		ch, err := s.Watch(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			writeError(w, errors.New("streaming unsupported"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+		for {
+			select {
+			case st, ok := <-ch:
+				if !ok {
+					return // terminal status delivered
+				}
+				data, err := json.Marshal(st)
+				if err != nil {
+					return
+				}
+				fmt.Fprintf(w, "data: %s\n\n", data)
+				fl.Flush()
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeError maps the serve package's sentinel families onto HTTP: bad
+// requests 400, backpressure 429 + Retry-After, unknown jobs 404.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, serve.ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, serve.ErrBusy):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, serve.ErrUnknownJob):
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The header is gone; nothing useful left to do.
+		_ = err
+	}
+}

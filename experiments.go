@@ -101,27 +101,23 @@ type runJob struct {
 // logic can treat the cell as transiently failed.
 var ErrCellPanic = errors.New("dsmnc: cell panicked")
 
-// safeRun executes one cell attempt with the job's timeout, converting
-// panics from deep inside the simulator into ErrCellPanic so one
-// poisoned cell cannot take down a whole sweep.
+// safeRun executes one cell attempt through the exported RunCell engine
+// (panic recovery, per-cell timeout), after consulting the test-only
+// fault gate, so one poisoned cell cannot take down a whole sweep.
 func safeRun(exp string, j runJob) (res Result, err error) {
+	// RunCell recovers its own panics; this recover additionally covers
+	// the fault gate, which deliberately panics in the injection tests.
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", ErrCellPanic, r)
 		}
 	}()
-	ctx := context.Background()
-	if j.opt.CellTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, j.opt.CellTimeout)
-		defer cancel()
-	}
 	if gate := j.opt.cellGate; gate != nil {
 		if err := gate(exp, j.bench.Name, j.sys.Name); err != nil {
 			return Result{}, err
 		}
 	}
-	return runCell(ctx, exp, j)
+	return RunCell(context.Background(), exp, j.bench, j.sys, j.opt)
 }
 
 // transientFailure reports whether a cell failure is worth retrying:

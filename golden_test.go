@@ -13,7 +13,6 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
-	"reflect"
 	"testing"
 
 	"dsmnc/stats"
@@ -57,16 +56,11 @@ func TestGoldenStats(t *testing.T) {
 
 // diffCounters reports every stats.Counters field that differs, by
 // name, so a drift failure points straight at the affected event class.
+// The comparison itself is stats.DiffCounters, shared with the serving
+// determinism suite.
 func diffCounters(t *testing.T, got, want stats.Counters) {
 	t.Helper()
-	gv := reflect.ValueOf(got)
-	wv := reflect.ValueOf(want)
-	typ := gv.Type()
-	for i := 0; i < typ.NumField(); i++ {
-		g := gv.Field(i).Interface()
-		w := wv.Field(i).Interface()
-		if !reflect.DeepEqual(g, w) {
-			t.Errorf("Counters.%s drifted: got %v, want %v", typ.Field(i).Name, g, w)
-		}
+	for _, d := range stats.DiffCounters(got, want) {
+		t.Error(d.String())
 	}
 }

@@ -177,3 +177,10 @@ func (o Options) fingerprint() string {
 		o.L1Bytes, o.L1Ways, o.Scale, o.Quantum, o.Latencies, o.Check)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
+
+// Fingerprint returns the options fingerprint journaled sweeps store
+// with every cell record: a stable token over the result-determining
+// parameters. The serving layer keys its idempotent job IDs and result
+// cache on it, so two submissions only coalesce when they would compute
+// the same thing.
+func (o Options) Fingerprint() string { return o.fingerprint() }

@@ -87,23 +87,45 @@ func (p *Progress) ETA() (time.Duration, bool) {
 // RegisterMetrics exposes the progress counters on a telemetry registry
 // as the dsmnc_* series scraped from the -metrics endpoint: references
 // applied, cell completion and failure counts, retry volume, journal
-// writes and journal lag.
+// writes and journal lag. It registers unlabeled series, so it fits a
+// process with one sweep; a process tracking several concurrent jobs
+// (the serving layer) must scope each Progress with
+// RegisterMetricsLabeled or the registrations collide.
 func (p *Progress) RegisterMetrics(r *telemetry.Registry) error {
+	return p.RegisterMetricsLabeled(r, "")
+}
+
+// RegisterMetricsLabeled is RegisterMetrics with every series carrying
+// a job label, giving each Progress its own metric scope: two
+// concurrent jobs registered under different labels coexist on one
+// registry instead of fighting over (or failing to register) the same
+// gauges. An empty job registers unlabeled series.
+func (p *Progress) RegisterMetricsLabeled(r *telemetry.Registry, job string) error {
 	p.markStart()
+	var labels telemetry.Labels
+	if job != "" {
+		labels = telemetry.Labels{"job": job}
+	}
+	counter := func(name, help string, fn func() float64) error {
+		return r.CounterWith(name, help, labels, fn)
+	}
+	gauge := func(name, help string, fn func() float64) error {
+		return r.GaugeWith(name, help, labels, fn)
+	}
 	regs := []error{
-		r.Counter("dsmnc_refs_applied_total", "References applied across all in-flight cells.",
+		counter("dsmnc_refs_applied_total", "References applied across all in-flight cells.",
 			func() float64 { return float64(p.Refs.Load()) }),
-		r.Gauge("dsmnc_cells_done", "Sweep cells completed (including journal-restored ones).",
+		gauge("dsmnc_cells_done", "Sweep cells completed (including journal-restored ones).",
 			func() float64 { return float64(p.CellsDone.Load()) }),
-		r.Gauge("dsmnc_cells_total", "Sweep cells scheduled.",
+		gauge("dsmnc_cells_total", "Sweep cells scheduled.",
 			func() float64 { return float64(p.CellsTotal.Load()) }),
-		r.Counter("dsmnc_cells_failed_total", "Cells whose final outcome was an error.",
+		counter("dsmnc_cells_failed_total", "Cells whose final outcome was an error.",
 			func() float64 { return float64(p.CellsFailed.Load()) }),
-		r.Counter("dsmnc_cell_retries_total", "Extra attempts spent on transiently-failing cells.",
+		counter("dsmnc_cell_retries_total", "Extra attempts spent on transiently-failing cells.",
 			func() float64 { return float64(p.CellsRetried.Load()) }),
-		r.Counter("dsmnc_journal_writes_total", "Durable journal records appended.",
+		counter("dsmnc_journal_writes_total", "Durable journal records appended.",
 			func() float64 { return float64(p.JournalWrites.Load()) }),
-		r.Gauge("dsmnc_journal_lag_seconds", "Seconds since the last journal append (0 before the first).",
+		gauge("dsmnc_journal_lag_seconds", "Seconds since the last journal append (0 before the first).",
 			func() float64 {
 				t, ok := p.LastJournalWrite()
 				if !ok {
@@ -111,7 +133,7 @@ func (p *Progress) RegisterMetrics(r *telemetry.Registry) error {
 				}
 				return time.Since(t).Seconds()
 			}),
-		r.Gauge("dsmnc_refs_per_second", "Average reference throughput since observation started.",
+		gauge("dsmnc_refs_per_second", "Average reference throughput since observation started.",
 			func() float64 {
 				el := p.elapsed().Seconds()
 				if el <= 0 {

@@ -152,6 +152,51 @@ func TestProgressMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestProgressPerJobMetricScopes is the regression test for the
+// one-sweep-per-process assumption: two concurrent jobs must be able to
+// expose their own Progress on one registry under distinct job labels,
+// with independent values, instead of the second registration failing
+// (or both racing on the same gauges).
+func TestProgressPerJobMetricScopes(t *testing.T) {
+	var a, b Progress
+	reg := telemetry.NewRegistry()
+	if err := a.RegisterMetricsLabeled(reg, "cell-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RegisterMetricsLabeled(reg, "cell-b"); err != nil {
+		t.Fatalf("second job's registration collided: %v", err)
+	}
+	// The old single-scope path still works alongside labeled scopes.
+	var unscoped Progress
+	if err := unscoped.RegisterMetrics(reg); err != nil {
+		t.Fatalf("unlabeled registration alongside labeled ones: %v", err)
+	}
+	// Re-registering the same scope is still a loud failure, not a
+	// silent overwrite.
+	var dup Progress
+	if err := dup.RegisterMetricsLabeled(reg, "cell-a"); err == nil {
+		t.Fatal("duplicate job scope registered without error")
+	}
+
+	a.Refs.Add(11)
+	b.Refs.Add(22)
+	unscoped.Refs.Add(33)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`dsmnc_refs_applied_total{job="cell-a"} 11`,
+		`dsmnc_refs_applied_total{job="cell-b"} 22`,
+		"\ndsmnc_refs_applied_total 33",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
 type syncWriter struct {
 	w  *bytes.Buffer
 	mu *sync.Mutex

@@ -18,6 +18,7 @@ import (
 	"dsmnc/internal/sim"
 	"dsmnc/internal/snapshot"
 	"dsmnc/trace"
+	"dsmnc/workload"
 )
 
 // ErrBadSnapshot re-exports the snapshot decoder's sentinel: any
@@ -43,6 +44,28 @@ func RestoreFor(r io.Reader, sharedBytes int64, s System, opt Options) (*sim.Sys
 		return nil, fmt.Errorf("%w: %w", ErrConfig, err)
 	}
 	return machine, nil
+}
+
+// RunCell is the exported cell engine: it executes one (benchmark,
+// system) simulation with every protection a sweep worker gets —
+// panics recovered into ErrCellPanic, the Options.CellTimeout bound,
+// mid-cell checkpoint/resume, and progress accounting — without
+// needing a sweep around it. id scopes mid-cell checkpoints the way an
+// experiment id does (pass "" when CheckpointEvery is off). The serving
+// layer runs every job through it, so a served cell computes exactly
+// what a direct Run of the same options computes.
+func RunCell(ctx context.Context, id string, b *workload.Bench, s System, opt Options) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrCellPanic, r)
+		}
+	}()
+	if opt.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.CellTimeout)
+		defer cancel()
+	}
+	return runCell(ctx, id, runJob{bench: b, sys: s, opt: opt})
 }
 
 // runCell executes one (benchmark, system) simulation: restore from a

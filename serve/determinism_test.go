@@ -1,0 +1,95 @@
+package serve
+
+// The serving determinism gate: every cell of the committed golden
+// corpus, submitted through the scheduler as a job request, must equal
+// the golden stats field for field (the same stats.DiffCounters the
+// library's TestGoldenStats uses). A served simulation is the
+// simulation — the scheduler adds queueing, not noise.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsmnc/stats"
+	"dsmnc/workload"
+)
+
+// goldenCell mirrors the committed golden file layout (golden_test.go).
+type goldenCell struct {
+	Refs  int64          `json:"refs"`
+	Stats stats.Counters `json:"stats"`
+}
+
+// goldenRequests maps the golden corpus's five systems to job requests;
+// the request defaults (16 KB NC, vxp threshold 32, scale small) are
+// exactly the corpus parameters, so a sparse request must land on the
+// committed cell.
+func goldenRequests(bench string) []Request {
+	return []Request{
+		{Bench: bench, System: "base"},
+		{Bench: bench, System: "nc"},
+		{Bench: bench, System: "vb"},
+		{Bench: bench, System: "vp"},
+		{Bench: bench, System: "vxp", PCFrac: 5},
+	}
+}
+
+// goldenFile returns the committed golden path for a served job, using
+// the same file-safe renaming of the system name as the corpus writer.
+func goldenFile(st Status) string {
+	r := strings.NewReplacer("(", "-", ")", "", "/", "-", " ", "")
+	return filepath.Join("..", "testdata", "golden", r.Replace(st.System)+"_"+st.Bench+".json")
+}
+
+func TestServedGoldenStats(t *testing.T) {
+	benches := workload.Names()
+	if testing.Short() {
+		benches = []string{"FFT", "Ocean"}
+	}
+	s := mustScheduler(t, Config{QueueDepth: 8 * len(benches)})
+	defer s.Drain(context.Background())
+
+	var ids []string
+	for _, bench := range benches {
+		for _, req := range goldenRequests(bench) {
+			st, err := s.Submit(req)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench, req.System, err)
+			}
+			ids = append(ids, st.ID)
+		}
+	}
+	for _, id := range ids {
+		st, err := s.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(st.System+"/"+st.Bench, func(t *testing.T) {
+			if st.State != StateDone {
+				t.Fatalf("job finished as %s: %s", st.State, st.Error)
+			}
+			res, _, err := s.Result(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(goldenFile(st))
+			if err != nil {
+				t.Fatalf("no committed golden for served cell: %v", err)
+			}
+			var want goldenCell
+			if err := json.Unmarshal(raw, &want); err != nil {
+				t.Fatalf("corrupt golden file: %v", err)
+			}
+			if res.Refs != want.Refs {
+				t.Errorf("Refs drifted: got %d, want %d", res.Refs, want.Refs)
+			}
+			for _, d := range stats.DiffCounters(res.Counters, want.Stats) {
+				t.Error(d.String())
+			}
+		})
+	}
+}

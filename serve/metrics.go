@@ -1,0 +1,48 @@
+package serve
+
+// The scheduler's observability surface: dsmnc_serve_* series on the
+// same telemetry registry the -metrics endpoint serves, next to the
+// runtime gauges and (labeled) Progress counters. Documented in
+// docs/observability.md.
+
+import (
+	"dsmnc/telemetry"
+)
+
+// RegisterMetrics exposes the scheduler on a telemetry registry: queue
+// depth and bound, in-flight and worker counts, submission/shed/outcome
+// totals, and the queue-wait and run-latency histograms.
+func (s *Scheduler) RegisterMetrics(r *telemetry.Registry) error {
+	regs := []error{
+		r.Gauge("dsmnc_serve_queue_depth", "Jobs waiting in the bounded FIFO queue.",
+			func() float64 { return float64(len(s.queue)) }),
+		r.Gauge("dsmnc_serve_queue_capacity", "Bound of the FIFO queue; submissions beyond it shed.",
+			func() float64 { return float64(s.cfg.QueueDepth) }),
+		r.Gauge("dsmnc_serve_inflight", "Jobs currently executing on the worker pool.",
+			func() float64 { return float64(s.inflight.Load()) }),
+		r.Gauge("dsmnc_serve_workers", "Size of the worker pool.",
+			func() float64 { return float64(s.cfg.Workers) }),
+		r.Counter("dsmnc_serve_submitted_total", "Jobs accepted into the queue.",
+			func() float64 { return float64(s.submitted.Load()) }),
+		r.Counter("dsmnc_serve_deduped_total", "Submissions coalesced onto an existing job by the idempotent ID.",
+			func() float64 { return float64(s.deduped.Load()) }),
+		r.Counter("dsmnc_serve_shed_total", "Submissions shed with ErrBusy (full queue or draining).",
+			func() float64 { return float64(s.shed.Load()) }),
+		r.Counter("dsmnc_serve_done_total", "Jobs that finished successfully.",
+			func() float64 { return float64(s.completed.Load()) }),
+		r.Counter("dsmnc_serve_failed_total", "Jobs whose final outcome was an error.",
+			func() float64 { return float64(s.failed.Load()) }),
+		r.Counter("dsmnc_serve_canceled_total", "Jobs canceled before finishing.",
+			func() float64 { return float64(s.canceled.Load()) }),
+		r.RegisterHistogram("dsmnc_serve_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", nil, s.waitHist),
+		r.RegisterHistogram("dsmnc_serve_run_seconds",
+			"Run time of jobs on the worker pool.", nil, s.runHist),
+	}
+	for _, err := range regs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

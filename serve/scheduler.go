@@ -1,0 +1,503 @@
+package serve
+
+// The job scheduler: a bounded FIFO queue feeding a fixed worker pool.
+// Submissions are deduplicated by an idempotent job ID (the request
+// fingerprint crossed with the options fingerprint the sweep journal
+// uses), results are cached in a bounded map, full queues shed with
+// ErrBusy instead of growing, and Drain stops intake and settles every
+// job — forcibly cancelling what remains once its context expires — so
+// a SIGTERM'd server exits with zero leaked goroutines.
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsmnc"
+	"dsmnc/telemetry"
+	"dsmnc/workload"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. A job moves queued -> running -> {done, failed}, or to
+// canceled from either live state.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Status is the observable account of one job.
+type Status struct {
+	ID     string `json:"id"`
+	Bench  string `json:"bench"`
+	System string `json:"system"`
+	State  State  `json:"state"`
+	// Error carries the failure (or cancellation) reason of a
+	// terminal, unsuccessful job.
+	Error    string    `json:"error,omitempty"`
+	Queued   time.Time `json:"queued"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// Config sizes a Scheduler. The zero value is usable: NumCPU workers, a
+// 256-deep queue, no default deadline, 1024 cached results, and the
+// paper's default machine options.
+type Config struct {
+	// Workers is the pool size; 0 means runtime.NumCPU().
+	Workers int
+	// QueueDepth bounds the FIFO queue; submissions beyond it shed
+	// with ErrBusy. 0 means 256.
+	QueueDepth int
+	// DefaultTimeout bounds jobs that do not carry their own
+	// timeout_ms; 0 means unbounded.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied timeouts; 0 means uncapped.
+	MaxTimeout time.Duration
+	// KeepResults bounds the terminal-job cache: beyond it the oldest
+	// finished jobs (and their results) are evicted, and a resubmission
+	// of an evicted ID re-runs. 0 means 1024.
+	KeepResults int
+	// Options are the base machine options every job starts from
+	// (geometry, processor caches, latencies); the request sets Scale
+	// and Check on top. The zero value means dsmnc.DefaultOptions().
+	// Single-run instruments (Sampler, EventTrace) and sweep journals
+	// are rejected — jobs run concurrently.
+	Options dsmnc.Options
+	// Progress, when set, aggregates reference and cell counts across
+	// all served jobs (register it on a telemetry registry under a job
+	// label; see Progress.RegisterMetricsLabeled).
+	Progress *dsmnc.Progress
+}
+
+// job is the scheduler's record of one submission.
+type job struct {
+	id    string
+	req   Request
+	bench *workload.Bench
+	sys   dsmnc.System
+	opt   dsmnc.Options
+
+	// Mutable state, guarded by the scheduler's mu.
+	state    State
+	err      error
+	res      dsmnc.Result
+	queued   time.Time
+	started  time.Time
+	finished time.Time
+	subs     []chan Status
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed on reaching a terminal state
+}
+
+// statusLocked snapshots the job's status; callers hold the scheduler's
+// mu.
+func (j *job) statusLocked() Status {
+	st := Status{
+		ID:     j.id,
+		Bench:  j.req.Bench,
+		System: j.sys.Name,
+		State:  j.state,
+		Queued: j.queued, Started: j.started, Finished: j.finished,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Scheduler runs submitted jobs on a bounded worker pool. Create one
+// with New; all methods are safe for concurrent use.
+type Scheduler struct {
+	cfg   Config
+	queue chan *job
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	doneOrder []string // terminal job IDs, oldest first, for eviction
+	draining  bool
+
+	wg sync.WaitGroup // worker pool
+
+	inflight  atomic.Int64
+	submitted atomic.Int64
+	deduped   atomic.Int64
+	shed      atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+
+	runHist  *telemetry.Histogram // run latency, seconds
+	waitHist *telemetry.Histogram // queue wait, seconds
+
+	// runFn executes one job; tests swap it to drive the scheduler
+	// with synthetic work.
+	runFn func(ctx context.Context, j *job) (dsmnc.Result, error)
+}
+
+// New starts a scheduler: the worker pool is live and accepting
+// submissions until Drain.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.KeepResults <= 0 {
+		cfg.KeepResults = 1024
+	}
+	if cfg.Options.Geometry.Clusters == 0 {
+		cfg.Options = dsmnc.DefaultOptions()
+	}
+	if cfg.Options.Sampler != nil || cfg.Options.EventTrace != nil {
+		return nil, fmt.Errorf("%w: Sampler/EventTrace are single-run instruments; served jobs run concurrently",
+			dsmnc.ErrConfig)
+	}
+	if cfg.Options.Journal != nil {
+		return nil, fmt.Errorf("%w: the sweep journal is not a serving result store", dsmnc.ErrConfig)
+	}
+	cfg.Options.Progress = cfg.Progress
+
+	runHist, err := telemetry.NewHistogram(telemetry.DefaultLatencyBuckets()...)
+	if err != nil {
+		return nil, err
+	}
+	waitHist, err := telemetry.NewHistogram(telemetry.DefaultLatencyBuckets()...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     map[string]*job{},
+		runHist:  runHist,
+		waitHist: waitHist,
+	}
+	s.runFn = func(ctx context.Context, j *job) (dsmnc.Result, error) {
+		return dsmnc.RunCell(ctx, "serve/"+j.id, j.bench, j.sys, j.opt)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// jobID derives the idempotent job identity: the canonical request
+// fingerprint crossed with the options fingerprint the sweep journal
+// stores with every cell, so identical work coalesces and different
+// work never does.
+func jobID(req Request, opt dsmnc.Options) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s", req.Fingerprint(), opt.Fingerprint())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Submit validates and enqueues one job. Submissions are idempotent: a
+// request whose job is already queued, running or finished returns that
+// job's current status without enqueueing anything. A full queue sheds
+// with ErrBusy; a draining scheduler with ErrDraining (which wraps
+// ErrBusy). Malformed requests fail with ErrBadRequest.
+func (s *Scheduler) Submit(req Request) (Status, error) {
+	req = req.normalized()
+	if err := req.validate(); err != nil {
+		return Status{}, err
+	}
+	bench, sys, opt, err := req.compile(s.cfg.Options)
+	if err != nil {
+		return Status{}, err
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	opt.CellTimeout = timeout
+	id := jobID(req, opt)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.jobs[id]; ok {
+		s.deduped.Add(1)
+		return existing.statusLocked(), nil
+	}
+	if s.draining {
+		s.shed.Add(1)
+		return Status{}, ErrDraining
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id: id, req: req, bench: bench, sys: sys, opt: opt,
+		state: StateQueued, queued: time.Now(),
+		ctx: ctx, cancel: cancel,
+		done: make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.shed.Add(1)
+		return Status{}, ErrBusy
+	}
+	s.jobs[id] = j
+	s.submitted.Add(1)
+	if p := s.cfg.Progress; p != nil {
+		p.CellsTotal.Add(1)
+	}
+	return j.statusLocked(), nil
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one dequeued job through the cell engine and settles its
+// terminal state.
+func (s *Scheduler) run(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while waiting; already settled.
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.notifyLocked(j)
+	s.mu.Unlock()
+	s.inflight.Add(1)
+	s.waitHist.Observe(j.started.Sub(j.queued).Seconds())
+
+	res, err := s.runFn(j.ctx, j)
+
+	s.inflight.Add(-1)
+	s.mu.Lock()
+	j.finished = time.Now()
+	s.runHist.Observe(j.finished.Sub(j.started).Seconds())
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.res = res
+		s.completed.Add(1)
+	case context.Cause(j.ctx) == context.Canceled:
+		// The job's own context was canceled (Cancel or a forced
+		// drain), as opposed to a deadline or a simulation failure.
+		j.state = StateCanceled
+		j.err = err
+		s.canceled.Add(1)
+	default:
+		j.state = StateFailed
+		j.err = err
+		s.failed.Add(1)
+	}
+	s.settleLocked(j)
+	s.mu.Unlock()
+}
+
+// settleLocked finalizes a job that just reached a terminal state:
+// progress accounting, subscriber notification, done signal, and
+// eviction of the oldest finished jobs beyond the KeepResults bound.
+// Callers hold mu and have set state/finished already.
+func (s *Scheduler) settleLocked(j *job) {
+	if p := s.cfg.Progress; p != nil {
+		p.CellsDone.Add(1)
+		if j.state == StateFailed {
+			p.CellsFailed.Add(1)
+		}
+	}
+	j.cancel() // release the context's resources
+	s.notifyLocked(j)
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.KeepResults {
+		oldest := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		delete(s.jobs, oldest)
+	}
+}
+
+// notifyLocked pushes the job's current status to its watchers; the
+// channel capacity covers every possible transition, so the send never
+// blocks.
+func (s *Scheduler) notifyLocked(j *job) {
+	st := j.statusLocked()
+	for _, ch := range j.subs {
+		select {
+		case ch <- st:
+		default: // watcher fell behind; it will still see the close
+		}
+	}
+}
+
+// Status returns a job's current status.
+func (s *Scheduler) Status(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j.statusLocked(), nil
+}
+
+// Result returns a job's result. The Result value is only meaningful
+// when the returned status is StateDone; a live or unsuccessful job
+// returns its status with a zero Result.
+func (s *Scheduler) Result(id string) (dsmnc.Result, Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return dsmnc.Result{}, Status{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j.res, j.statusLocked(), nil
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx ends) and
+// returns that final status.
+func (s *Scheduler) Wait(ctx context.Context, id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	select {
+	case <-j.done:
+		return s.Status(id)
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// Watch returns a channel of the job's status updates: its current
+// status immediately, then one per transition; the channel closes after
+// the terminal status is delivered. The HTTP stream endpoint is a thin
+// rendering of it.
+func (s *Scheduler) Watch(id string) (<-chan Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	// Capacity covers the initial status plus every remaining
+	// transition, so notifyLocked never drops for a draining reader.
+	ch := make(chan Status, 4)
+	ch <- j.statusLocked()
+	if j.state.Terminal() {
+		close(ch)
+		return ch, nil
+	}
+	j.subs = append(j.subs, ch)
+	return ch, nil
+}
+
+// Cancel stops a job: a queued job settles immediately as canceled, a
+// running one has its context canceled and settles when the engine
+// notices (it polls off the hot path). Cancelling a terminal job is a
+// no-op.
+func (s *Scheduler) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		s.canceled.Add(1)
+		s.settleLocked(j)
+	case StateRunning:
+		j.cancel()
+	}
+	return j.statusLocked(), nil
+}
+
+// Drain shuts the scheduler down gracefully: intake stops (submissions
+// shed with ErrDraining), queued and running jobs are given until ctx
+// ends to finish, then the stragglers are canceled and awaited. When
+// Drain returns, every job is settled and every worker goroutine has
+// exited; the error is ctx's if the deadline forced cancellations.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	wasDraining := s.draining
+	if !wasDraining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	settled := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(settled)
+	}()
+	select {
+	case <-settled:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline: cancel everything still live. Queued jobs settle here;
+	// running ones settle in their worker as the engine observes the
+	// canceled context.
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateQueued:
+			j.state = StateCanceled
+			j.err = context.Canceled
+			j.finished = time.Now()
+			s.canceled.Add(1)
+			s.settleLocked(j)
+		case StateRunning:
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	<-settled
+	return ctx.Err()
+}
+
+// Draining reports whether the scheduler has stopped accepting work.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth returns the current number of waiting jobs and the queue's
+// bound.
+func (s *Scheduler) QueueDepth() (depth, capacity int) {
+	return len(s.queue), s.cfg.QueueDepth
+}

@@ -1,0 +1,40 @@
+// Package serve is the transport-agnostic serving layer over the dsmnc
+// cell engine: a panic-free job scheduler with a bounded FIFO queue, a
+// worker pool, per-job deadlines, idempotent job IDs with a result
+// cache, cancellation and graceful drain. A served cell runs through
+// exactly the dsmnc.RunCell machinery a direct Run uses, so its result
+// is byte-identical to running the same options locally — the serving
+// acceptance suite proves it against the committed golden corpus.
+//
+// The package contains no transport: cmd/dsmserved binds it to HTTP
+// (net/http stays confined to telemetry/ and cmd/, AST-enforced), and
+// tests drive it loopback. Under load the scheduler sheds instead of
+// growing: once the queue is full, Submit fails fast with ErrBusy and
+// the caller is expected to retry later (HTTP maps this to 429 with a
+// Retry-After). See docs/serving.md.
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadRequest marks a job submission that could not be decoded or
+// validated: malformed JSON, an unknown benchmark or system, or
+// out-of-range parameters. It joins the library's sentinel-error family
+// (ErrConfig, ErrBadTrace, ErrBadJournal, ...): the decoder never
+// panics, whatever the bytes — FuzzJobRequest enforces it.
+var ErrBadRequest = errors.New("serve: invalid job request")
+
+// ErrBusy is the backpressure signal: the bounded queue is full and the
+// submission was shed rather than buffered without bound. Retry later.
+var ErrBusy = errors.New("serve: queue full")
+
+// ErrDraining marks a submission to a scheduler that is shutting down.
+// It wraps ErrBusy so a generic "shed" check catches both.
+var ErrDraining = fmt.Errorf("%w: scheduler draining", ErrBusy)
+
+// ErrUnknownJob marks a status, result, watch or cancel call for a job
+// ID the scheduler does not hold (never submitted, or evicted from the
+// bounded result cache).
+var ErrUnknownJob = errors.New("serve: unknown job")

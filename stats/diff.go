@@ -1,0 +1,40 @@
+package stats
+
+// Field-level counter comparison, shared by the golden-stats gate and
+// the serving determinism suite: a drift failure should point straight
+// at the affected event class, not just say "counters differ".
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// FieldDiff is one Counters field whose values differ.
+type FieldDiff struct {
+	Field string
+	Got   any
+	Want  any
+}
+
+// String formats the drift for test output.
+func (d FieldDiff) String() string {
+	return fmt.Sprintf("Counters.%s drifted: got %v, want %v", d.Field, d.Got, d.Want)
+}
+
+// DiffCounters compares two counter sets field by field and returns
+// every difference by name; an empty slice means the sets are
+// identical.
+func DiffCounters(got, want Counters) []FieldDiff {
+	var diffs []FieldDiff
+	gv := reflect.ValueOf(got)
+	wv := reflect.ValueOf(want)
+	typ := gv.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		g := gv.Field(i).Interface()
+		w := wv.Field(i).Interface()
+		if !reflect.DeepEqual(g, w) {
+			diffs = append(diffs, FieldDiff{Field: typ.Field(i).Name, Got: g, Want: w})
+		}
+	}
+	return diffs
+}

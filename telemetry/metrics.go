@@ -22,16 +22,25 @@ import (
 	"time"
 )
 
-// ErrMetric marks an invalid metric registration: a malformed name or a
-// duplicate.
+// ErrMetric marks an invalid metric registration: a malformed name or
+// label, or a duplicate series.
 var ErrMetric = errors.New("telemetry: invalid metric registration")
 
-// metric is one registered time series.
+// Labels is one series' label set. Two registrations of the same metric
+// name may coexist as long as their label sets differ — that is how
+// concurrent jobs each get their own dsmnc_* series on one registry.
+type Labels map[string]string
+
+// metric is one registered time series: a metric name, a rendered label
+// set (possibly empty), and either a value callback (counter/gauge) or
+// a histogram.
 type metric struct {
-	name string
-	help string
-	typ  string // "counter" or "gauge"
-	fn   func() float64
+	name   string
+	labels string // rendered `{k="v",...}`, or ""
+	help   string
+	typ    string // "counter", "gauge" or "histogram"
+	fn     func() float64
+	hist   *Histogram
 }
 
 // Registry holds callback-backed metrics and renders them in Prometheus
@@ -65,68 +74,262 @@ func validMetricName(name string) bool {
 	return true
 }
 
-// register adds one metric, rejecting bad names and duplicates.
-func (r *Registry) register(name, help, typ string, fn func() float64) error {
+// validLabelName enforces the Prometheus label charset
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelValueEscaper escapes label values per the text exposition format.
+var labelValueEscaper = strings.NewReplacer("\\", `\\`, "\n", `\n`, `"`, `\"`)
+
+// renderLabels turns a label set into its canonical `{k="v",...}` form,
+// keys sorted so the same set always renders (and deduplicates) the
+// same way.
+func renderLabels(ls Labels) (string, error) {
+	if len(ls) == 0 {
+		return "", nil
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		if !validLabelName(k) {
+			return "", fmt.Errorf("%w: bad label name %q", ErrMetric, k)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labelValueEscaper.Replace(ls[k]))
+	}
+	b.WriteByte('}')
+	return b.String(), nil
+}
+
+// register adds one series, rejecting bad names, bad labels, duplicate
+// (name, labels) pairs, and a name reused under a different type.
+func (r *Registry) register(name, help, typ string, labels Labels, fn func() float64, h *Histogram) error {
 	if !validMetricName(name) {
 		return fmt.Errorf("%w: bad metric name %q", ErrMetric, name)
 	}
-	if fn == nil {
+	if fn == nil && h == nil {
 		return fmt.Errorf("%w: metric %q has no value function", ErrMetric, name)
+	}
+	rendered, err := renderLabels(labels)
+	if err != nil {
+		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.metrics == nil {
 		r.metrics = map[string]metric{}
 	}
-	if _, dup := r.metrics[name]; dup {
-		return fmt.Errorf("%w: metric %q registered twice", ErrMetric, name)
+	key := name + rendered
+	if _, dup := r.metrics[key]; dup {
+		return fmt.Errorf("%w: series %s registered twice", ErrMetric, key)
 	}
-	r.metrics[name] = metric{name: name, help: help, typ: typ, fn: fn}
+	for _, m := range r.metrics {
+		if m.name == name && m.typ != typ {
+			return fmt.Errorf("%w: metric %q registered as both %s and %s", ErrMetric, name, m.typ, typ)
+		}
+	}
+	r.metrics[key] = metric{name: name, labels: rendered, help: help, typ: typ, fn: fn, hist: h}
 	return nil
 }
 
 // Counter registers a monotonically-increasing metric backed by fn.
 func (r *Registry) Counter(name, help string, fn func() float64) error {
-	return r.register(name, help, "counter", fn)
+	return r.register(name, help, "counter", nil, fn, nil)
 }
 
 // Gauge registers a point-in-time metric backed by fn.
 func (r *Registry) Gauge(name, help string, fn func() float64) error {
-	return r.register(name, help, "gauge", fn)
+	return r.register(name, help, "gauge", nil, fn, nil)
 }
 
-// WriteText renders every registered metric in Prometheus text
-// exposition format, sorted by name for stable scrapes.
+// CounterWith registers a labeled counter series; the same name may be
+// registered many times under distinct label sets.
+func (r *Registry) CounterWith(name, help string, labels Labels, fn func() float64) error {
+	return r.register(name, help, "counter", labels, fn, nil)
+}
+
+// GaugeWith registers a labeled gauge series.
+func (r *Registry) GaugeWith(name, help string, labels Labels, fn func() float64) error {
+	return r.register(name, help, "gauge", labels, fn, nil)
+}
+
+// RegisterHistogram exposes a Histogram as a Prometheus histogram
+// (name_bucket cumulative counts plus name_sum / name_count).
+func (r *Registry) RegisterHistogram(name, help string, labels Labels, h *Histogram) error {
+	if h == nil {
+		return fmt.Errorf("%w: metric %q has a nil histogram", ErrMetric, name)
+	}
+	return r.register(name, help, "histogram", labels, nil, h)
+}
+
+// WriteText renders every registered series in Prometheus text
+// exposition format, sorted by (name, labels) for stable scrapes. The
+// HELP and TYPE headers are emitted once per metric name, ahead of its
+// first series.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.metrics))
-	for name := range r.metrics {
-		names = append(names, name)
+	keys := make([]string, 0, len(r.metrics))
+	for key := range r.metrics {
+		keys = append(keys, key)
 	}
-	ms := make([]metric, 0, len(names))
-	sort.Strings(names)
-	for _, name := range names {
-		ms = append(ms, r.metrics[name])
+	ms := make([]metric, 0, len(keys))
+	sort.Strings(keys)
+	for _, key := range keys {
+		ms = append(ms, r.metrics[key])
 	}
 	r.mu.Unlock() // value callbacks run unlocked: they may take other locks
+	sort.SliceStable(ms, func(i, k int) bool {
+		if ms[i].name != ms[k].name {
+			return ms[i].name < ms[k].name
+		}
+		return ms[i].labels < ms[k].labels
+	})
 
+	lastName := ""
 	for _, m := range ms {
+		if m.name != lastName {
+			lastName = m.name
+			if m.help != "" {
+				help := strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(m.help)
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ); err != nil {
+				return err
+			}
+		}
+		if m.hist != nil {
+			if err := m.hist.writeText(w, m.name, m.labels); err != nil {
+				return err
+			}
+			continue
+		}
 		v := m.fn()
 		if math.IsNaN(v) {
 			v = 0 // NaN would poison sum/rate queries downstream
 		}
-		if m.help != "" {
-			help := strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(m.help)
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, help); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n",
-			m.name, m.typ, m.name, strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n",
+			m.name, m.labels, strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// DefaultLatencyBuckets are the upper bounds (seconds) of the stock
+// latency histogram: 1ms to 60s, roughly logarithmic.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe and
+// scraping. Register it on a Registry with RegisterHistogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf follows
+	counts []uint64  // len(bounds)+1, the last is the overflow bucket
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram returns a histogram with the given ascending upper
+// bounds; at least one finite bound is required.
+func NewHistogram(bounds ...float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("%w: histogram needs at least one bucket bound", ErrMetric)
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("%w: histogram bound %v is not finite", ErrMetric, b)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil, fmt.Errorf("%w: histogram bounds must ascend (%v after %v)", ErrMetric, b, bounds[i-1])
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}, nil
+}
+
+// Observe records one value. NaN observations are dropped — they would
+// poison the sum.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// writeText renders the histogram's bucket/sum/count series with the
+// le label merged into the series labels.
+func (h *Histogram) writeText(w io.Writer, name, labels string) error {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+
+	withLE := func(le string) string {
+		if labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return labels[:len(labels)-1] + `,le="` + le + `"}`
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(le), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels,
+		strconv.FormatFloat(sum, 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, count)
+	return err
 }
 
 // Handler serves the registry as a Prometheus scrape target.

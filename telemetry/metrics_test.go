@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -31,6 +32,107 @@ func TestRegistryWriteText(t *testing.T) {
 		"zz_total 7\n"
 	if got != want {
 		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	if err := r.CounterWith("jobs_total", "Jobs per queue.", Labels{"queue": "a"}, func() float64 { return 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CounterWith("jobs_total", "Jobs per queue.", Labels{"queue": "b"}, func() float64 { return 5 }); err != nil {
+		t.Fatalf("second label set on the same name: %v", err)
+	}
+	if err := r.GaugeWith("depth", "", Labels{"b": "2", "a": "1"}, func() float64 { return 9 }); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		`jobs_total{queue="a"} 3`,
+		`jobs_total{queue="b"} 5`,
+		`depth{a="1",b="2"} 9`, // keys sorted
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	// HELP/TYPE appear once per name, not once per series.
+	if n := strings.Count(got, "# TYPE jobs_total counter"); n != 1 {
+		t.Errorf("TYPE jobs_total emitted %d times, want 1:\n%s", n, got)
+	}
+}
+
+func TestRegistryLabeledRejections(t *testing.T) {
+	r := NewRegistry()
+	if err := r.CounterWith("x_total", "", Labels{"job": "a"}, func() float64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	cases := []error{
+		r.CounterWith("x_total", "", Labels{"job": "a"}, func() float64 { return 0 }),  // duplicate series
+		r.CounterWith("x_total", "", Labels{"1bad": "v"}, func() float64 { return 0 }), // bad label name
+		r.GaugeWith("x_total", "", Labels{"job": "b"}, func() float64 { return 0 }),    // type clash
+	}
+	for i, err := range cases {
+		if !errors.Is(err, ErrMetric) {
+			t.Errorf("case %d: err = %v, want ErrMetric", i, err)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	h, err := NewHistogram(0.1, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	r := NewRegistry()
+	if err := r.RegisterHistogram("lat_seconds", "Latency.", Labels{"job": "a"}, h); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{job="a",le="0.1"} 1`,
+		`lat_seconds_bucket{job="a",le="1"} 3`,
+		`lat_seconds_bucket{job="a",le="10"} 4`,
+		`lat_seconds_bucket{job="a",le="+Inf"} 5`,
+		`lat_seconds_sum{job="a"} 56.05`,
+		`lat_seconds_count{job="a"} 5`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for i, mk := range []func() (*Histogram, error){
+		func() (*Histogram, error) { return NewHistogram() },
+		func() (*Histogram, error) { return NewHistogram(1, 1) },
+		func() (*Histogram, error) { return NewHistogram(2, 1) },
+		func() (*Histogram, error) { return NewHistogram(math.NaN()) },
+		func() (*Histogram, error) { return NewHistogram(math.Inf(1)) },
+	} {
+		if _, err := mk(); !errors.Is(err, ErrMetric) {
+			t.Errorf("case %d: err = %v, want ErrMetric", i, err)
+		}
+	}
+	r := NewRegistry()
+	if err := r.RegisterHistogram("h", "", nil, nil); !errors.Is(err, ErrMetric) {
+		t.Errorf("nil histogram: err = %v, want ErrMetric", err)
 	}
 }
 
