@@ -4,7 +4,7 @@ BENCHTIME ?= 1x
 BENCH_OUT ?= BENCH_baseline.json
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build test race vet fuzz check resume-smoke serve-smoke telemetry bench bench-check cover ci
+.PHONY: build test race vet fuzz check resume-smoke serve-smoke crash-smoke telemetry bench bench-check cover ci
 
 build:
 	$(GO) build ./...
@@ -22,12 +22,14 @@ vet:
 	$(GO) vet ./...
 
 # Fuzz the hardened decoders for a bounded burst each: the binary
-# trace reader and the snapshot loader.
+# trace reader, the snapshot loader, the job-request decoder and the
+# job-ledger loader.
 fuzz:
 	$(GO) test -run '^FuzzReader$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./trace
 	$(GO) test -run '^FuzzSnapshot$$' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/sim
 	$(GO) test -run '^FuzzEventTrace$$' -fuzz '^FuzzEventTrace$$' -fuzztime $(FUZZTIME) ./telemetry
 	$(GO) test -run '^FuzzJobRequest$$' -fuzz '^FuzzJobRequest$$' -fuzztime $(FUZZTIME) ./serve
+	$(GO) test -run '^FuzzLedger$$' -fuzz '^FuzzLedger$$' -fuzztime $(FUZZTIME) ./serve
 
 # The checked acceptance matrix: every workload x every principal
 # system organization under the coherence invariant checker.
@@ -50,6 +52,14 @@ resume-smoke:
 serve-smoke:
 	$(GO) test -race -run 'TestServeSoak|TestBackpressure|TestDrainRejectsAndForcedDrainCancels' -count=1 ./serve
 	$(GO) test -run 'TestServeSmokeBinary' -count=1 ./cmd/dsmserved
+
+# The kill-torture gate (docs/robustness.md §5): build the real
+# dsmserved binary race-instrumented, SIGKILL it at every ledger crash
+# point, restart on the same ledger, and require zero lost acknowledged
+# jobs, zero duplicated completions, and recovered results
+# field-identical to testdata/golden.
+crash-smoke:
+	$(GO) test -run 'TestCrashTorture' -count=1 ./cmd/dsmserved
 
 # The telemetry gate: the sampler/trace/metrics package and the
 # concurrency-sensitive Progress and end-to-end telemetry tests always
@@ -90,7 +100,8 @@ cover:
 			{ echo "cover: $$1 coverage $$pct% is below the $$2% floor"; exit 1; }; \
 	}; \
 	floor ./internal/directory 45; \
-	floor ./internal/core 66
+	floor ./internal/core 66; \
+	floor ./serve 70
 
 # Tier-1+ gate (ROADMAP.md): everything CI runs.
-ci: vet build test race fuzz resume-smoke serve-smoke telemetry cover
+ci: vet build test race fuzz resume-smoke serve-smoke crash-smoke telemetry cover

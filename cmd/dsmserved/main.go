@@ -10,6 +10,15 @@
 //
 //	dsmserved [-addr :8080] [-workers N] [-queue 256] [-timeout 0]
 //	          [-max-timeout 0] [-keep 1024] [-drain 30s] [-q]
+//	          [-ledger path] [-ledger-compact N] [-watchdog 3]
+//
+// With -ledger the server is crash-safe: every acknowledged job is
+// durably journaled before the client sees its ID, and a restart
+// replays the ledger — finished jobs come back with their results,
+// unfinished jobs re-run under the same IDs. /healthz answers 503
+// ("recovering") until the replay backlog is re-enqueued. The
+// kill-torture suite (make crash-smoke) SIGKILLs this binary at every
+// ledger crash point and verifies nothing acknowledged is lost.
 //
 // API:
 //
@@ -19,7 +28,7 @@
 //	GET    /v1/jobs/{id}/stream status transitions as server-sent events
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /metrics             Prometheus metrics (dsmnc_serve_*)
-//	GET    /healthz             200 while accepting, 503 once draining
+//	GET    /healthz             200 when serving, 503 while recovering or draining
 package main
 
 import (
@@ -34,6 +43,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -51,11 +63,31 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 0, "cap on request-supplied deadlines; 0 means uncapped")
 		keep       = flag.Int("keep", 1024, "finished jobs (and results) to retain before evicting the oldest")
 		drainGrace = flag.Duration("drain", 30*time.Second, "how long a SIGTERM drain waits before cancelling live jobs")
+		ledgerPath = flag.String("ledger", "", "job ledger path; empty disables crash recovery")
+		compactN   = flag.Int("ledger-compact", 0, "terminal records between ledger compactions; 0 means 2x -keep")
+		watchdog   = flag.Float64("watchdog", 3, "force-fail a job once it runs this multiple of its deadline; 0 disables")
 		quiet      = flag.Bool("q", false, "suppress the startup and shutdown log lines")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("dsmserved: ")
+
+	// The kill-torture suite arms a crash point through the environment
+	// before anything touches the ledger.
+	if spec := os.Getenv("DSMNC_SERVE_CRASH"); spec != "" {
+		if err := armCrashHook(spec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var ledger *serve.Ledger
+	if *ledgerPath != "" {
+		l, err := serve.OpenLedger(*ledgerPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ledger = l
+	}
 
 	var progress dsmnc.Progress
 	sched, err := serve.New(serve.Config{
@@ -64,10 +96,18 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		KeepResults:    *keep,
+		Ledger:         ledger,
+		WatchdogFactor: *watchdog,
+		CompactEvery:   *compactN,
 		Progress:       &progress,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ledger != nil && !*quiet {
+		restored, replayed := sched.RecoveryStats()
+		log.Printf("ledger %s: restored %d finished jobs, re-enqueued %d unfinished",
+			*ledgerPath, restored, replayed)
 	}
 	reg := telemetry.NewRegistry()
 	if err := sched.RegisterMetrics(reg); err != nil {
@@ -128,17 +168,17 @@ func newHandler(s *serve.Scheduler, reg *telemetry.Registry) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, serve.MaxRequestBytes))
 		if err != nil {
-			writeError(w, fmt.Errorf("%w: %v", serve.ErrBadRequest, err))
+			writeError(w, s, fmt.Errorf("%w: %v", serve.ErrBadRequest, err))
 			return
 		}
 		req, err := serve.ParseRequest(body)
 		if err != nil {
-			writeError(w, err)
+			writeError(w, s, err)
 			return
 		}
 		st, err := s.Submit(req)
 		if err != nil {
-			writeError(w, err)
+			writeError(w, s, err)
 			return
 		}
 		// A brand-new job is accepted for later; a coalesced submission
@@ -152,7 +192,7 @@ func newHandler(s *serve.Scheduler, reg *telemetry.Registry) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Status(r.PathValue("id"))
 		if err != nil {
-			writeError(w, err)
+			writeError(w, s, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
@@ -160,7 +200,7 @@ func newHandler(s *serve.Scheduler, reg *telemetry.Registry) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		res, st, err := s.Result(r.PathValue("id"))
 		if err != nil {
-			writeError(w, err)
+			writeError(w, s, err)
 			return
 		}
 		if !st.State.Terminal() {
@@ -174,12 +214,12 @@ func newHandler(s *serve.Scheduler, reg *telemetry.Registry) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
 		ch, err := s.Watch(r.PathValue("id"))
 		if err != nil {
-			writeError(w, err)
+			writeError(w, s, err)
 			return
 		}
 		fl, ok := w.(http.Flusher)
 		if !ok {
-			writeError(w, errors.New("streaming unsupported"))
+			writeError(w, s, errors.New("streaming unsupported"))
 			return
 		}
 		w.Header().Set("Content-Type", "text/event-stream")
@@ -204,7 +244,7 @@ func newHandler(s *serve.Scheduler, reg *telemetry.Registry) http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Cancel(r.PathValue("id"))
 		if err != nil {
-			writeError(w, err)
+			writeError(w, s, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
@@ -215,25 +255,68 @@ func newHandler(s *serve.Scheduler, reg *telemetry.Registry) http.Handler {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
+		if !s.Recovered() {
+			// Ledger replay is still re-enqueueing; readiness waits so a
+			// load balancer does not route fresh traffic onto the backlog.
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
 }
 
 // writeError maps the serve package's sentinel families onto HTTP: bad
-// requests 400, backpressure 429 + Retry-After, unknown jobs 404.
-func writeError(w http.ResponseWriter, err error) {
+// requests 400, backpressure 429 + a Retry-After estimated from the
+// queue depth and observed run latency, unknown jobs 404.
+func writeError(w http.ResponseWriter, s *serve.Scheduler, err error) {
 	code := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, serve.ErrBadRequest):
 		code = http.StatusBadRequest
 	case errors.Is(err, serve.ErrBusy):
 		code = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter()/time.Second)))
 	case errors.Is(err, serve.ErrUnknownJob):
 		code = http.StatusNotFound
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// armCrashHook parses a "point:N" crash spec — die at the Nth hit of
+// the named ledger crash point — and arms the serve package's hook to
+// SIGKILL this process there. Torture-suite plumbing; refuses unknown
+// points so a typo cannot silently test nothing.
+func armCrashHook(spec string) error {
+	point, nStr, ok := strings.Cut(spec, ":")
+	n := int64(1)
+	if ok {
+		v, err := strconv.ParseInt(nStr, 10, 64)
+		if err != nil || v < 1 {
+			return fmt.Errorf("DSMNC_SERVE_CRASH=%q: occurrence must be a positive integer", spec)
+		}
+		n = v
+	}
+	known := false
+	for _, p := range serve.CrashPoints {
+		if p == point {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("DSMNC_SERVE_CRASH=%q: unknown crash point (have %s)",
+			spec, strings.Join(serve.CrashPoints, ", "))
+	}
+	var hits atomic.Int64
+	serve.SetCrashHook(func(p string) {
+		if p != point || hits.Add(1) != n {
+			return
+		}
+		_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // SIGKILL delivery is asynchronous; never run past the crash point
+	})
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

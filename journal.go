@@ -16,7 +16,10 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
+
+	"dsmnc/internal/fsdir"
 )
 
 // ErrBadJournal marks a sweep journal with a corrupt record body: a
@@ -65,6 +68,13 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 	}
 	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	// A freshly created journal is only durable once the directory entry
+	// naming it is synced too; without this, a machine crash after the
+	// first fsync'd append could lose the whole file.
+	if err := fsdir.Sync(filepath.Dir(path)); err != nil {
+		f.Close()
 		return nil, err
 	}
 	j := &Journal{f: f, path: path, done: map[journalKey]journalRecord{}}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"dsmnc/internal/fsdir"
 	"dsmnc/internal/sim"
 	"dsmnc/internal/snapshot"
 	"dsmnc/trace"
@@ -226,7 +227,11 @@ func (c *cellCheckpoint) save(m *sim.System) {
 	}
 	if err := os.Rename(tmp, c.path); err != nil {
 		os.Remove(tmp)
+		return
 	}
+	// The rename is only crash-durable once the directory entry is
+	// synced; best effort, like the rest of the checkpoint path.
+	_ = fsdir.Sync(filepath.Dir(c.path))
 }
 
 // clear removes the checkpoint once its cell has finished.

@@ -1,0 +1,417 @@
+package serve
+
+// The job ledger: a crash-safe write-ahead log of job state
+// transitions, the durable half of the scheduler. Every acknowledged
+// submission appends one fsync'd, CRC-checksummed JSON line *before*
+// the client sees the job ID, so a SIGKILL'd server loses nothing it
+// promised: on restart the scheduler replays the ledger, repopulates
+// the result cache from terminal records, and re-enqueues every
+// non-terminal job under its existing idempotent ID — a recovery-induced
+// re-run coalesces with client retries and, the engine being
+// deterministic, produces field-identical results by construction.
+//
+// The file format follows the sweep journal's idioms (journal.go): one
+// JSON object per line, an unterminated final line is the expected
+// residue of a crash mid-append and is truncated away, while terminated
+// garbage — including a line whose checksum does not match its body —
+// is real corruption and fails with ErrBadLedger. On top of the journal
+// the ledger adds a per-record CRC-32C and periodic atomic tmp+rename
+// compaction (bounded by the scheduler's KeepResults), with the parent
+// directory fsync'd after both create and rename so a machine crash
+// cannot lose a renamed file either. See docs/robustness.md §5.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dsmnc"
+	"dsmnc/internal/fsdir"
+)
+
+// Ledger record kinds: one per job state transition.
+const (
+	recAccepted = "accepted"
+	recStarted  = "started"
+	recTerminal = "terminal"
+)
+
+// ledgerRecord is the body of one ledger line: which job moved, where
+// to, and everything recovery needs to reconstruct it. Accepted records
+// carry the full canonical request plus the options fingerprint the job
+// ID was derived under; terminal records carry the outcome and, for
+// done jobs, the complete result.
+type ledgerRecord struct {
+	Kind        string        `json:"kind"`
+	ID          string        `json:"id"`
+	Time        time.Time     `json:"time"`
+	Request     *Request      `json:"request,omitempty"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	State       State         `json:"state,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	Result      *dsmnc.Result `json:"result,omitempty"`
+}
+
+// ledgerLine is the on-disk framing: the record's raw JSON bytes plus a
+// CRC-32C over exactly those bytes, so a torn or bit-flipped record is
+// detected before its content is believed.
+type ledgerLine struct {
+	Sum string          `json:"sum"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// ledgerCRC is the Castagnoli table shared by encode and verify.
+var ledgerCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// crashHook, when armed, is invoked at the named points around the
+// ledger's durability transitions. The kill-torture suite sets it (via
+// dsmserved's DSMNC_SERVE_CRASH environment variable) to SIGKILL the
+// process at one exact point; it is nil in production.
+var crashHook func(point string)
+
+// SetCrashHook arms fn as the ledger crash-point hook. Call it before
+// the scheduler starts; it is not safe to change concurrently with
+// appends. Passing nil disarms it.
+func SetCrashHook(fn func(point string)) { crashHook = fn }
+
+// CrashPoints names every point the kill-torture suite can arm: around
+// each append (before the write, between write and fsync, after fsync)
+// and around compaction's atomic rename.
+var CrashPoints = []string{
+	"ledger.append.pre-write",
+	"ledger.append.post-write",
+	"ledger.append.post-sync",
+	"ledger.compact.pre-rename",
+	"ledger.compact.post-rename",
+}
+
+func crashPoint(p string) {
+	if crashHook != nil {
+		crashHook(p)
+	}
+}
+
+// recoveredJob is one job's folded state after replaying the ledger:
+// terminal jobs carry their outcome and result, non-terminal jobs the
+// request to re-enqueue.
+type recoveredJob struct {
+	id          string
+	req         Request
+	fingerprint string
+	state       State // StateQueued when the job must re-run
+	errMsg      string
+	res         *dsmnc.Result
+	queued      time.Time
+	started     time.Time
+	finished    time.Time
+	seq         int // file order, for stable recovery ordering
+}
+
+// Ledger is the write-ahead log handle. It is safe for the concurrent
+// appends of the scheduler's worker pool.
+type Ledger struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	records int // lines currently in the file, for growth accounting
+
+	byID  map[string]*recoveredJob
+	order []string // first-accepted order of byID
+}
+
+// OpenLedger opens (creating if needed) the ledger at path and replays
+// it: an unterminated final line — the residue of a crash mid-append —
+// is truncated away, terminated garbage fails with ErrBadLedger. A
+// stale compaction temp file from a crash mid-compaction is removed.
+// The parent directory is fsync'd so a freshly created ledger survives
+// a machine crash.
+func OpenLedger(path string) (*Ledger, error) {
+	// A crash between writing the compaction temp file and renaming it
+	// leaves the temp behind; the ledger proper is still authoritative.
+	os.Remove(path + ledgerTmpSuffix)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := fsdir.Sync(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Ledger{f: f, path: path, byID: map[string]*recoveredJob{}}
+	if err := l.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// ledgerTmpSuffix names the compaction scratch file beside the ledger.
+const ledgerTmpSuffix = ".tmp"
+
+// Path returns the ledger's file path.
+func (l *Ledger) Path() string { return l.path }
+
+// Records returns how many intact records the ledger currently holds.
+func (l *Ledger) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Close releases the ledger file.
+func (l *Ledger) Close() error { return l.f.Close() }
+
+// load replays the file into the folded per-job state and positions the
+// file for appending, truncating away a torn final record.
+func (l *Ledger) load() error {
+	recs, good, err := parseLedger(bufio.NewReaderSize(l.f, 1<<16), l.path)
+	if err != nil {
+		return err
+	}
+	end, serr := l.f.Seek(0, io.SeekEnd)
+	if serr != nil {
+		return serr
+	}
+	if end > good {
+		// Unterminated or short-read tail: the previous run died inside
+		// an append. Drop the fragment so the next append starts on a
+		// record boundary; the job it described simply replays.
+		if terr := l.f.Truncate(good); terr != nil {
+			return terr
+		}
+	}
+	if _, serr := l.f.Seek(good, io.SeekStart); serr != nil {
+		return serr
+	}
+	for _, rec := range recs {
+		l.fold(rec)
+	}
+	l.records = len(recs)
+	return nil
+}
+
+// parseLedger decodes every intact record from r. It returns the
+// records, the byte offset just past the last terminated-and-valid line
+// (everything beyond it is a torn tail for the caller to truncate), and
+// an ErrBadLedger-wrapped error for a *terminated* line that is
+// malformed — bad JSON, a checksum mismatch, or an impossible record.
+// It never panics, whatever the bytes (FuzzLedger).
+func parseLedger(br *bufio.Reader, path string) (recs []ledgerRecord, good int64, err error) {
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil {
+			if rerr != io.EOF {
+				return nil, 0, rerr
+			}
+			// No trailing newline: torn tail, ends the replay cleanly.
+			return recs, good, nil
+		}
+		rec, perr := parseLedgerLine(line)
+		if perr != nil {
+			return nil, 0, fmt.Errorf("%w: %s: record at byte %d: %v", ErrBadLedger, path, good, perr)
+		}
+		recs = append(recs, rec)
+		good += int64(len(line))
+	}
+}
+
+// parseLedgerLine decodes and verifies one terminated ledger line.
+func parseLedgerLine(line []byte) (ledgerRecord, error) {
+	var ll ledgerLine
+	if err := json.Unmarshal(line, &ll); err != nil {
+		return ledgerRecord{}, err
+	}
+	if got := fmt.Sprintf("%08x", crc32.Checksum(ll.Rec, ledgerCRC)); got != ll.Sum {
+		return ledgerRecord{}, fmt.Errorf("checksum %s does not match body crc %s", ll.Sum, got)
+	}
+	var rec ledgerRecord
+	if err := json.Unmarshal(ll.Rec, &rec); err != nil {
+		return ledgerRecord{}, err
+	}
+	if rec.ID == "" {
+		return ledgerRecord{}, fmt.Errorf("record has no job id")
+	}
+	switch rec.Kind {
+	case recAccepted:
+		if rec.Request == nil || rec.Fingerprint == "" {
+			return ledgerRecord{}, fmt.Errorf("accepted record is missing its request or fingerprint")
+		}
+	case recStarted:
+	case recTerminal:
+		if !rec.State.Terminal() {
+			return ledgerRecord{}, fmt.Errorf("terminal record carries non-terminal state %q", rec.State)
+		}
+	default:
+		return ledgerRecord{}, fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+	return rec, nil
+}
+
+// fold merges one record into the per-job recovered state. An accepted
+// record (re)starts a job's history — that is how a resubmission of an
+// evicted ID reads back correctly; started and terminal records land on
+// the job they name, and orphans (whose accepted record was compacted
+// away mid-corruption) are dropped rather than invented.
+func (l *Ledger) fold(rec ledgerRecord) {
+	switch rec.Kind {
+	case recAccepted:
+		j, ok := l.byID[rec.ID]
+		if !ok {
+			j = &recoveredJob{id: rec.ID, seq: len(l.order)}
+			l.byID[rec.ID] = j
+			l.order = append(l.order, rec.ID)
+		}
+		*j = recoveredJob{
+			id: rec.ID, req: *rec.Request, fingerprint: rec.Fingerprint,
+			state: StateQueued, queued: rec.Time, seq: j.seq,
+		}
+	case recStarted:
+		if j, ok := l.byID[rec.ID]; ok && !j.state.Terminal() {
+			j.state = StateRunning
+			j.started = rec.Time
+		}
+	case recTerminal:
+		if j, ok := l.byID[rec.ID]; ok {
+			j.state = rec.State
+			j.errMsg = rec.Error
+			j.res = rec.Result
+			j.finished = rec.Time
+		}
+	}
+}
+
+// jobs returns the folded per-job state in first-accepted order. The
+// scheduler consumes it once, at recovery.
+func (l *Ledger) jobs() []*recoveredJob {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*recoveredJob, 0, len(l.order))
+	for _, id := range l.order {
+		out = append(out, l.byID[id])
+	}
+	return out
+}
+
+// encodeLedgerLine frames one record: body JSON, CRC over exactly those
+// bytes, one line.
+func encodeLedgerLine(rec ledgerRecord) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line, err := json.Marshal(ledgerLine{
+		Sum: fmt.Sprintf("%08x", crc32.Checksum(body, ledgerCRC)),
+		Rec: body,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// append durably writes one record: a single checksummed JSON line,
+// fsync'd before the caller proceeds. A crash between write and sync
+// leaves a tail the next open truncates.
+func (l *Ledger) append(rec ledgerRecord) error {
+	line, err := encodeLedgerLine(rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	crashPoint("ledger.append.pre-write")
+	if _, err := l.f.Write(line); err != nil {
+		return err
+	}
+	crashPoint("ledger.append.post-write")
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	crashPoint("ledger.append.post-sync")
+	l.records++
+	return nil
+}
+
+// accepted records a job's admission: the full canonical request and
+// the options fingerprint its idempotent ID was derived under. It must
+// return before the submission is acknowledged.
+func (l *Ledger) accepted(id string, req Request, fingerprint string, t time.Time) error {
+	return l.append(ledgerRecord{Kind: recAccepted, ID: id, Time: t, Request: &req, Fingerprint: fingerprint})
+}
+
+// started records a job moving onto a worker. Advisory: losing it costs
+// nothing — the job replays from accepted and re-runs to the same
+// result.
+func (l *Ledger) started(id string, t time.Time) error {
+	return l.append(ledgerRecord{Kind: recStarted, ID: id, Time: t})
+}
+
+// terminal records a job's outcome; done jobs carry their full result
+// so a restart repopulates the cache without re-running them.
+func (l *Ledger) terminal(id string, state State, errMsg string, res *dsmnc.Result, t time.Time) error {
+	return l.append(ledgerRecord{Kind: recTerminal, ID: id, Time: t, State: state, Error: errMsg, Result: res})
+}
+
+// compact atomically replaces the ledger with just the given records —
+// the scheduler passes one accepted (plus terminal) pair per live job,
+// so growth stays bounded by KeepResults. Write to a temp file, fsync,
+// rename over the ledger, fsync the directory; a crash at any point
+// leaves either the old or the new file intact, never a mix.
+func (l *Ledger) compact(recs []ledgerRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tmp := l.path + ledgerTmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	for _, rec := range recs {
+		line, err := encodeLedgerLine(rec)
+		if err != nil {
+			return abort(err)
+		}
+		if _, err := w.Write(line); err != nil {
+			return abort(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return abort(err)
+	}
+	if err := f.Sync(); err != nil {
+		return abort(err)
+	}
+	crashPoint("ledger.compact.pre-rename")
+	if err := os.Rename(tmp, l.path); err != nil {
+		return abort(err)
+	}
+	crashPoint("ledger.compact.post-rename")
+	if err := fsdir.Sync(filepath.Dir(l.path)); err != nil {
+		// The rename itself succeeded; the new file is the ledger and f
+		// is its handle. Report the durability gap but keep going.
+		l.swapFile(f, len(recs))
+		return err
+	}
+	l.swapFile(f, len(recs))
+	return nil
+}
+
+// swapFile retires the pre-compaction file handle for the freshly
+// renamed one, positioned at its end for the next append.
+func (l *Ledger) swapFile(f *os.File, records int) {
+	old := l.f
+	l.f = f
+	l.records = records
+	old.Close()
+}

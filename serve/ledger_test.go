@@ -1,0 +1,257 @@
+package serve
+
+// The ledger's own contract, independent of the scheduler: round-trip
+// fidelity, torn-tail truncation, corruption detection, compaction
+// atomicity, and the fuzz guarantee that no byte sequence panics the
+// loader. The scheduler-level recovery behavior lives in
+// recovery_test.go; the full-binary SIGKILL suite in cmd/dsmserved.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dsmnc"
+)
+
+// ledgerPath returns a fresh ledger path in a per-test temp dir.
+func ledgerPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "jobs.ledger")
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	path := ledgerPath(t)
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	r1, r2 := req(1), req(2)
+	res := dsmnc.Result{System: "nc", Bench: "FFT", Refs: 42}
+	if err := l.accepted("job1", r1, "fp1", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.accepted("job2", r2, "fp2", t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.started("job1", t0.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.terminal("job1", StateDone, "", &res, t0.Add(3*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Records(); got != 4 {
+		t.Fatalf("Records() = %d, want 4", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	jobs := l2.jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(jobs))
+	}
+	j1, j2 := jobs[0], jobs[1]
+	if j1.id != "job1" || j2.id != "job2" {
+		t.Fatalf("recovery order = %s, %s; want job1, job2", j1.id, j2.id)
+	}
+	if j1.state != StateDone || j1.res == nil || j1.res.Refs != 42 {
+		t.Errorf("job1 recovered as %s with result %+v; want done with Refs=42", j1.state, j1.res)
+	}
+	if !j1.queued.Equal(t0) || !j1.started.Equal(t0.Add(2*time.Second)) || !j1.finished.Equal(t0.Add(3*time.Second)) {
+		t.Errorf("job1 timestamps not preserved: %v / %v / %v", j1.queued, j1.started, j1.finished)
+	}
+	if j2.state != StateQueued || j2.req.NCBytes != r2.NCBytes || j2.fingerprint != "fp2" {
+		t.Errorf("job2 recovered as %s req %+v fp %s; want queued with its request", j2.state, j2.req, j2.fingerprint)
+	}
+}
+
+func TestLedgerTornTailTruncated(t *testing.T) {
+	path := ledgerPath(t)
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.accepted("job1", req(1), "fp", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Simulate a crash mid-append: a fragment with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intact, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"sum":"00000000","rec":{"kind":"ter`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("torn tail must not fail the open: %v", err)
+	}
+	if got := l2.Records(); got != 1 {
+		t.Fatalf("Records() = %d after torn tail, want 1", got)
+	}
+	// The fragment is gone and the next append lands on a record
+	// boundary.
+	if err := l2.started("job1", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	if st, err := os.Stat(path); err != nil || st.Size() <= intact.Size() {
+		t.Fatalf("truncate-then-append went wrong: size %d vs intact %d (%v)", st.Size(), intact.Size(), err)
+	}
+	l3, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	jobs := l3.jobs()
+	if len(jobs) != 1 || jobs[0].state != StateRunning {
+		t.Fatalf("after truncation recovered %+v, want one running job", jobs)
+	}
+}
+
+func TestLedgerCorruptionDetected(t *testing.T) {
+	good, err := encodeLedgerLine(ledgerRecord{Kind: recStarted, ID: "job1", Time: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"terminated garbage": "not json at all\n",
+		// A flipped body byte must fail the CRC before the content is
+		// believed.
+		"bad checksum":             string(bytes.Replace(good, []byte(`job1`), []byte(`jobX`), 1)),
+		"missing id":               line(t, ledgerRecord{Kind: recStarted}),
+		"accepted without request": line(t, ledgerRecord{Kind: recAccepted, ID: "x"}),
+		"terminal with live state": line(t, ledgerRecord{Kind: recTerminal, ID: "x", State: StateRunning}),
+		"unknown kind":             line(t, ledgerRecord{Kind: "promoted", ID: "x"}),
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := ledgerPath(t)
+			if err := os.WriteFile(path, append(good, payload...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := OpenLedger(path)
+			if !errors.Is(err, ErrBadLedger) {
+				t.Fatalf("OpenLedger = %v, want ErrBadLedger", err)
+			}
+		})
+	}
+}
+
+// line encodes one record and corrupts nothing: used to build ledgers
+// whose framing is valid but whose content is impossible.
+func line(t *testing.T, rec ledgerRecord) string {
+	t.Helper()
+	b, err := encodeLedgerLine(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestLedgerCompact(t *testing.T) {
+	path := ledgerPath(t)
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UTC()
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("job%d", i)
+		if err := l.accepted(id, req(i), "fp", now); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.terminal(id, StateFailed, "boom", nil, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact down to one surviving job, then append on the new file.
+	keep := req(3)
+	err = l.compact([]ledgerRecord{
+		{Kind: recAccepted, ID: "job3", Time: now, Request: &keep, Fingerprint: "fp"},
+		{Kind: recTerminal, ID: "job3", Time: now, State: StateFailed, Error: "boom"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Records(); got != 2 {
+		t.Fatalf("Records() = %d after compaction, want 2", got)
+	}
+	if err := l.accepted("job99", req(99), "fp", now); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	jobs := l2.jobs()
+	if len(jobs) != 2 || jobs[0].id != "job3" || jobs[1].id != "job99" {
+		ids := make([]string, len(jobs))
+		for i, j := range jobs {
+			ids[i] = j.id
+		}
+		t.Fatalf("recovered %v, want [job3 job99]", ids)
+	}
+	if jobs[0].state != StateFailed || jobs[0].errMsg != "boom" {
+		t.Errorf("job3 recovered as %s %q", jobs[0].state, jobs[0].errMsg)
+	}
+}
+
+// FuzzLedger is the loader's no-panic guarantee: any byte sequence
+// either parses, ends in a clean torn-tail truncation point, or fails
+// with an ErrBadLedger-wrapped error — never a panic, never another
+// error class, never a truncation point past the input.
+func FuzzLedger(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\n"))
+	f.Add([]byte("{}\n"))
+	f.Add([]byte(`{"sum":"00000000","rec":{}}` + "\n"))
+	if good, err := encodeLedgerLine(ledgerRecord{
+		Kind: recAccepted, ID: "job1", Request: &Request{Bench: "FFT", System: "nc"}, Fingerprint: "fp",
+	}); err == nil {
+		f.Add(good)
+		f.Add(good[:len(good)-1])         // torn tail
+		f.Add(append(good, good[:10]...)) // record + fragment
+		f.Add(bytes.Repeat(good, 3))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, good, err := parseLedger(bufio.NewReader(bytes.NewReader(data)), "fuzz")
+		if err != nil {
+			if !errors.Is(err, ErrBadLedger) {
+				t.Fatalf("parseLedger error %v is outside the ErrBadLedger family", err)
+			}
+			return
+		}
+		if good < 0 || good > int64(len(data)) {
+			t.Fatalf("truncation point %d outside input of %d bytes", good, len(data))
+		}
+		for _, rec := range recs {
+			if rec.ID == "" {
+				t.Fatal("parser accepted a record without a job id")
+			}
+		}
+	})
+}

@@ -34,6 +34,14 @@ func (s *Scheduler) RegisterMetrics(r *telemetry.Registry) error {
 			func() float64 { return float64(s.failed.Load()) }),
 		r.Counter("dsmnc_serve_canceled_total", "Jobs canceled before finishing.",
 			func() float64 { return float64(s.canceled.Load()) }),
+		r.Counter("dsmnc_serve_recovered_total", "Terminal jobs restored into the result cache from the ledger at startup.",
+			func() float64 { return float64(s.restoredJobs.Load()) }),
+		r.Counter("dsmnc_serve_replayed_total", "Non-terminal jobs re-enqueued from the ledger at startup.",
+			func() float64 { return float64(s.replayedJobs.Load()) }),
+		r.Counter("dsmnc_serve_watchdog_killed_total", "Running jobs the watchdog force-failed for overrunning their deadline.",
+			func() float64 { return float64(s.watchdogKills.Load()) }),
+		r.Counter("dsmnc_serve_ledger_errors_total", "Ledger appends or compactions that failed (the scheduler keeps serving).",
+			func() float64 { return float64(s.ledgerErrs.Load()) }),
 		r.RegisterHistogram("dsmnc_serve_queue_wait_seconds",
 			"Time jobs spent queued before a worker picked them up.", nil, s.waitHist),
 		r.RegisterHistogram("dsmnc_serve_run_seconds",

@@ -7,12 +7,26 @@ package serve
 // ErrBusy instead of growing, and Drain stops intake and settles every
 // job — forcibly cancelling what remains once its context expires — so
 // a SIGTERM'd server exits with zero leaked goroutines.
+//
+// With a Ledger attached the scheduler is crash-safe: every transition
+// is journaled (acknowledged jobs durably, before the client sees the
+// ID), startup replays the ledger — terminal jobs repopulate the result
+// cache, non-terminal jobs re-enqueue under their existing idempotent
+// IDs — and a watchdog force-fails jobs that overrun their deadline by
+// WatchdogFactor without settling. The kill-torture suite
+// (cmd/dsmserved, make crash-smoke) SIGKILLs the real binary at every
+// ledger crash point and requires zero lost acknowledged jobs, zero
+// duplicated completions, and recovered results field-identical to the
+// golden corpus.
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +96,34 @@ type Config struct {
 	// all served jobs (register it on a telemetry registry under a job
 	// label; see Progress.RegisterMetricsLabeled).
 	Progress *dsmnc.Progress
+	// Ledger, when set, makes the scheduler crash-safe: accepted jobs
+	// are durably journaled before the submission is acknowledged, and
+	// New replays the ledger — restoring terminal results and
+	// re-enqueueing unfinished jobs under their existing IDs. Open one
+	// with OpenLedger; the scheduler owns its lifecycle from here to
+	// Drain. The fsync per transition serializes under the scheduler's
+	// lock: a deliberate trade — jobs are whole simulations, and an
+	// acknowledgement must mean durable.
+	Ledger *Ledger
+	// WatchdogFactor force-fails a running job (with ErrWatchdog) once
+	// it has run WatchdogFactor × its deadline without settling —
+	// insurance against an engine that stops honoring its context.
+	// 0 disables the watchdog; jobs without a deadline are never
+	// watchdog-killed.
+	WatchdogFactor float64
+	// WatchdogTick is how often the watchdog scans running jobs;
+	// 0 means 250ms.
+	WatchdogTick time.Duration
+	// CompactEvery bounds ledger growth: after this many terminal
+	// records the ledger is rewritten (atomic tmp+rename) to just the
+	// live jobs' records, so its size tracks KeepResults instead of
+	// history. 0 means 2×KeepResults.
+	CompactEvery int
+
+	// runFn, when set, replaces the cell engine — the in-package test
+	// seam, needed at construction time because ledger recovery starts
+	// running replayed jobs before New returns the scheduler.
+	runFn func(ctx context.Context, j *job) (dsmnc.Result, error)
 }
 
 // job is the scheduler's record of one submission.
@@ -135,13 +177,24 @@ type Scheduler struct {
 
 	wg sync.WaitGroup // worker pool
 
-	inflight  atomic.Int64
-	submitted atomic.Int64
-	deduped   atomic.Int64
-	shed      atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
+	ledger        *Ledger
+	recovered     atomic.Bool   // startup recovery finished re-enqueueing
+	stopRecovery  chan struct{} // closed by Drain to abort re-enqueueing
+	recoveryDone  chan struct{} // closed when recovery has settled
+	stopWatchdog  chan struct{} // closed by Drain
+	terminalSince int           // terminal records since the last compaction, under mu
+
+	inflight      atomic.Int64
+	submitted     atomic.Int64
+	deduped       atomic.Int64
+	shed          atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
+	canceled      atomic.Int64
+	restoredJobs  atomic.Int64 // terminal jobs restored from the ledger
+	replayedJobs  atomic.Int64 // non-terminal jobs re-enqueued from the ledger
+	watchdogKills atomic.Int64
+	ledgerErrs    atomic.Int64
 
 	runHist  *telemetry.Histogram // run latency, seconds
 	waitHist *telemetry.Histogram // queue wait, seconds
@@ -152,7 +205,11 @@ type Scheduler struct {
 }
 
 // New starts a scheduler: the worker pool is live and accepting
-// submissions until Drain.
+// submissions until Drain. With cfg.Ledger set, New first replays the
+// ledger — terminal jobs repopulate the result cache and non-terminal
+// jobs re-enqueue under their recorded IDs (in the background, so a
+// backlog deeper than the queue drains through the workers; Recovered
+// reports when re-enqueueing has finished).
 func New(cfg Config) (*Scheduler, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
@@ -162,6 +219,12 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	if cfg.KeepResults <= 0 {
 		cfg.KeepResults = 1024
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 2 * cfg.KeepResults
+	}
+	if cfg.WatchdogTick <= 0 {
+		cfg.WatchdogTick = 250 * time.Millisecond
 	}
 	if cfg.Options.Geometry.Clusters == 0 {
 		cfg.Options = dsmnc.DefaultOptions()
@@ -184,20 +247,219 @@ func New(cfg Config) (*Scheduler, error) {
 		return nil, err
 	}
 	s := &Scheduler{
-		cfg:      cfg,
-		queue:    make(chan *job, cfg.QueueDepth),
-		jobs:     map[string]*job{},
-		runHist:  runHist,
-		waitHist: waitHist,
+		cfg:          cfg,
+		queue:        make(chan *job, cfg.QueueDepth),
+		jobs:         map[string]*job{},
+		ledger:       cfg.Ledger,
+		stopRecovery: make(chan struct{}),
+		recoveryDone: make(chan struct{}),
+		stopWatchdog: make(chan struct{}),
+		runHist:      runHist,
+		waitHist:     waitHist,
 	}
 	s.runFn = func(ctx context.Context, j *job) (dsmnc.Result, error) {
 		return dsmnc.RunCell(ctx, "serve/"+j.id, j.bench, j.sys, j.opt)
+	}
+	if cfg.runFn != nil {
+		s.runFn = cfg.runFn
+	}
+	var replay []*job
+	if s.ledger != nil {
+		replay = s.recoverFromLedger()
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if len(replay) > 0 {
+		go s.reenqueue(replay)
+	} else {
+		s.recovered.Store(true)
+		close(s.recoveryDone)
+	}
+	if cfg.WatchdogFactor > 0 {
+		go s.watchdog()
+	}
 	return s, nil
+}
+
+// timeoutFor resolves a request's effective deadline under the
+// scheduler's default and cap — shared by Submit and ledger recovery so
+// a replayed job recomputes exactly the ID it was accepted under.
+func (s *Scheduler) timeoutFor(req Request) time.Duration {
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout
+}
+
+// closedChan is the pre-closed done signal recovered terminal jobs
+// share.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// recoverFromLedger replays the folded ledger into the scheduler's maps
+// (called from New, before anything is shared): terminal jobs are
+// restored complete with results, non-terminal jobs are rebuilt for
+// re-enqueueing and returned in queued order. A recovered job whose
+// request no longer compiles to its recorded ID — the server's base
+// options changed between boots — is settled as failed rather than run
+// under a stale identity.
+func (s *Scheduler) recoverFromLedger() []*job {
+	recovered := s.ledger.jobs()
+	// Terminal jobs join the result cache in finished order, so the
+	// KeepResults eviction discipline picks up where the dead process
+	// left off; live jobs re-enqueue in their original arrival order.
+	sort.SliceStable(recovered, func(i, k int) bool {
+		ti, tk := recovered[i], recovered[k]
+		if ti.state.Terminal() != tk.state.Terminal() {
+			return ti.state.Terminal()
+		}
+		if ti.state.Terminal() {
+			return ti.finished.Before(tk.finished)
+		}
+		return ti.queued.Before(tk.queued)
+	})
+	var replay []*job
+	for _, rj := range recovered {
+		if rj.state.Terminal() {
+			j := &job{
+				id: rj.id, req: rj.req, state: rj.state,
+				queued: rj.queued, started: rj.started, finished: rj.finished,
+				done: closedChan,
+			}
+			// Best effort: recompile for the Status fields (bench/system
+			// names); the recorded outcome stands either way.
+			if bench, sys, opt, err := rj.req.compile(s.cfg.Options); err == nil {
+				j.bench, j.sys, j.opt = bench, sys, opt
+			}
+			if rj.errMsg != "" {
+				j.err = errors.New(rj.errMsg)
+			}
+			if rj.res != nil {
+				j.res = *rj.res
+			}
+			s.jobs[j.id] = j
+			s.doneOrder = append(s.doneOrder, j.id)
+			s.restoredJobs.Add(1)
+			continue
+		}
+		bench, sys, opt, err := rj.req.compile(s.cfg.Options)
+		if err == nil {
+			opt.CellTimeout = s.timeoutFor(rj.req)
+			if got := jobID(rj.req, opt); got != rj.id {
+				err = fmt.Errorf("%w: job %s was accepted under different options (replays as %s)",
+					ErrBadLedger, rj.id, got)
+			}
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &job{
+			id: rj.id, req: rj.req, bench: bench, sys: sys, opt: opt,
+			state: StateQueued, queued: rj.queued,
+			ctx: ctx, cancel: cancel, done: make(chan struct{}),
+		}
+		s.jobs[j.id] = j
+		if err != nil {
+			j.state = StateFailed
+			j.err = err
+			j.finished = time.Now()
+			s.failed.Add(1)
+			s.settleLocked(j)
+			continue
+		}
+		replay = append(replay, j)
+		s.replayedJobs.Add(1)
+	}
+	// Enforce the KeepResults bound over the restored cache.
+	for len(s.doneOrder) > s.cfg.KeepResults {
+		oldest := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		delete(s.jobs, oldest)
+	}
+	return replay
+}
+
+// reenqueue feeds recovered non-terminal jobs back into the queue.
+// Blocking sends, so a recovered backlog deeper than the queue drains
+// through the workers; a Drain aborts the refill and settles whatever
+// was not yet enqueued as canceled (its accepted record stays
+// non-terminal... a drain writes terminal records, so it does not:
+// cancellation is an outcome, recorded like any other).
+func (s *Scheduler) reenqueue(jobs []*job) {
+	defer close(s.recoveryDone)
+	for i, j := range jobs {
+		select {
+		case s.queue <- j:
+		case <-s.stopRecovery:
+			s.mu.Lock()
+			for _, k := range jobs[i:] {
+				if k.state == StateQueued {
+					k.state = StateCanceled
+					k.err = context.Canceled
+					k.finished = time.Now()
+					s.canceled.Add(1)
+					s.settleLocked(k)
+				}
+			}
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.recovered.Store(true)
+}
+
+// Recovered reports whether startup ledger recovery has finished
+// re-enqueueing; a scheduler without a ledger (or with nothing to
+// replay) is recovered from birth. The HTTP binding keeps /healthz at
+// 503 until this turns true.
+func (s *Scheduler) Recovered() bool { return s.recovered.Load() }
+
+// RecoveryStats returns how many terminal jobs the ledger restored into
+// the result cache and how many non-terminal jobs it re-enqueued.
+func (s *Scheduler) RecoveryStats() (restored, replayed int64) {
+	return s.restoredJobs.Load(), s.replayedJobs.Load()
+}
+
+// watchdog periodically force-fails running jobs that have overrun
+// their deadline by WatchdogFactor without settling: the engine is
+// contractually obliged to notice cancellation within a poll interval,
+// so a job this far over is wedged. The job settles as failed with
+// ErrWatchdog; the stuck goroutine's eventual return is discarded.
+func (s *Scheduler) watchdog() {
+	t := time.NewTicker(s.cfg.WatchdogTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopWatchdog:
+			return
+		case now := <-t.C:
+			s.mu.Lock()
+			for _, j := range s.jobs {
+				if j.state != StateRunning || j.opt.CellTimeout <= 0 {
+					continue
+				}
+				limit := time.Duration(float64(j.opt.CellTimeout) * s.cfg.WatchdogFactor)
+				if now.Sub(j.started) <= limit {
+					continue
+				}
+				j.state = StateFailed
+				j.err = fmt.Errorf("%w: ran %v against a %v deadline",
+					ErrWatchdog, now.Sub(j.started).Round(time.Millisecond), j.opt.CellTimeout)
+				j.finished = now
+				s.failed.Add(1)
+				s.watchdogKills.Add(1)
+				s.settleLocked(j)
+			}
+			s.mu.Unlock()
+		}
+	}
 }
 
 // jobID derives the idempotent job identity: the canonical request
@@ -224,14 +486,7 @@ func (s *Scheduler) Submit(req Request) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
-	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
-	if timeout <= 0 {
-		timeout = s.cfg.DefaultTimeout
-	}
-	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
-		timeout = s.cfg.MaxTimeout
-	}
-	opt.CellTimeout = timeout
+	opt.CellTimeout = s.timeoutFor(req)
 	id := jobID(req, opt)
 
 	s.mu.Lock()
@@ -257,6 +512,19 @@ func (s *Scheduler) Submit(req Request) (Status, error) {
 		cancel()
 		s.shed.Add(1)
 		return Status{}, ErrBusy
+	}
+	if s.ledger != nil {
+		// Durability before acknowledgement: the accepted record is
+		// fsync'd before the client sees the job ID. On failure the job
+		// is never registered — the dequeuing worker sees a non-queued
+		// state and skips it — so there is no acknowledged-but-volatile
+		// job and no ghost in the maps.
+		if lerr := s.ledger.accepted(id, req, opt.Fingerprint(), j.queued); lerr != nil {
+			s.ledgerErrs.Add(1)
+			j.state = StateCanceled
+			cancel()
+			return Status{}, fmt.Errorf("serve: recording job %s in the ledger: %w", id, lerr)
+		}
 	}
 	s.jobs[id] = j
 	s.submitted.Add(1)
@@ -286,6 +554,13 @@ func (s *Scheduler) run(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	s.notifyLocked(j)
+	if s.ledger != nil {
+		// Advisory: losing a started record costs nothing at recovery —
+		// the job replays from accepted and re-runs to the same result.
+		if err := s.ledger.started(j.id, j.started); err != nil {
+			s.ledgerErrs.Add(1)
+		}
+	}
 	s.mu.Unlock()
 	s.inflight.Add(1)
 	s.waitHist.Observe(j.started.Sub(j.queued).Seconds())
@@ -294,6 +569,12 @@ func (s *Scheduler) run(j *job) {
 
 	s.inflight.Add(-1)
 	s.mu.Lock()
+	if j.state.Terminal() {
+		// The watchdog settled this job while the engine was wedged; its
+		// late return is discarded.
+		s.mu.Unlock()
+		return
+	}
 	j.finished = time.Now()
 	s.runHist.Observe(j.finished.Sub(j.started).Seconds())
 	switch {
@@ -335,11 +616,74 @@ func (s *Scheduler) settleLocked(j *job) {
 	j.subs = nil
 	close(j.done)
 
+	if s.ledger != nil {
+		var res *dsmnc.Result
+		if j.state == StateDone {
+			r := j.res
+			res = &r
+		}
+		errMsg := ""
+		if j.err != nil {
+			errMsg = j.err.Error()
+		}
+		if err := s.ledger.terminal(j.id, j.state, errMsg, res, j.finished); err != nil {
+			s.ledgerErrs.Add(1)
+		}
+		s.terminalSince++
+	}
+
 	s.doneOrder = append(s.doneOrder, j.id)
 	for len(s.doneOrder) > s.cfg.KeepResults {
 		oldest := s.doneOrder[0]
 		s.doneOrder = s.doneOrder[1:]
 		delete(s.jobs, oldest)
+	}
+
+	if s.ledger != nil && s.terminalSince >= s.cfg.CompactEvery {
+		s.terminalSince = 0
+		s.compactLedgerLocked()
+	}
+}
+
+// compactLedgerLocked rewrites the ledger to just the live jobs'
+// records, so its size tracks the KeepResults bound instead of history.
+// Callers hold mu; a failed compaction is counted and the append-only
+// file simply keeps growing until the next attempt.
+func (s *Scheduler) compactLedgerLocked() {
+	live := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	sort.Slice(live, func(i, k int) bool {
+		if !live[i].queued.Equal(live[k].queued) {
+			return live[i].queued.Before(live[k].queued)
+		}
+		return live[i].id < live[k].id
+	})
+	recs := make([]ledgerRecord, 0, 2*len(live))
+	for _, j := range live {
+		req := j.req
+		recs = append(recs, ledgerRecord{
+			Kind: recAccepted, ID: j.id, Time: j.queued,
+			Request: &req, Fingerprint: j.opt.Fingerprint(),
+		})
+		if !j.started.IsZero() {
+			recs = append(recs, ledgerRecord{Kind: recStarted, ID: j.id, Time: j.started})
+		}
+		if j.state.Terminal() {
+			rec := ledgerRecord{Kind: recTerminal, ID: j.id, Time: j.finished, State: j.state}
+			if j.err != nil {
+				rec.Error = j.err.Error()
+			}
+			if j.state == StateDone {
+				r := j.res
+				rec.Result = &r
+			}
+			recs = append(recs, rec)
+		}
+	}
+	if err := s.ledger.compact(recs); err != nil {
+		s.ledgerErrs.Add(1)
 	}
 }
 
@@ -454,39 +798,53 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	wasDraining := s.draining
 	if !wasDraining {
 		s.draining = true
-		close(s.queue)
+		close(s.stopRecovery)
+		close(s.stopWatchdog)
 	}
 	s.mu.Unlock()
+	if !wasDraining {
+		// The recovery refill sends on the queue; wait for it to stop
+		// (it observes stopRecovery and settles its remainder canceled)
+		// before closing the channel it sends on.
+		<-s.recoveryDone
+		close(s.queue)
+	}
 
 	settled := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(settled)
 	}()
+	var err error
 	select {
 	case <-settled:
-		return nil
 	case <-ctx.Done():
-	}
-	// Deadline: cancel everything still live. Queued jobs settle here;
-	// running ones settle in their worker as the engine observes the
-	// canceled context.
-	s.mu.Lock()
-	for _, j := range s.jobs {
-		switch j.state {
-		case StateQueued:
-			j.state = StateCanceled
-			j.err = context.Canceled
-			j.finished = time.Now()
-			s.canceled.Add(1)
-			s.settleLocked(j)
-		case StateRunning:
-			j.cancel()
+		// Deadline: cancel everything still live. Queued jobs settle
+		// here; running ones settle in their worker as the engine
+		// observes the canceled context.
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			switch j.state {
+			case StateQueued:
+				j.state = StateCanceled
+				j.err = context.Canceled
+				j.finished = time.Now()
+				s.canceled.Add(1)
+				s.settleLocked(j)
+			case StateRunning:
+				j.cancel()
+			}
 		}
+		s.mu.Unlock()
+		<-settled
+		err = ctx.Err()
 	}
-	s.mu.Unlock()
-	<-settled
-	return ctx.Err()
+	if !wasDraining && s.ledger != nil {
+		// Every transition is already fsync'd; closing just releases the
+		// file handle.
+		_ = s.ledger.Close()
+	}
+	return err
 }
 
 // Draining reports whether the scheduler has stopped accepting work.
@@ -500,4 +858,30 @@ func (s *Scheduler) Draining() bool {
 // bound.
 func (s *Scheduler) QueueDepth() (depth, capacity int) {
 	return len(s.queue), s.cfg.QueueDepth
+}
+
+// RetryAfter estimates how long a shed client should wait before
+// retrying: the time for enough queue positions to drain at the pool's
+// observed throughput — queue depth × mean run latency ÷ workers —
+// ceiled to whole seconds and clamped to [1s, 60s]. Before any run has
+// completed the mean is zero and the floor answers. The HTTP binding
+// renders it as the Retry-After of every 429.
+func (s *Scheduler) RetryAfter() time.Duration {
+	depth, _ := s.QueueDepth()
+	return retryAfter(depth, s.cfg.Workers, s.runHist.Mean())
+}
+
+// retryAfter is the pure estimate behind RetryAfter.
+func retryAfter(depth, workers int, meanRunSeconds float64) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	secs := math.Ceil(float64(depth) * meanRunSeconds / float64(workers))
+	if !(secs >= 1) { // catches NaN as well as the sub-second estimate
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
 }

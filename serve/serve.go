@@ -38,3 +38,17 @@ var ErrDraining = fmt.Errorf("%w: scheduler draining", ErrBusy)
 // ID the scheduler does not hold (never submitted, or evicted from the
 // bounded result cache).
 var ErrUnknownJob = errors.New("serve: unknown job")
+
+// ErrBadLedger marks a job ledger with a corrupt record body: a
+// terminated line whose checksum or structure does not hold. (An
+// *unterminated* final line is not corruption but the signature of a
+// crash mid-append; it is truncated away and its job simply replays.)
+// The loader never panics, whatever the bytes — FuzzLedger enforces it.
+var ErrBadLedger = errors.New("serve: malformed job ledger")
+
+// ErrWatchdog marks a job the watchdog force-failed: it overran its
+// deadline by the configured factor without settling, which means the
+// engine stopped honoring its context. The job's worker slot is
+// reclaimed for accounting; the wedged goroutine is cancelled and its
+// eventual return discarded.
+var ErrWatchdog = errors.New("serve: watchdog killed overdue job")

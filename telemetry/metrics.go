@@ -298,6 +298,18 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// Mean returns the arithmetic mean of the observed values, or 0 before
+// anything has been observed. The serving layer's Retry-After estimate
+// is built on it.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
 // writeText renders the histogram's bucket/sum/count series with the
 // le label merged into the series labels.
 func (h *Histogram) writeText(w io.Writer, name, labels string) error {
