@@ -4,7 +4,7 @@ BENCHTIME ?= 1x
 BENCH_OUT ?= BENCH_baseline.json
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build test race vet fuzz check resume-smoke serve-smoke crash-smoke telemetry bench bench-check cover ci
+.PHONY: build test race vet fuzz check resume-smoke serve-smoke crash-smoke chaos-smoke telemetry bench bench-check cover ci
 
 build:
 	$(GO) build ./...
@@ -22,14 +22,15 @@ vet:
 	$(GO) vet ./...
 
 # Fuzz the hardened decoders for a bounded burst each: the binary
-# trace reader, the snapshot loader, the job-request decoder and the
-# job-ledger loader.
+# trace reader, the snapshot loader, the job-request decoder, the
+# job-ledger loader and the status/readiness wire documents.
 fuzz:
 	$(GO) test -run '^FuzzReader$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./trace
 	$(GO) test -run '^FuzzSnapshot$$' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/sim
 	$(GO) test -run '^FuzzEventTrace$$' -fuzz '^FuzzEventTrace$$' -fuzztime $(FUZZTIME) ./telemetry
 	$(GO) test -run '^FuzzJobRequest$$' -fuzz '^FuzzJobRequest$$' -fuzztime $(FUZZTIME) ./serve
 	$(GO) test -run '^FuzzLedger$$' -fuzz '^FuzzLedger$$' -fuzztime $(FUZZTIME) ./serve
+	$(GO) test -run '^FuzzStatusJSON$$' -fuzz '^FuzzStatusJSON$$' -fuzztime $(FUZZTIME) ./serve
 
 # The checked acceptance matrix: every workload x every principal
 # system organization under the coherence invariant checker.
@@ -60,6 +61,15 @@ serve-smoke:
 # field-identical to testdata/golden.
 crash-smoke:
 	$(GO) test -run 'TestCrashTorture' -count=1 ./cmd/dsmserved
+
+# The chaos gate (docs/robustness.md §6): soak the lease fabric under
+# the race detector with seeded injection of every fault kind — crash,
+# stall, slow, drop-result, late-duplicate — plus the breaker-quarantine,
+# saturation-shed and golden-determinism drills, and the drain-vs-
+# recovery race. Zero lost acknowledged jobs, zero duplicate
+# completions, results field-identical to testdata/golden.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosTorture|TestDrainRacesRecovery' -count=1 ./serve
 
 # The telemetry gate: the sampler/trace/metrics package and the
 # concurrency-sensitive Progress and end-to-end telemetry tests always
@@ -104,4 +114,4 @@ cover:
 	floor ./serve 70
 
 # Tier-1+ gate (ROADMAP.md): everything CI runs.
-ci: vet build test race fuzz resume-smoke serve-smoke crash-smoke telemetry cover
+ci: vet build test race fuzz resume-smoke serve-smoke crash-smoke chaos-smoke telemetry cover

@@ -215,13 +215,14 @@ func submit(t *testing.T, base, body string) (id string, ok bool) {
 	return st.ID, true
 }
 
-// waitHealthy polls /healthz until recovery finishes and the server
-// answers 200.
+// waitHealthy polls the readiness probe until recovery finishes and the
+// server answers 200 — /readyz is the probe that gates on the replay
+// backlog; /healthz is liveness only and turns green immediately.
 func waitHealthy(t *testing.T, base string) {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		resp, err := http.Get(base + "/healthz")
+		resp, err := http.Get(base + "/readyz")
 		if err == nil {
 			code := resp.StatusCode
 			resp.Body.Close()
@@ -230,7 +231,7 @@ func waitHealthy(t *testing.T, base string) {
 			}
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("server never became healthy after restart")
+			t.Fatal("server never became ready after restart")
 		}
 		time.Sleep(20 * time.Millisecond)
 	}

@@ -11,14 +11,23 @@
 //	dsmserved [-addr :8080] [-workers N] [-queue 256] [-timeout 0]
 //	          [-max-timeout 0] [-keep 1024] [-drain 30s] [-q]
 //	          [-ledger path] [-ledger-compact N] [-watchdog 3]
+//	          [-lease 15s] [-retries 2] [-chaos seed]
 //
 // With -ledger the server is crash-safe: every acknowledged job is
 // durably journaled before the client sees its ID, and a restart
 // replays the ledger — finished jobs come back with their results,
-// unfinished jobs re-run under the same IDs. /healthz answers 503
-// ("recovering") until the replay backlog is re-enqueued. The
-// kill-torture suite (make crash-smoke) SIGKILLs this binary at every
-// ledger crash point and verifies nothing acknowledged is lost.
+// unfinished jobs re-run under the same IDs (with their reassignment
+// counts intact). /readyz answers 503 ("recovering") until the replay
+// backlog is re-enqueued. The kill-torture suite (make crash-smoke)
+// SIGKILLs this binary at every ledger crash point and verifies nothing
+// acknowledged is lost.
+//
+// Execution runs on the serve package's lease-based executor fabric
+// (docs/robustness.md §6): -lease sets the heartbeat TTL after which a
+// silent attempt is revoked and reassigned, -retries bounds the
+// reassignments, and -chaos (dev/test only) adds a second executor that
+// injects seeded crash/stall/slow/drop/duplicate faults so the fabric
+// can be exercised end to end.
 //
 // API:
 //
@@ -28,7 +37,10 @@
 //	GET    /v1/jobs/{id}/stream status transitions as server-sent events
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /metrics             Prometheus metrics (dsmnc_serve_*)
-//	GET    /healthz             200 when serving, 503 while recovering or draining
+//	GET    /healthz             liveness: 200 while the process serves HTTP
+//	GET    /readyz              readiness: 200 ("ok"/"degraded") when traffic
+//	                            should route here, 503 with the reason
+//	                            ("recovering", "draining", "quarantined") when not
 package main
 
 import (
@@ -66,6 +78,9 @@ func main() {
 		ledgerPath = flag.String("ledger", "", "job ledger path; empty disables crash recovery")
 		compactN   = flag.Int("ledger-compact", 0, "terminal records between ledger compactions; 0 means 2x -keep")
 		watchdog   = flag.Float64("watchdog", 3, "force-fail a job once it runs this multiple of its deadline; 0 disables")
+		leaseTTL   = flag.Duration("lease", 15*time.Second, "executor lease TTL: a running attempt silent this long is revoked and reassigned; 0 disables leases")
+		retries    = flag.Int("retries", 2, "reassignments after lease losses before a job fails; 0 disables retries")
+		chaosSeed  = flag.Int64("chaos", 0, "DEV ONLY: add a chaos executor injecting seeded crash/stall/slow/drop/duplicate faults; 0 disables")
 		quiet      = flag.Bool("q", false, "suppress the startup and shutdown log lines")
 	)
 	flag.Parse()
@@ -90,7 +105,7 @@ func main() {
 	}
 
 	var progress dsmnc.Progress
-	sched, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
@@ -100,7 +115,24 @@ func main() {
 		WatchdogFactor: *watchdog,
 		CompactEvery:   *compactN,
 		Progress:       &progress,
-	})
+		LeaseTTL:       *leaseTTL,
+		MaxRetries:     *retries,
+	}
+	// The flag's 0 means "off"; the Config's 0 means "default".
+	if *leaseTTL == 0 {
+		cfg.LeaseTTL = -1
+	}
+	if *retries == 0 {
+		cfg.MaxRetries = -1
+	}
+	if *chaosSeed != 0 {
+		cfg.Executors = []serve.Executor{
+			serve.Local("local"),
+			serve.NewChaosExecutor(serve.Local("chaos"), serve.ChaosConfig{Seed: *chaosSeed}),
+		}
+		log.Printf("CHAOS MODE (dev/test only): half the dispatches land on an executor injecting seeded faults (seed %d)", *chaosSeed)
+	}
+	sched, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,9 +153,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Slow-client hygiene: bound reads and idle keep-alive connections so
+	// a stalled peer cannot pin a connection forever. Writes are bounded
+	// too; the SSE stream exempts itself with per-write deadlines.
 	srv := &http.Server{
 		Handler:           newHandler(sched, reg),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	if !*quiet {
 		log.Printf("listening on %s", ln.Addr())
@@ -217,13 +255,22 @@ func newHandler(s *serve.Scheduler, reg *telemetry.Registry) http.Handler {
 			writeError(w, s, err)
 			return
 		}
-		fl, ok := w.(http.Flusher)
-		if !ok {
-			writeError(w, s, errors.New("streaming unsupported"))
-			return
-		}
+		rc := http.NewResponseController(w)
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-store")
+		keep := time.NewTicker(sseKeepalive)
+		defer keep.Stop()
+		// push writes one SSE frame under a fresh write deadline — the
+		// stream exempts itself from the server-wide WriteTimeout one
+		// bounded write at a time — and reports whether the client is
+		// still reading.
+		push := func(frame string, args ...any) bool {
+			_ = rc.SetWriteDeadline(time.Now().Add(sseWriteWindow))
+			if _, err := fmt.Fprintf(w, frame, args...); err != nil {
+				return false
+			}
+			return rc.Flush() == nil
+		}
 		for {
 			select {
 			case st, ok := <-ch:
@@ -234,8 +281,16 @@ func newHandler(s *serve.Scheduler, reg *telemetry.Registry) http.Handler {
 				if err != nil {
 					return
 				}
-				fmt.Fprintf(w, "data: %s\n\n", data)
-				fl.Flush()
+				if !push("data: %s\n\n", data) {
+					return
+				}
+			case <-keep.C:
+				// Comment frame: invisible to SSE clients, a write error
+				// on a dead connection — which is how a vanished client
+				// is reaped instead of pinning its subscription forever.
+				if !push(": keepalive\n\n") {
+					return
+				}
 			case <-r.Context().Done():
 				return
 			}
@@ -251,20 +306,34 @@ func newHandler(s *serve.Scheduler, reg *telemetry.Registry) http.Handler {
 	})
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if s.Draining() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		if !s.Recovered() {
-			// Ledger replay is still re-enqueueing; readiness waits so a
-			// load balancer does not route fresh traffic onto the backlog.
-			http.Error(w, "recovering", http.StatusServiceUnavailable)
-			return
-		}
+		// Liveness only: the process is up and answering HTTP. A
+		// draining or recovering server is alive — restarting it would
+		// make things worse, not better. Routability is /readyz's job.
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness: whether fresh traffic should be routed here. 503
+		// while recovering (replay backlog still re-enqueueing),
+		// draining, or fully quarantined; 200 with reason "degraded"
+		// while serving on a partly-quarantined executor fleet. The
+		// body says which, plus per-executor health.
+		rd := s.Readiness()
+		code := http.StatusOK
+		if !rd.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, rd)
 	})
 	return mux
 }
+
+// sseKeepalive is how often /stream emits a comment frame to probe the
+// client's liveness; a package variable so tests can shrink it.
+var sseKeepalive = 15 * time.Second
+
+// sseWriteWindow is the per-frame write deadline on /stream: a client
+// that cannot absorb one frame in this long is dead.
+const sseWriteWindow = 30 * time.Second
 
 // writeError maps the serve package's sentinel families onto HTTP: bad
 // requests 400, backpressure 429 + a Retry-After estimated from the

@@ -219,13 +219,29 @@ func TestServeShedsWithRetryAfter(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("429 carries no Retry-After header")
 	}
+	// The probes split: liveness stays green while draining (the process
+	// is up; restarting it would only hurt), readiness goes red and says
+	// why.
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hresp.Body.Close()
-	if hresp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining: status %d, want 503", hresp.StatusCode)
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining: status %d, want 200 (liveness)", hresp.StatusCode)
+	}
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd serve.Readiness
+	decodeErr := json.NewDecoder(rresp.Body).Decode(&rd)
+	rresp.Body.Close()
+	if decodeErr != nil {
+		t.Fatal(decodeErr)
+	}
+	if rresp.StatusCode != http.StatusServiceUnavailable || rd.Ready || rd.Reason != "draining" {
+		t.Errorf("readyz while draining: status %d, body %+v; want 503 draining", rresp.StatusCode, rd)
 	}
 }
 
@@ -238,6 +254,22 @@ func TestServeHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("healthz: status %d, want 200", resp.StatusCode)
+	}
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd serve.Readiness
+	decodeErr := json.NewDecoder(rresp.Body).Decode(&rd)
+	rresp.Body.Close()
+	if decodeErr != nil {
+		t.Fatal(decodeErr)
+	}
+	if rresp.StatusCode != http.StatusOK || !rd.Ready || rd.Reason != "ok" {
+		t.Errorf("readyz on a healthy server: status %d, body %+v; want 200 ok", rresp.StatusCode, rd)
+	}
+	if len(rd.Executors) == 0 {
+		t.Error("readyz reports no executor fault domains")
 	}
 }
 
@@ -273,6 +305,43 @@ func TestServeStream(t *testing.T) {
 	}
 	if events == 0 || last.State != serve.StateDone {
 		t.Errorf("stream delivered %d events ending in %q, want a done terminal", events, last.State)
+	}
+}
+
+func TestServeStreamKeepalive(t *testing.T) {
+	// With the keepalive interval shrunk, a stream held open by a slow
+	// job must carry comment frames between data frames — the probe that
+	// reaps dead clients on a real deployment.
+	old := sseKeepalive
+	sseKeepalive = 5 * time.Millisecond
+	t.Cleanup(func() { sseKeepalive = old })
+
+	ts, _ := newTestServer(t, serve.Config{})
+	st, resp := postJob(t, ts, `{"bench":"Ocean","system":"vp","scale":"small"}`)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var keepalives, events int
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ": keepalive"):
+			keepalives++
+		case strings.HasPrefix(line, "data: "):
+			events++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if keepalives == 0 {
+		t.Errorf("stream carried %d events but no keepalive comments", events)
 	}
 }
 

@@ -69,6 +69,20 @@ func TestServeSmokeBinary(t *testing.T) {
 		}
 	}()
 
+	// Both probes answer on a fresh server: liveness because the
+	// process is up, readiness because there is no replay backlog and
+	// no quarantined executor.
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		presp, err := http.Get(base + probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusOK {
+			t.Fatalf("%s on a fresh server: status %d, want 200", probe, presp.StatusCode)
+		}
+	}
+
 	// Submit the Figure-9 baseline cell and poll it to completion.
 	resp, err := http.Post(base+"/v1/jobs", "application/json",
 		strings.NewReader(`{"bench":"FFT","system":"base","scale":"small"}`))

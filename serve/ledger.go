@@ -37,9 +37,10 @@ import (
 
 // Ledger record kinds: one per job state transition.
 const (
-	recAccepted = "accepted"
-	recStarted  = "started"
-	recTerminal = "terminal"
+	recAccepted   = "accepted"
+	recStarted    = "started"
+	recReassigned = "reassigned"
+	recTerminal   = "terminal"
 )
 
 // ledgerRecord is the body of one ledger line: which job moved, where
@@ -56,6 +57,9 @@ type ledgerRecord struct {
 	State       State         `json:"state,omitempty"`
 	Error       string        `json:"error,omitempty"`
 	Result      *dsmnc.Result `json:"result,omitempty"`
+	// Attempt is the cumulative lease-loss count of a reassigned
+	// record, so a job's spent retry budget survives a restart.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // ledgerLine is the on-disk framing: the record's raw JSON bytes plus a
@@ -110,6 +114,7 @@ type recoveredJob struct {
 	queued      time.Time
 	started     time.Time
 	finished    time.Time
+	attempts    int // lease losses recorded before the crash
 	seq         int // file order, for stable recovery ordering
 }
 
@@ -243,6 +248,10 @@ func parseLedgerLine(line []byte) (ledgerRecord, error) {
 			return ledgerRecord{}, fmt.Errorf("accepted record is missing its request or fingerprint")
 		}
 	case recStarted:
+	case recReassigned:
+		if rec.Attempt < 1 {
+			return ledgerRecord{}, fmt.Errorf("reassigned record carries non-positive attempt %d", rec.Attempt)
+		}
 	case recTerminal:
 		if !rec.State.Terminal() {
 			return ledgerRecord{}, fmt.Errorf("terminal record carries non-terminal state %q", rec.State)
@@ -275,6 +284,15 @@ func (l *Ledger) fold(rec ledgerRecord) {
 		if j, ok := l.byID[rec.ID]; ok && !j.state.Terminal() {
 			j.state = StateRunning
 			j.started = rec.Time
+		}
+	case recReassigned:
+		if j, ok := l.byID[rec.ID]; ok && !j.state.Terminal() {
+			// The lease of the recorded attempt was lost; the job is
+			// back in the queue with that much retry budget spent.
+			j.state = StateQueued
+			if rec.Attempt > j.attempts {
+				j.attempts = rec.Attempt
+			}
 		}
 	case recTerminal:
 		if j, ok := l.byID[rec.ID]; ok {
@@ -350,6 +368,13 @@ func (l *Ledger) accepted(id string, req Request, fingerprint string, t time.Tim
 // result.
 func (l *Ledger) started(id string, t time.Time) error {
 	return l.append(ledgerRecord{Kind: recStarted, ID: id, Time: t})
+}
+
+// reassigned records a lease loss: the job is back in the queue with
+// attempt losses spent against its retry budget. Durable so a restart
+// cannot grant a crashing job a fresh budget and retry it forever.
+func (l *Ledger) reassigned(id string, attempt int, t time.Time) error {
+	return l.append(ledgerRecord{Kind: recReassigned, ID: id, Time: t, Attempt: attempt})
 }
 
 // terminal records a job's outcome; done jobs carry their full result

@@ -237,6 +237,11 @@ func FuzzLedger(f *testing.F) {
 		f.Add(append(good, good[:10]...)) // record + fragment
 		f.Add(bytes.Repeat(good, 3))
 	}
+	if reas, err := encodeLedgerLine(ledgerRecord{
+		Kind: recReassigned, ID: "job1", Attempt: 2,
+	}); err == nil {
+		f.Add(reas)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, good, err := parseLedger(bufio.NewReader(bytes.NewReader(data)), "fuzz")
 		if err != nil {

@@ -42,6 +42,28 @@ func (s *Scheduler) RegisterMetrics(r *telemetry.Registry) error {
 			func() float64 { return float64(s.watchdogKills.Load()) }),
 		r.Counter("dsmnc_serve_ledger_errors_total", "Ledger appends or compactions that failed (the scheduler keeps serving).",
 			func() float64 { return float64(s.ledgerErrs.Load()) }),
+		r.Counter("dsmnc_serve_lease_lost_total", "Attempt leases revoked (no heartbeat) or surrendered by executors.",
+			func() float64 { return float64(s.leaseLost.Load()) }),
+		r.Counter("dsmnc_serve_reassigned_total", "Jobs requeued onto another executor after a lease loss.",
+			func() float64 { return float64(s.reassigned.Load()) }),
+		r.Counter("dsmnc_serve_quarantined_total", "Circuit-breaker trips: an executor quarantined after consecutive lease losses.",
+			func() float64 { return float64(s.quarantined.Load()) }),
+		r.Counter("dsmnc_serve_stale_results_total", "Late or duplicate attempt outcomes discarded by the epoch guard.",
+			func() float64 { return float64(s.staleResults.Load()) }),
+		r.Gauge("dsmnc_serve_executors", "Executor fault domains configured.",
+			func() float64 { return float64(len(s.execs)) }),
+		r.Gauge("dsmnc_serve_executors_quarantined", "Executor fault domains currently quarantined.",
+			func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				n := 0
+				for _, es := range s.execs {
+					if es.quarantined {
+						n++
+					}
+				}
+				return float64(n)
+			}),
 		r.RegisterHistogram("dsmnc_serve_queue_wait_seconds",
 			"Time jobs spent queued before a worker picked them up.", nil, s.waitHist),
 		r.RegisterHistogram("dsmnc_serve_run_seconds",

@@ -8,16 +8,28 @@ package serve
 // job — forcibly cancelling what remains once its context expires — so
 // a SIGTERM'd server exits with zero leaked goroutines.
 //
+// Execution sits behind the Executor interface (executor.go): each
+// dequeued job is dispatched to an executor fault domain under a
+// heartbeat-renewed lease. A lease that expires without renewal —
+// worker crash, stall, dropped result — is revoked by the monitor and
+// the job reassigned with a bounded retry budget, exponential backoff
+// and deterministic seeded jitter; an executor that loses K leases in a
+// row is quarantined by the circuit breaker while the scheduler keeps
+// serving on the healthy remainder. Late or duplicate results from a
+// revoked attempt are discarded by an epoch guard, so a job completes
+// exactly once. The chaos harness (chaos.go, make chaos-smoke) proves
+// all of it under seeded fault injection.
+//
 // With a Ledger attached the scheduler is crash-safe: every transition
 // is journaled (acknowledged jobs durably, before the client sees the
 // ID), startup replays the ledger — terminal jobs repopulate the result
 // cache, non-terminal jobs re-enqueue under their existing idempotent
-// IDs — and a watchdog force-fails jobs that overrun their deadline by
-// WatchdogFactor without settling. The kill-torture suite
-// (cmd/dsmserved, make crash-smoke) SIGKILLs the real binary at every
-// ledger crash point and requires zero lost acknowledged jobs, zero
-// duplicated completions, and recovered results field-identical to the
-// golden corpus.
+// IDs with their reassignment counts intact — and a watchdog
+// force-fails jobs that overrun their deadline by WatchdogFactor
+// without settling. The kill-torture suite (cmd/dsmserved, make
+// crash-smoke) SIGKILLs the real binary at every ledger crash point and
+// requires zero lost acknowledged jobs, zero duplicated completions,
+// and recovered results field-identical to the golden corpus.
 
 import (
 	"context"
@@ -25,6 +37,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -40,7 +53,8 @@ import (
 type State string
 
 // Job states. A job moves queued -> running -> {done, failed}, or to
-// canceled from either live state.
+// canceled from either live state; a running job whose lease is lost
+// moves back to queued until its retry budget runs out.
 const (
 	StateQueued   State = "queued"
 	StateRunning  State = "running"
@@ -62,15 +76,24 @@ type Status struct {
 	State  State  `json:"state"`
 	// Error carries the failure (or cancellation) reason of a
 	// terminal, unsuccessful job.
-	Error    string    `json:"error,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Attempt counts dispatches: 1 on the first run, higher after
+	// lease-loss reassignments. Executor names the fault domain of the
+	// latest attempt.
+	Attempt  int       `json:"attempt,omitempty"`
+	Executor string    `json:"executor,omitempty"`
 	Queued   time.Time `json:"queued"`
 	Started  time.Time `json:"started,omitzero"`
 	Finished time.Time `json:"finished,omitzero"`
 }
 
+// maxRetryBackoff caps the exponential reassignment backoff.
+const maxRetryBackoff = time.Minute
+
 // Config sizes a Scheduler. The zero value is usable: NumCPU workers, a
-// 256-deep queue, no default deadline, 1024 cached results, and the
-// paper's default machine options.
+// 256-deep queue, no default deadline, 1024 cached results, one local
+// executor under 15s leases with 2 retries, and the paper's default
+// machine options.
 type Config struct {
 	// Workers is the pool size; 0 means runtime.NumCPU().
 	Workers int
@@ -120,6 +143,39 @@ type Config struct {
 	// history. 0 means 2×KeepResults.
 	CompactEvery int
 
+	// Executors are the fault domains jobs dispatch to, round-robin
+	// among the healthy ones. Nil means one in-process Local executor.
+	// Names must be unique.
+	Executors []Executor
+	// LeaseTTL is how long a running attempt may go without a
+	// heartbeat before its lease is revoked and the job reassigned.
+	// 0 means 15s; negative disables leases (the watchdog is then the
+	// only supervisor).
+	LeaseTTL time.Duration
+	// LeaseTick is how often the monitor scans running leases;
+	// 0 means LeaseTTL/8 clamped to [5ms, 1s].
+	LeaseTick time.Duration
+	// MaxRetries bounds reassignments after lease losses: a job may be
+	// dispatched at most MaxRetries+1 times before it settles failed
+	// with ErrLeaseLost. 0 means 2; negative means no retries.
+	MaxRetries int
+	// RetryBackoff is the base delay before a reassigned job re-enters
+	// the queue; it doubles per consecutive loss (capped at 1min) and
+	// is jittered over [d/2, d] by a deterministic seeded RNG.
+	// 0 means 250ms; negative requeues immediately.
+	RetryBackoff time.Duration
+	// RetrySeed seeds the backoff jitter RNG, so a given seed yields a
+	// reproducible reassignment schedule. 0 means 1.
+	RetrySeed int64
+	// QuarantineAfter is the circuit breaker's threshold: an executor
+	// that loses this many leases consecutively is quarantined for
+	// QuarantineFor (then probed half-open). 0 means 3; negative
+	// disables the breaker.
+	QuarantineAfter int
+	// QuarantineFor is how long a tripped executor sits out.
+	// 0 means 30s.
+	QuarantineFor time.Duration
+
 	// runFn, when set, replaces the cell engine — the in-package test
 	// seam, needed at construction time because ledger recovery starts
 	// running replayed jobs before New returns the scheduler.
@@ -143,6 +199,20 @@ type job struct {
 	finished time.Time
 	subs     []chan Status
 
+	// Lease bookkeeping, guarded by the scheduler's mu. epoch
+	// increments per dispatch; a result or heartbeat carrying a stale
+	// epoch (or arriving after the job left running) is discarded, so
+	// a revoked attempt can never complete its job twice. attempt
+	// counts dispatches, losses counts revoked leases — the retry
+	// budget — and both survive a ledger replay.
+	attempt       int
+	losses        int
+	epoch         uint64
+	lastBeat      time.Time
+	lastExec      string
+	exec          *execState
+	attemptCancel context.CancelFunc
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{} // closed on reaching a terminal state
@@ -156,6 +226,7 @@ func (j *job) statusLocked() Status {
 		Bench:  j.req.Bench,
 		System: j.sys.Name,
 		State:  j.state,
+		Attempt: j.attempt, Executor: j.lastExec,
 		Queued: j.queued, Started: j.started, Finished: j.finished,
 	}
 	if j.err != nil {
@@ -164,16 +235,27 @@ func (j *job) statusLocked() Status {
 	return st
 }
 
+// retryEntry is one reassigned job waiting out its backoff before
+// re-entering the queue.
+type retryEntry struct {
+	j  *job
+	at time.Time
+}
+
 // Scheduler runs submitted jobs on a bounded worker pool. Create one
 // with New; all methods are safe for concurrent use.
 type Scheduler struct {
 	cfg   Config
 	queue chan *job
 
-	mu        sync.Mutex
-	jobs      map[string]*job
-	doneOrder []string // terminal job IDs, oldest first, for eviction
-	draining  bool
+	mu           sync.Mutex
+	jobs         map[string]*job
+	doneOrder    []string // terminal job IDs, oldest first, for eviction
+	draining     bool
+	execs        []*execState // executor fault domains, fixed at New
+	rrNext       int          // round-robin cursor over execs
+	retryPending []retryEntry // reassigned jobs waiting out backoff
+	retryRNG     *rand.Rand   // seeded jitter source, under mu
 
 	wg sync.WaitGroup // worker pool
 
@@ -181,7 +263,11 @@ type Scheduler struct {
 	recovered     atomic.Bool   // startup recovery finished re-enqueueing
 	stopRecovery  chan struct{} // closed by Drain to abort re-enqueueing
 	recoveryDone  chan struct{} // closed when recovery has settled
-	stopWatchdog  chan struct{} // closed by Drain
+	stopRetry     chan struct{} // closed by Drain before the queue closes
+	retryDone     chan struct{} // closed when the retry pump has exited
+	retryWake     chan struct{} // nudges the pump after scheduleRetryLocked
+	stopMonitor   chan struct{} // closed by Drain after the workers exit
+	monitorDone   chan struct{} // closed when the monitor has exited
 	terminalSince int           // terminal records since the last compaction, under mu
 
 	inflight      atomic.Int64
@@ -195,6 +281,10 @@ type Scheduler struct {
 	replayedJobs  atomic.Int64 // non-terminal jobs re-enqueued from the ledger
 	watchdogKills atomic.Int64
 	ledgerErrs    atomic.Int64
+	leaseLost     atomic.Int64 // leases revoked or surrendered
+	reassigned    atomic.Int64 // jobs requeued after a lease loss
+	quarantined   atomic.Int64 // circuit-breaker trips (incl. re-arms)
+	staleResults  atomic.Int64 // late/duplicate attempt outcomes discarded
 
 	runHist  *telemetry.Histogram // run latency, seconds
 	waitHist *telemetry.Histogram // queue wait, seconds
@@ -226,6 +316,48 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.WatchdogTick <= 0 {
 		cfg.WatchdogTick = 250 * time.Millisecond
 	}
+	switch {
+	case cfg.LeaseTTL == 0:
+		cfg.LeaseTTL = 15 * time.Second
+	case cfg.LeaseTTL < 0:
+		cfg.LeaseTTL = 0
+	}
+	if cfg.LeaseTick <= 0 {
+		cfg.LeaseTick = cfg.LeaseTTL / 8
+		if cfg.LeaseTick < 5*time.Millisecond {
+			cfg.LeaseTick = 5 * time.Millisecond
+		}
+		if cfg.LeaseTick > time.Second {
+			cfg.LeaseTick = time.Second
+		}
+	}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 2
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	switch {
+	case cfg.RetryBackoff == 0:
+		cfg.RetryBackoff = 250 * time.Millisecond
+	case cfg.RetryBackoff < 0:
+		cfg.RetryBackoff = 0
+	}
+	if cfg.RetrySeed == 0 {
+		cfg.RetrySeed = 1
+	}
+	switch {
+	case cfg.QuarantineAfter == 0:
+		cfg.QuarantineAfter = 3
+	case cfg.QuarantineAfter < 0:
+		cfg.QuarantineAfter = 0
+	}
+	if cfg.QuarantineFor <= 0 {
+		cfg.QuarantineFor = 30 * time.Second
+	}
+	if len(cfg.Executors) == 0 {
+		cfg.Executors = []Executor{Local("local-0")}
+	}
 	if cfg.Options.Geometry.Clusters == 0 {
 		cfg.Options = dsmnc.DefaultOptions()
 	}
@@ -250,12 +382,31 @@ func New(cfg Config) (*Scheduler, error) {
 		cfg:          cfg,
 		queue:        make(chan *job, cfg.QueueDepth),
 		jobs:         map[string]*job{},
+		retryRNG:     rand.New(rand.NewSource(cfg.RetrySeed)),
 		ledger:       cfg.Ledger,
 		stopRecovery: make(chan struct{}),
 		recoveryDone: make(chan struct{}),
-		stopWatchdog: make(chan struct{}),
+		stopRetry:    make(chan struct{}),
+		retryDone:    make(chan struct{}),
+		retryWake:    make(chan struct{}, 1),
+		stopMonitor:  make(chan struct{}),
+		monitorDone:  make(chan struct{}),
 		runHist:      runHist,
 		waitHist:     waitHist,
+	}
+	seen := map[string]bool{}
+	for _, e := range cfg.Executors {
+		if e == nil || e.Name() == "" {
+			return nil, fmt.Errorf("%w: executors must be non-nil and named", dsmnc.ErrConfig)
+		}
+		if seen[e.Name()] {
+			return nil, fmt.Errorf("%w: duplicate executor name %q", dsmnc.ErrConfig, e.Name())
+		}
+		seen[e.Name()] = true
+		if b, ok := e.(schedulerBound); ok {
+			b.bind(s)
+		}
+		s.execs = append(s.execs, &execState{exec: e, name: e.Name()})
 	}
 	s.runFn = func(ctx context.Context, j *job) (dsmnc.Result, error) {
 		return dsmnc.RunCell(ctx, "serve/"+j.id, j.bench, j.sys, j.opt)
@@ -277,8 +428,11 @@ func New(cfg Config) (*Scheduler, error) {
 		s.recovered.Store(true)
 		close(s.recoveryDone)
 	}
-	if cfg.WatchdogFactor > 0 {
-		go s.watchdog()
+	go s.retryLoop()
+	if cfg.LeaseTTL > 0 || cfg.WatchdogFactor > 0 {
+		go s.monitor()
+	} else {
+		close(s.monitorDone)
 	}
 	return s, nil
 }
@@ -363,6 +517,9 @@ func (s *Scheduler) recoverFromLedger() []*job {
 		j := &job{
 			id: rj.id, req: rj.req, bench: bench, sys: sys, opt: opt,
 			state: StateQueued, queued: rj.queued,
+			// The reassignment budget survives the restart: a job that
+			// lost N leases before the crash resumes with N losses spent.
+			attempt: rj.attempts, losses: rj.attempts,
 			ctx: ctx, cancel: cancel, done: make(chan struct{}),
 		}
 		s.jobs[j.id] = j
@@ -417,7 +574,7 @@ func (s *Scheduler) reenqueue(jobs []*job) {
 
 // Recovered reports whether startup ledger recovery has finished
 // re-enqueueing; a scheduler without a ledger (or with nothing to
-// replay) is recovered from birth. The HTTP binding keeps /healthz at
+// replay) is recovered from birth. The HTTP binding keeps /readyz at
 // 503 until this turns true.
 func (s *Scheduler) Recovered() bool { return s.recovered.Load() }
 
@@ -427,35 +584,52 @@ func (s *Scheduler) RecoveryStats() (restored, replayed int64) {
 	return s.restoredJobs.Load(), s.replayedJobs.Load()
 }
 
-// watchdog periodically force-fails running jobs that have overrun
-// their deadline by WatchdogFactor without settling: the engine is
-// contractually obliged to notice cancellation within a poll interval,
-// so a job this far over is wedged. The job settles as failed with
-// ErrWatchdog; the stuck goroutine's eventual return is discarded.
-func (s *Scheduler) watchdog() {
-	t := time.NewTicker(s.cfg.WatchdogTick)
+// monitor is the scheduler's supervisor goroutine, merging the lease
+// scan and the deadline watchdog: a running job whose last heartbeat is
+// older than LeaseTTL has its lease revoked and is reassigned
+// (leaseLostLocked applies the retry budget and circuit breaker), and a
+// job that overran its deadline by WatchdogFactor without settling is
+// force-failed with ErrWatchdog — the engine is contractually obliged
+// to notice cancellation within a poll interval, so a job this far over
+// is wedged and its eventual return is discarded by the epoch guard.
+// The monitor outlives the workers (Drain stops it last) so executors
+// blocked on a dead attempt are still revoked during a drain.
+func (s *Scheduler) monitor() {
+	defer close(s.monitorDone)
+	tick := s.cfg.WatchdogTick
+	if s.cfg.LeaseTTL > 0 && (s.cfg.WatchdogFactor <= 0 || s.cfg.LeaseTick < tick) {
+		tick = s.cfg.LeaseTick
+	}
+	t := time.NewTicker(tick)
 	defer t.Stop()
 	for {
 		select {
-		case <-s.stopWatchdog:
+		case <-s.stopMonitor:
 			return
 		case now := <-t.C:
 			s.mu.Lock()
 			for _, j := range s.jobs {
-				if j.state != StateRunning || j.opt.CellTimeout <= 0 {
+				if j.state != StateRunning {
 					continue
 				}
-				limit := time.Duration(float64(j.opt.CellTimeout) * s.cfg.WatchdogFactor)
-				if now.Sub(j.started) <= limit {
+				if s.cfg.LeaseTTL > 0 && now.Sub(j.lastBeat) > s.cfg.LeaseTTL {
+					s.leaseLostLocked(j, j.exec, fmt.Errorf("no heartbeat for %v (executor %s)",
+						now.Sub(j.lastBeat).Round(time.Millisecond), j.lastExec))
 					continue
 				}
-				j.state = StateFailed
-				j.err = fmt.Errorf("%w: ran %v against a %v deadline",
-					ErrWatchdog, now.Sub(j.started).Round(time.Millisecond), j.opt.CellTimeout)
-				j.finished = now
-				s.failed.Add(1)
-				s.watchdogKills.Add(1)
-				s.settleLocked(j)
+				if s.cfg.WatchdogFactor > 0 && j.opt.CellTimeout > 0 {
+					limit := time.Duration(float64(j.opt.CellTimeout) * s.cfg.WatchdogFactor)
+					if now.Sub(j.started) <= limit {
+						continue
+					}
+					j.state = StateFailed
+					j.err = fmt.Errorf("%w: ran %v against a %v deadline",
+						ErrWatchdog, now.Sub(j.started).Round(time.Millisecond), j.opt.CellTimeout)
+					j.finished = now
+					s.failed.Add(1)
+					s.watchdogKills.Add(1)
+					s.settleLocked(j)
+				}
 			}
 			s.mu.Unlock()
 		}
@@ -538,21 +712,33 @@ func (s *Scheduler) Submit(req Request) (Status, error) {
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		s.run(j)
+		s.dispatch(j)
 	}
 }
 
-// run executes one dequeued job through the cell engine and settles its
-// terminal state.
-func (s *Scheduler) run(j *job) {
+// dispatch runs one dequeued job's next attempt: pick an executor fault
+// domain (avoiding the one that just lost this job's lease), grant a
+// lease under a fresh epoch, execute, and deliver the outcome through
+// the epoch guard.
+func (s *Scheduler) dispatch(j *job) {
 	s.mu.Lock()
 	if j.state != StateQueued {
-		// Canceled while waiting; already settled.
+		// Canceled (or otherwise settled) while waiting; nothing to run.
 		s.mu.Unlock()
 		return
 	}
+	es := s.pickExecutorLocked(j.lastExec)
+	j.exec = es
+	j.lastExec = es.name
 	j.state = StateRunning
-	j.started = time.Now()
+	j.attempt++
+	j.epoch++
+	epoch := j.epoch
+	now := time.Now()
+	j.started = now
+	j.lastBeat = now
+	actx, acancel := context.WithCancel(j.ctx)
+	j.attemptCancel = acancel
 	s.notifyLocked(j)
 	if s.ledger != nil {
 		// Advisory: losing a started record costs nothing at recovery —
@@ -561,20 +747,46 @@ func (s *Scheduler) run(j *job) {
 			s.ledgerErrs.Add(1)
 		}
 	}
+	task := &Task{ID: j.id, Attempt: j.attempt, Request: j.req, job: j}
+	lease := &Lease{s: s, j: j, epoch: epoch}
+	exec := es.exec
+	firstAttempt := j.attempt == 1
+	queuedAt := j.queued
 	s.mu.Unlock()
+
 	s.inflight.Add(1)
-	s.waitHist.Observe(j.started.Sub(j.queued).Seconds())
-
-	res, err := s.runFn(j.ctx, j)
-
+	if firstAttempt {
+		s.waitHist.Observe(now.Sub(queuedAt).Seconds())
+	}
+	res, err := exec.Execute(actx, task, lease)
 	s.inflight.Add(-1)
+	acancel()
+	s.deliver(j, es, epoch, res, err)
+}
+
+// deliver settles one attempt's outcome through the epoch guard: a
+// result from a revoked or superseded attempt (the job left running, or
+// a newer epoch holds the lease) is discarded, which is what makes
+// completion exactly-once under reassignment. A live outcome settles
+// the job — done, canceled (the job's own context), reassigned
+// (ErrLeaseLost, transient), or failed (everything else, permanent).
+func (s *Scheduler) deliver(j *job, es *execState, epoch uint64, res dsmnc.Result, err error) {
 	s.mu.Lock()
-	if j.state.Terminal() {
-		// The watchdog settled this job while the engine was wedged; its
-		// late return is discarded.
-		s.mu.Unlock()
+	defer s.mu.Unlock()
+	if j.state != StateRunning || j.epoch != epoch {
+		// Late or duplicate: the watchdog settled the job, the lease was
+		// revoked, or a reassigned attempt already answered.
+		s.staleResults.Add(1)
 		return
 	}
+	if errors.Is(err, ErrLeaseLost) && context.Cause(j.ctx) != context.Canceled {
+		// The executor surrendered the lease (transient infrastructure
+		// failure): reassign rather than fail, unless the job itself was
+		// canceled — a canceled job is never retried.
+		s.leaseLostLocked(j, es, err)
+		return
+	}
+	es.noteDeliveredLocked()
 	j.finished = time.Now()
 	s.runHist.Observe(j.finished.Sub(j.started).Seconds())
 	switch {
@@ -594,7 +806,152 @@ func (s *Scheduler) run(j *job) {
 		s.failed.Add(1)
 	}
 	s.settleLocked(j)
-	s.mu.Unlock()
+}
+
+// leaseLostLocked handles one revoked or surrendered lease: cancel the
+// attempt (unblocking an executor stuck in it), charge the executor's
+// circuit breaker, and either reassign the job with backoff, fail it
+// once the retry budget is spent, or — during a drain — settle it
+// canceled so nothing is requeued behind a closing pump. Callers hold
+// mu; the job is in StateRunning.
+func (s *Scheduler) leaseLostLocked(j *job, es *execState, cause error) {
+	now := time.Now()
+	s.leaseLost.Add(1)
+	if j.attemptCancel != nil {
+		j.attemptCancel()
+	}
+	if es != nil && es.noteLostLocked(s.cfg.QuarantineAfter, s.cfg.QuarantineFor, now) {
+		s.quarantined.Add(1)
+	}
+	j.losses++
+	switch {
+	case s.draining:
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.finished = now
+		s.canceled.Add(1)
+		s.settleLocked(j)
+	case j.losses > s.cfg.MaxRetries:
+		j.state = StateFailed
+		j.err = fmt.Errorf("%w: gave up after %d attempts: %v", ErrLeaseLost, j.attempt, cause)
+		j.finished = now
+		s.failed.Add(1)
+		s.settleLocked(j)
+	default:
+		j.state = StateQueued
+		j.err = nil
+		j.started = time.Time{}
+		s.reassigned.Add(1)
+		if p := s.cfg.Progress; p != nil {
+			p.CellsRetried.Add(1)
+		}
+		if s.ledger != nil {
+			if lerr := s.ledger.reassigned(j.id, j.losses, now); lerr != nil {
+				s.ledgerErrs.Add(1)
+			}
+		}
+		s.notifyLocked(j)
+		s.scheduleRetryLocked(j, now)
+	}
+}
+
+// scheduleRetryLocked hands a reassigned job to the retry pump after
+// its backoff: exponential in consecutive losses, deterministically
+// jittered by the seeded RNG. Callers hold mu.
+func (s *Scheduler) scheduleRetryLocked(j *job, now time.Time) {
+	delay := retryDelay(s.cfg.RetryBackoff, maxRetryBackoff, j.losses, s.retryRNG)
+	s.retryPending = append(s.retryPending, retryEntry{j: j, at: now.Add(delay)})
+	select {
+	case s.retryWake <- struct{}{}:
+	default:
+	}
+}
+
+// retryLoop is the retry pump: the only goroutine that feeds reassigned
+// jobs back into the queue, so Drain can stop it (stopRetry, joined via
+// retryDone) before closing the channel it sends on. Jobs canceled
+// while waiting out their backoff are dropped; jobs still pending when
+// the pump stops settle canceled, mirroring the recovery refill.
+func (s *Scheduler) retryLoop() {
+	defer close(s.retryDone)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		var due *job
+		var next time.Time
+		keep := s.retryPending[:0]
+		now := time.Now()
+		for _, e := range s.retryPending {
+			switch {
+			case e.j.state != StateQueued:
+				// Settled while waiting out the backoff; drop it.
+			case due == nil && !e.at.After(now):
+				due = e.j
+			default:
+				keep = append(keep, e)
+				if next.IsZero() || e.at.Before(next) {
+					next = e.at
+				}
+			}
+		}
+		s.retryPending = keep
+		s.mu.Unlock()
+		if due != nil {
+			select {
+			case s.queue <- due:
+			case <-s.stopRetry:
+				s.settlePendingRetries(due)
+				return
+			}
+			continue
+		}
+		var wait <-chan time.Time
+		if !next.IsZero() {
+			timer.Reset(time.Until(next))
+			wait = timer.C
+		}
+		select {
+		case <-s.stopRetry:
+			s.settlePendingRetries(nil)
+			return
+		case <-s.retryWake:
+		case <-wait:
+		}
+		if wait != nil && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+}
+
+// settlePendingRetries cancels every reassigned job still waiting on
+// the stopped pump (plus the one that was mid-send, if any): with the
+// pump gone they would queue forever, and a drain's contract is that
+// every job settles.
+func (s *Scheduler) settlePendingRetries(extra *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pend := s.retryPending
+	s.retryPending = nil
+	if extra != nil {
+		pend = append(pend, retryEntry{j: extra})
+	}
+	for _, e := range pend {
+		if e.j.state != StateQueued {
+			continue
+		}
+		e.j.state = StateCanceled
+		e.j.err = context.Canceled
+		e.j.finished = time.Now()
+		s.canceled.Add(1)
+		s.settleLocked(e.j)
+	}
 }
 
 // settleLocked finalizes a job that just reached a terminal state:
@@ -670,6 +1027,10 @@ func (s *Scheduler) compactLedgerLocked() {
 		if !j.started.IsZero() {
 			recs = append(recs, ledgerRecord{Kind: recStarted, ID: j.id, Time: j.started})
 		}
+		if j.losses > 0 && !j.state.Terminal() {
+			// Preserve the spent retry budget across the rewrite.
+			recs = append(recs, ledgerRecord{Kind: recReassigned, ID: j.id, Time: j.queued, Attempt: j.losses})
+		}
 		if j.state.Terminal() {
 			rec := ledgerRecord{Kind: recTerminal, ID: j.id, Time: j.finished, State: j.state}
 			if j.err != nil {
@@ -688,8 +1049,8 @@ func (s *Scheduler) compactLedgerLocked() {
 }
 
 // notifyLocked pushes the job's current status to its watchers; the
-// channel capacity covers every possible transition, so the send never
-// blocks.
+// channel capacity covers every possible transition (watchCapacity), so
+// the send never blocks.
 func (s *Scheduler) notifyLocked(j *job) {
 	st := j.statusLocked()
 	for _, ch := range j.subs {
@@ -741,6 +1102,15 @@ func (s *Scheduler) Wait(ctx context.Context, id string) (Status, error) {
 	}
 }
 
+// watchCapacity sizes a watcher's channel to the worst-case transition
+// count of one job lifetime: the initial snapshot, then per attempt one
+// running notification and one requeue notification (a lease loss moves
+// the job back to queued), then the terminal status — 2×(MaxRetries+1)
+// notifications after the snapshot, plus one slot of headroom.
+func (s *Scheduler) watchCapacity() int {
+	return 2*(s.cfg.MaxRetries+1) + 2
+}
+
 // Watch returns a channel of the job's status updates: its current
 // status immediately, then one per transition; the channel closes after
 // the terminal status is delivered. The HTTP stream endpoint is a thin
@@ -753,8 +1123,9 @@ func (s *Scheduler) Watch(id string) (<-chan Status, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
 	}
 	// Capacity covers the initial status plus every remaining
-	// transition, so notifyLocked never drops for a draining reader.
-	ch := make(chan Status, 4)
+	// transition — including the Queued→Running→Queued cycles retries
+	// add — so notifyLocked never drops for a draining reader.
+	ch := make(chan Status, s.watchCapacity())
 	ch <- j.statusLocked()
 	if j.state.Terminal() {
 		close(ch)
@@ -791,22 +1162,24 @@ func (s *Scheduler) Cancel(id string) (Status, error) {
 // Drain shuts the scheduler down gracefully: intake stops (submissions
 // shed with ErrDraining), queued and running jobs are given until ctx
 // ends to finish, then the stragglers are canceled and awaited. When
-// Drain returns, every job is settled and every worker goroutine has
-// exited; the error is ctx's if the deadline forced cancellations.
+// Drain returns, every job is settled and every goroutine — workers,
+// retry pump, monitor — has exited; the error is ctx's if the deadline
+// forced cancellations.
 func (s *Scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	wasDraining := s.draining
 	if !wasDraining {
 		s.draining = true
 		close(s.stopRecovery)
-		close(s.stopWatchdog)
 	}
 	s.mu.Unlock()
 	if !wasDraining {
-		// The recovery refill sends on the queue; wait for it to stop
-		// (it observes stopRecovery and settles its remainder canceled)
-		// before closing the channel it sends on.
+		// The recovery refill and the retry pump send on the queue; stop
+		// both (each settles its unqueued remainder canceled) before
+		// closing the channel they send on.
 		<-s.recoveryDone
+		close(s.stopRetry)
+		<-s.retryDone
 		close(s.queue)
 	}
 
@@ -839,10 +1212,18 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		<-settled
 		err = ctx.Err()
 	}
-	if !wasDraining && s.ledger != nil {
-		// Every transition is already fsync'd; closing just releases the
-		// file handle.
-		_ = s.ledger.Close()
+	if !wasDraining {
+		// The monitor outlives the workers: an executor blocked on a
+		// dead attempt is unblocked by lease revocation, which is what
+		// lets wg.Wait() finish. Only then is there nothing left to
+		// supervise.
+		close(s.stopMonitor)
+		<-s.monitorDone
+		if s.ledger != nil {
+			// Every transition is already fsync'd; closing just releases
+			// the file handle.
+			_ = s.ledger.Close()
+		}
 	}
 	return err
 }

@@ -46,6 +46,14 @@ var ErrUnknownJob = errors.New("serve: unknown job")
 // The loader never panics, whatever the bytes — FuzzLedger enforces it.
 var ErrBadLedger = errors.New("serve: malformed job ledger")
 
+// ErrLeaseLost marks a transient executor failure: an attempt's lease
+// expired without renewal (worker crash, stall, dropped result) or the
+// executor surrendered it. Unlike engine or config errors it does not
+// fail the job — the scheduler reassigns the job to another executor
+// with backoff until the retry budget is spent, at which point the job
+// fails with an ErrLeaseLost-wrapped error.
+var ErrLeaseLost = errors.New("serve: executor lease lost")
+
 // ErrWatchdog marks a job the watchdog force-failed: it overran its
 // deadline by the configured factor without settling, which means the
 // engine stopped honoring its context. The job's worker slot is
