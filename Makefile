@@ -4,7 +4,7 @@ BENCHTIME ?= 1x
 BENCH_OUT ?= BENCH_baseline.json
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build test race vet fuzz check resume-smoke serve-smoke crash-smoke chaos-smoke telemetry bench bench-check cover ci
+.PHONY: build test race vet fuzz check resume-smoke serve-smoke crash-smoke chaos-smoke explore-smoke telemetry bench bench-check cover ci
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,8 @@ vet:
 
 # Fuzz the hardened decoders for a bounded burst each: the binary
 # trace reader, the snapshot loader, the job-request decoder, the
-# job-ledger loader and the status/readiness wire documents.
+# job-ledger loader, the status/readiness wire documents and the
+# design-space spec decoder.
 fuzz:
 	$(GO) test -run '^FuzzReader$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./trace
 	$(GO) test -run '^FuzzSnapshot$$' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/sim
@@ -31,6 +32,7 @@ fuzz:
 	$(GO) test -run '^FuzzJobRequest$$' -fuzz '^FuzzJobRequest$$' -fuzztime $(FUZZTIME) ./serve
 	$(GO) test -run '^FuzzLedger$$' -fuzz '^FuzzLedger$$' -fuzztime $(FUZZTIME) ./serve
 	$(GO) test -run '^FuzzStatusJSON$$' -fuzz '^FuzzStatusJSON$$' -fuzztime $(FUZZTIME) ./serve
+	$(GO) test -run '^FuzzExploreSpace$$' -fuzz '^FuzzExploreSpace$$' -fuzztime $(FUZZTIME) ./explore
 
 # The checked acceptance matrix: every workload x every principal
 # system organization under the coherence invariant checker.
@@ -61,6 +63,18 @@ serve-smoke:
 # field-identical to testdata/golden.
 crash-smoke:
 	$(GO) test -run 'TestCrashTorture' -count=1 ./cmd/dsmserved
+
+# The exploration gate (docs/explore.md): the engine end-to-end against
+# a real scheduler (enumerate -> prune -> simulate -> frontier, with the
+# re-run required byte-identical), the model-vs-simulator cross-
+# validation over the committed golden corpus (pruning power, pruning
+# safety, Kendall-tau rank agreement), and the built-binary e2e: POST
+# /v1/explore, coalesce a duplicate spec, SIGKILL mid-exploration,
+# restart on the same ledger, and require the recovered report byte-
+# identical to a clean run's.
+explore-smoke:
+	$(GO) test -run 'TestEngineEndToEnd|TestCrossValidation' -count=1 ./explore
+	$(GO) test -run 'TestExploreEndToEndBinary' -count=1 ./cmd/dsmserved
 
 # The chaos gate (docs/robustness.md §6): soak the lease fabric under
 # the race detector with seeded injection of every fault kind — crash,
@@ -111,7 +125,8 @@ cover:
 	}; \
 	floor ./internal/directory 45; \
 	floor ./internal/core 66; \
-	floor ./serve 70
+	floor ./serve 70; \
+	floor ./explore 70
 
 # Tier-1+ gate (ROADMAP.md): everything CI runs.
-ci: vet build test race fuzz resume-smoke serve-smoke crash-smoke chaos-smoke telemetry cover
+ci: vet build test race fuzz resume-smoke serve-smoke crash-smoke chaos-smoke explore-smoke telemetry cover

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"dsmnc"
+	"dsmnc/explore"
 	"dsmnc/serve"
 	"dsmnc/telemetry"
 	"dsmnc/workload"
@@ -35,7 +36,11 @@ func newTestServer(t *testing.T, cfg serve.Config) (*httptest.Server, *serve.Sch
 	if err := s.RegisterMetrics(reg); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(s, reg))
+	runner := &explore.Runner{Engine: &explore.Engine{Sub: s}}
+	if err := runner.RegisterMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(s, runner, reg))
 	t.Cleanup(func() {
 		ts.Close()
 		if err := s.Drain(context.Background()); err != nil {

@@ -3,15 +3,25 @@
 // frontier the paper's Figure 2 sketches qualitatively: remote read
 // stall as a function of how the RDC budget is spent.
 //
+// The sweep itself is the explore package's: the systems are declared
+// as two exploration specs (marked exhaustive so every row simulates),
+// run through the engine on an in-process scheduler, and read back out
+// of the canonical reports. The two infinite reference systems (the
+// infDRAM normalization anchor and the NCS upper bound) are outside any
+// finite design space, so they run directly.
+//
 //	go run ./examples/design-space [benchmark]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"dsmnc"
+	"dsmnc/explore"
+	"dsmnc/serve"
 	"dsmnc/workload"
 )
 
@@ -38,35 +48,55 @@ func main() {
 	}
 	norm := float64(baseline.Stall().Total())
 
-	var systems []dsmnc.System
-	// Pure SRAM NCs of growing size.
-	for _, kb := range []int{1, 4, 16, 64} {
-		systems = append(systems, named(dsmnc.VB(kb<<10), fmt.Sprintf("vb%dK", kb)))
+	sched, err := serve.New(serve.Config{QueueDepth: explore.MaxPoints})
+	if err != nil {
+		log.Fatal(err)
 	}
-	// DRAM NC.
-	systems = append(systems, dsmnc.NCD())
-	// 16 KB victim NC with growing page caches.
-	for _, frac := range []int{9, 7, 5, 3} {
-		systems = append(systems, dsmnc.VBPFrac(16<<10, frac))
+	defer func() { _ = sched.Drain(context.Background()) }()
+	eng := &explore.Engine{Sub: sched}
+
+	// Pure SRAM victim NCs of growing size, plus the DRAM NC.
+	sizes, err := eng.Run(context.Background(), explore.Space{
+		Bench: name, Tech: []string{"sram", "dram"}, Orgs: []string{"vb"},
+		NCKB: []int{1, 4, 16, 64}, Exhaustive: true,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	systems = append(systems, dsmnc.NCS())
+	// A 16 KB victim NC with growing page caches.
+	pcs, err := eng.Run(context.Background(), explore.Space{
+		Bench: name, Tech: []string{"sram"}, Orgs: []string{"vbp"},
+		NCKB: []int{16}, PCFrac: []int{3, 5, 7, 9}, Exhaustive: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%-8s %16s %16s %10s\n", "system", "stall(norm)", "traffic(blk)", "relocs")
-	for _, sys := range systems {
-		res, err := dsmnc.Run(bench, sys, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-8s %16.3f %16d %10d\n",
-			res.System,
-			float64(res.Stall().Total())/norm,
-			res.Traffic().Total(),
-			res.Counters.Relocations)
+	for _, kb := range []int{1, 4, 16, 64} {
+		row(sizes, fmt.Sprintf("sram-vb-%dK-w4", kb), fmt.Sprintf("vb%dK", kb), norm)
 	}
+	row(sizes, "dram-512K", "NCD", norm)
+	for _, frac := range []int{9, 7, 5, 3} { // growing page caches
+		row(pcs, fmt.Sprintf("sram-vbp-16K-w4-pc%d", frac), fmt.Sprintf("vbp%d", frac), norm)
+	}
+	ncs, err := dsmnc.Run(bench, dsmnc.NCS(), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %16.3f %16d %10d\n",
+		"NCS", float64(ncs.Stall().Total())/norm, ncs.Traffic().Total(), ncs.Counters.Relocations)
 	fmt.Println("\nstall normalized to an infinite DRAM NC (as in the paper's Fig. 9)")
 }
 
-func named(s dsmnc.System, name string) dsmnc.System {
-	s.Name = name
-	return s
+// row prints one simulated report point under its table label.
+func row(rep *explore.Report, point, label string, norm float64) {
+	for _, p := range rep.Points {
+		if p.Name == point {
+			fmt.Printf("%-8s %16.3f %16d %10d\n",
+				label, float64(p.SimStall)/norm, p.TrafficBlocks, p.Relocations)
+			return
+		}
+	}
+	log.Fatalf("report is missing point %s", point)
 }

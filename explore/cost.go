@@ -1,0 +1,61 @@
+package explore
+
+// The SRAM bit-cost account: the x-axis of the exploration plane. The
+// cost of a configuration is the SRAM it adds to the remote-data
+// controller — data and tag bits for an SRAM NC, tag bits only for a
+// DRAM NC (the data array is commodity DRAM), the per-set victimization
+// counters for vxp, and nothing for the page cache (its frames live in
+// main memory, managed by the OS). The baseline therefore costs zero,
+// and equal-geometry SRAM organizations cost the same: the plane
+// isolates *organization* choices from *budget* choices.
+
+import (
+	"math"
+	"math/bits"
+
+	"dsmnc"
+	"dsmnc/memsys"
+)
+
+// Per-line and per-set overhead widths. State is the MOESI/validity
+// encoding; the counter width matches the 16-bit per-set victimization
+// counters of the vxp organization.
+const (
+	costStateBits   = 3
+	costCounterBits = 16
+)
+
+// CostBits returns the SRAM bit cost of a system configuration.
+// Infinite reference organizations (NCS, infDRAM) are not buildable
+// hardware; they cost MaxInt64/2 so they never dominate a finite point.
+func CostBits(s dsmnc.System) int64 {
+	switch s.NC {
+	case dsmnc.NCNone:
+		return 0
+	case dsmnc.NCInfiniteSRAM, dsmnc.NCInfiniteDRAM:
+		return math.MaxInt64 / 2
+	}
+	lines := int64(s.NCBytes / memsys.BlockBytes)
+	ways := int64(s.NCWays)
+	if ways <= 0 {
+		ways = 1
+	}
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Tag width: the address bits not implied by the set index and the
+	// block offset.
+	tag := int64(memsys.AddrSpaceBits) - int64(bits.Len64(uint64(sets)-1)) - memsys.BlockShift
+	if tag < 1 {
+		tag = 1
+	}
+	cost := lines * (tag + costStateBits)
+	if s.NC != dsmnc.NCInclusiveDRAM {
+		cost += int64(s.NCBytes) * 8 // the SRAM data array itself
+	}
+	if s.Counters == dsmnc.CountersNCSet {
+		cost += sets * costCounterBits
+	}
+	return cost
+}

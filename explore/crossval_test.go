@@ -1,0 +1,233 @@
+package explore
+
+// The standing cross-validation gate: the analytic estimator against
+// the committed 40-cell golden corpus. The corpus is the enumeration of
+// the paper's principal organizations ({base, nc, vb, vp, vxp5-t32} x 8
+// benchmarks at ScaleSmall); the committed counters are the simulated
+// truth. The test holds three invariants:
+//
+//  1. Pruning power: strict dominance on the (predicted stall, cost)
+//     plane discards at least half of the enumerated configurations.
+//  2. Pruning safety: no true Pareto point is lost — every point of the
+//     frontier computed from the *simulated* stalls of ALL
+//     configurations is still reachable from the pruning survivors
+//     (same cost, same simulated stall).
+//  3. Rank agreement: the Kendall tau-b between predicted and simulated
+//     stalls over the whole corpus stays above the pinned floor.
+//
+// The estimator constants (orgEff, relocChurn, the capture curve) are
+// calibrated against exactly this corpus; if a simulator change
+// regenerates the golden files and breaks one of the invariants, the
+// constants need re-calibrating — that is this test doing its job.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsmnc"
+	"dsmnc/stats"
+	"dsmnc/workload"
+)
+
+// tauFloor is the pinned Kendall tau-b floor for predicted-vs-simulated
+// stall rank agreement over the full corpus.
+const tauFloor = 0.80
+
+// corpusSpace is the Space whose enumeration is exactly the golden
+// corpus cells for one benchmark.
+func corpusSpace(bench string) Space {
+	return Space{
+		Bench:      bench,
+		Tech:       []string{"none", "sram"},
+		Orgs:       []string{"nc", "vb", "vp", "vxp"},
+		NCKB:       []int{16},
+		Ways:       []int{4},
+		PCFrac:     []int{5},
+		Thresholds: []int{32},
+	}
+}
+
+// goldenCell mirrors the committed corpus schema.
+type goldenCell struct {
+	Refs  int64          `json:"refs"`
+	Stats stats.Counters `json:"stats"`
+}
+
+// loadCell reads one committed golden cell.
+func loadCell(t *testing.T, sys dsmnc.System, bench string) goldenCell {
+	t.Helper()
+	name := strings.NewReplacer("(", "-", ")", "", "/", "-", " ", "").Replace(sys.Name)
+	raw, err := os.ReadFile(filepath.Join("..", "testdata", "golden", name+"_"+bench+".json"))
+	if err != nil {
+		t.Fatalf("golden corpus cell: %v", err)
+	}
+	var c goldenCell
+	if err := json.Unmarshal(raw, &c); err != nil {
+		t.Fatalf("golden corpus cell %s_%s: %v", name, bench, err)
+	}
+	return c
+}
+
+func TestCrossValidation(t *testing.T) {
+	lat := stats.DefaultLatencies()
+	var enumerated, discarded int
+	var pred, sim []float64 // pooled, for the rank-agreement floor
+
+	for _, bench := range workload.Names() {
+		t.Run(bench, func(t *testing.T) {
+			pts, err := corpusSpace(bench).Enumerate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pts) != 5 {
+				t.Fatalf("corpus space enumerated %d points, want 5", len(pts))
+			}
+			base := loadCell(t, dsmnc.Base(), bench)
+			est := Estimator{
+				Lat:         lat,
+				Geometry:    dsmnc.DefaultOptions().Geometry,
+				SharedBytes: workload.ByName(bench, workload.ScaleSmall).SharedBytes,
+				Base:        base.Stats,
+			}
+			predStall := make([]int64, len(pts))
+			simStall := make([]int64, len(pts))
+			for i, pt := range pts {
+				p, err := est.Predict(pt.Sys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cell := loadCell(t, pt.Sys, bench)
+				m := stats.Model{Lat: lat, Tech: pt.Sys.Tech()}
+				predStall[i] = p.Stall.Total()
+				simStall[i] = m.RemoteReadStall(&cell.Stats).Total()
+				pred = append(pred, float64(predStall[i]))
+				sim = append(sim, float64(simStall[i]))
+			}
+
+			cost := func(i int) int64 { return pts[i].Cost }
+			pruned := dominatedBy(len(pts), cost, func(i int) int64 { return predStall[i] })
+			truth := dominatedBy(len(pts), cost, func(i int) int64 { return simStall[i] })
+
+			enumerated += len(pts)
+			kept := 0
+			for i := range pts {
+				if pruned[i] < 0 {
+					kept++
+				} else {
+					discarded++
+				}
+			}
+			t.Logf("kept %d/%d", kept, len(pts))
+			for i := range pts {
+				t.Logf("  %-22s cost %8d pred %10d sim %10d pruned=%v frontier=%v",
+					pts[i].Name, pts[i].Cost, predStall[i], simStall[i], pruned[i] >= 0, truth[i] < 0)
+			}
+
+			// Safety: every true frontier point survives — same cost and
+			// same simulated stall reachable among the kept points.
+			for f := range pts {
+				if truth[f] >= 0 {
+					continue
+				}
+				covered := false
+				for k := range pts {
+					if pruned[k] < 0 && pts[k].Cost == pts[f].Cost && simStall[k] == simStall[f] {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Errorf("pruning lost true frontier point %s (cost %d, sim stall %d)",
+						pts[f].Name, pts[f].Cost, simStall[f])
+				}
+			}
+		})
+	}
+
+	if enumerated == 0 || discarded*2 < enumerated {
+		t.Errorf("pruning discarded %d of %d enumerated configs, want >= 50%%", discarded, enumerated)
+	} else {
+		t.Logf("pruning discarded %d/%d (%.1f%%)", discarded, enumerated, 100*float64(discarded)/float64(enumerated))
+	}
+
+	tau := kendallTauB(pred, sim)
+	t.Logf("Kendall tau-b over %d cells: %.4f (floor %.2f)", len(pred), tau, tauFloor)
+	if tau < tauFloor {
+		t.Errorf("model-vs-simulator rank agreement tau %.4f below the %.2f floor", tau, tauFloor)
+	}
+}
+
+// kendallTauB computes the tie-corrected Kendall rank correlation.
+func kendallTauB(x, y []float64) float64 {
+	var conc, disc, tieX, tieY float64
+	for i := 0; i < len(x); i++ {
+		for j := i + 1; j < len(x); j++ {
+			dx, dy := x[i]-x[j], y[i]-y[j]
+			switch {
+			case dx == 0 && dy == 0: // tied in both: excluded
+			case dx == 0:
+				tieX++
+			case dy == 0:
+				tieY++
+			case (dx > 0) == (dy > 0):
+				conc++
+			default:
+				disc++
+			}
+		}
+	}
+	den := math.Sqrt((conc + disc + tieX) * (conc + disc + tieY))
+	if den == 0 {
+		return 0
+	}
+	return (conc - disc) / den
+}
+
+// TestEstimatorMonotone checks the estimator's structural guarantees on
+// a synthetic baseline: capture grows with NC size and associativity,
+// and the organization ordering vb >= vp >= nc holds pointwise.
+func TestEstimatorMonotone(t *testing.T) {
+	var base stats.Counters
+	base.Refs.Read = 1 << 20
+	base.RemoteByClass[stats.Capacity].Read = 100000
+	base.RemoteByClass[stats.Cold].Read = 5000
+	est := Estimator{
+		Lat:         stats.DefaultLatencies(),
+		Geometry:    dsmnc.DefaultOptions().Geometry,
+		SharedBytes: 4 << 20,
+		Base:        base,
+	}
+	stall := func(sys dsmnc.System) int64 {
+		p, err := est.Predict(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Stall.Total()
+	}
+	prev := int64(math.MaxInt64)
+	for _, kb := range []int{4, 16, 64, 256} {
+		s := stall(dsmnc.VB(kb << 10))
+		if s >= prev {
+			t.Errorf("vb %dK predicted stall %d did not improve on the smaller size (%d)", kb, s, prev)
+		}
+		prev = s
+	}
+	if a, b := stall(dsmnc.VB(16<<10)), stall(dsmnc.VP(16<<10)); a > b {
+		t.Errorf("vb (%d) predicted worse than vp (%d)", a, b)
+	}
+	if a, b := stall(dsmnc.VP(16<<10)), stall(dsmnc.NC(16<<10)); a > b {
+		t.Errorf("vp (%d) predicted worse than nc (%d)", a, b)
+	}
+	way2 := dsmnc.VB(16 << 10)
+	way2.NCWays = 2
+	if a, b := stall(dsmnc.VB(16<<10)), stall(way2); a > b {
+		t.Errorf("4-way (%d) predicted worse than 2-way (%d)", a, b)
+	}
+	if _, err := est.Predict(dsmnc.NCS()); err == nil {
+		t.Error("predicting an infinite organization should fail")
+	}
+}

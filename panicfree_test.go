@@ -4,7 +4,7 @@ package dsmnc
 // impossible configurations and protocol-state corruption all surface as
 // wrapped sentinel errors (ErrConfig, sim.ErrProtocol, sim.ErrBadRef,
 // trace.ErrBadTrace, check.ErrInvariant, telemetry.ErrBadEventTrace,
-// serve.ErrBadRequest), never as panics. This test
+// serve.ErrBadRequest, explore.ErrBadSpace), never as panics. This test
 // walks the AST of every non-test source file in the library packages
 // and fails on any panic call, so a regression names its exact position.
 
@@ -21,7 +21,7 @@ import (
 // panicFreeDirs are the library packages the contract covers. cmd/ and
 // examples/ are deliberately excluded: terminating a CLI on a fatal
 // error is fine (they use log.Fatal / os.Exit, not panic, regardless).
-var panicFreeDirs = []string{".", "internal", "trace", "memsys", "stats", "workload", "telemetry", "serve"}
+var panicFreeDirs = []string{".", "internal", "trace", "memsys", "stats", "workload", "telemetry", "serve", "explore"}
 
 func TestSimulationStackIsPanicFree(t *testing.T) {
 	fset := token.NewFileSet()

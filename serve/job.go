@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dsmnc"
+	"dsmnc/memsys"
 	"dsmnc/workload"
 )
 
@@ -30,6 +31,12 @@ const defaultNCBytes = 16 << 10
 // request leaves it unset (the paper's Figure 11 baseline).
 const defaultVXPThreshold = 32
 
+// defaultNCWays is the paper's fixed NC associativity (§5.1).
+const defaultNCWays = 4
+
+// defaultNCDBytes is the paper's 512 KB inclusive DRAM NC.
+const defaultNCDBytes = 512 << 10
+
 // Request names one simulation job: a benchmark, a system organization
 // from the paper's design space, and the knobs that size it. The zero
 // values of the optional fields mean "the paper's defaults".
@@ -40,9 +47,12 @@ type Request struct {
 	// System is the organization: base, origin, NCS, NCD, infDRAM,
 	// nc, vb, vp, pc or vxp.
 	System string `json:"system"`
-	// NCBytes sizes the network cache of nc/vb/vp/vxp systems;
-	// 0 means the paper's 16 KB.
+	// NCBytes sizes the network cache of nc/vb/vp/vxp systems (0 means
+	// the paper's 16 KB) and of NCD (0 means the paper's 512 KB).
 	NCBytes int `json:"nc_bytes,omitempty"`
+	// NCWays sets the NC associativity of NC-bearing systems; 0 means
+	// the paper's 4-way. Must be a power of two no larger than 16.
+	NCWays int `json:"nc_ways,omitempty"`
 	// PCBytes attaches a page cache of an absolute size to nc/vb/vp
 	// (the paper's ncp/vbp/vpp organizations).
 	PCBytes int64 `json:"pc_bytes,omitempty"`
@@ -101,6 +111,16 @@ func (r Request) normalized() Request {
 		if r.NCBytes == 0 {
 			r.NCBytes = defaultNCBytes
 		}
+		if r.NCWays == 0 {
+			r.NCWays = defaultNCWays
+		}
+	case "NCD":
+		if r.NCBytes == 0 {
+			r.NCBytes = defaultNCDBytes
+		}
+		if r.NCWays == 0 {
+			r.NCWays = defaultNCWays
+		}
 	}
 	if r.System == "vxp" && r.Threshold == 0 {
 		r.Threshold = defaultVXPThreshold
@@ -137,11 +157,24 @@ func (r Request) validate() error {
 	if workload.ByName(r.Bench, scale) == nil {
 		return fmt.Errorf("%w: unknown bench %q (one of %v)", ErrBadRequest, r.Bench, workload.Names())
 	}
-	if r.NCBytes < 0 || r.PCBytes < 0 || r.PCFrac < 0 || r.TimeoutMS < 0 {
-		return fmt.Errorf("%w: negative size or timeout", ErrBadRequest)
+	if r.NCBytes < 0 || r.NCWays < 0 || r.PCBytes < 0 || r.PCFrac < 0 || r.TimeoutMS < 0 {
+		return fmt.Errorf("%w: negative size, ways or timeout", ErrBadRequest)
 	}
 	if r.NCBytes > 16<<20 {
 		return fmt.Errorf("%w: nc_bytes %d over the 16 MiB bound", ErrBadRequest, r.NCBytes)
+	}
+	if r.NCWays != 0 {
+		if r.NCWays > 16 || r.NCWays&(r.NCWays-1) != 0 {
+			return fmt.Errorf("%w: nc_ways %d is not a power of two in [1,16]", ErrBadRequest, r.NCWays)
+		}
+		switch r.System {
+		case "nc", "vb", "vp", "vxp", "NCD":
+		default:
+			return fmt.Errorf("%w: system %q has no network cache to set nc_ways on", ErrBadRequest, r.System)
+		}
+		if r.NCBytes/memsys.BlockBytes < r.NCWays {
+			return fmt.Errorf("%w: nc_bytes %d too small for %d ways", ErrBadRequest, r.NCBytes, r.NCWays)
+		}
 	}
 	if r.PCBytes > 1<<31 {
 		return fmt.Errorf("%w: pc_bytes %d over the 2 GiB bound", ErrBadRequest, r.PCBytes)
@@ -163,8 +196,13 @@ func (r Request) validate() error {
 		return nil
 	}
 	switch r.System {
-	case "base", "origin", "NCS", "NCD", "infDRAM":
+	case "base", "origin", "NCS", "infDRAM":
 		return rejectParams("cache")
+	case "NCD":
+		if r.PCBytes != 0 || r.PCFrac != 0 || r.Threshold != 0 {
+			return fmt.Errorf("%w: system NCD takes only nc_bytes and nc_ways", ErrBadRequest)
+		}
+		return nil
 	case "nc", "vb", "vp":
 		if r.PCBytes != 0 && r.PCFrac != 0 {
 			return fmt.Errorf("%w: pc_bytes and pc_frac are mutually exclusive", ErrBadRequest)
@@ -234,6 +272,7 @@ func (r Request) compile(base dsmnc.Options) (*workload.Bench, dsmnc.System, dsm
 		sys = dsmnc.NCS()
 	case "NCD":
 		sys = dsmnc.NCD()
+		sys.NCBytes = r.NCBytes
 	case "infDRAM":
 		sys = dsmnc.InfiniteDRAM()
 	case "nc":
@@ -272,6 +311,9 @@ func (r Request) compile(base dsmnc.Options) (*workload.Bench, dsmnc.System, dsm
 	}
 	if r.Threshold > 0 && r.System != "vxp" && (r.PCBytes > 0 || r.PCFrac > 0) {
 		sys.Threshold = r.Threshold
+	}
+	if r.NCWays > 0 {
+		sys.NCWays = r.NCWays
 	}
 	return bench, sys, opt, nil
 }

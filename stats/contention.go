@@ -1,5 +1,10 @@
 package stats
 
+import (
+	"errors"
+	"fmt"
+)
+
 // Contention extension. The paper's model deliberately ignores
 // contention (§4). This file adds the standard trace-driven remedy: an
 // analytic queueing correction. From the event counts we estimate the
@@ -36,6 +41,14 @@ type ContentionModel struct {
 	// MaxRho caps the utilization estimate to keep the fixed point
 	// finite; 0.95 if zero.
 	MaxRho float64
+	// MaxIter bounds the fixed-point iteration; 50 if zero. Converge
+	// returns ErrNoConverge when the bound is exhausted first.
+	MaxIter int
+	// Tol is the convergence tolerance on the inflated latencies, in
+	// cycles: the fixed point has converged when no latency component
+	// moves by more than Tol between rounds. The latencies are integral,
+	// so the default 0 demands exact equality — the historical behavior.
+	Tol int64
 }
 
 func (m ContentionModel) defaults() ContentionModel {
@@ -57,8 +70,16 @@ func (m ContentionModel) defaults() ContentionModel {
 	if m.MaxRho == 0 {
 		m.MaxRho = 0.95
 	}
+	if m.MaxIter == 0 {
+		m.MaxIter = 50
+	}
 	return m
 }
+
+// ErrNoConverge reports that the contention fixed point failed to settle
+// within MaxIter rounds to within Tol cycles. The result alongside it is
+// the last iterate — usable for a bound, not for a converged estimate.
+var ErrNoConverge = errors.New("stats: contention model did not converge")
 
 // ContentionResult is the converged evaluation.
 type ContentionResult struct {
@@ -69,13 +90,24 @@ type ContentionResult struct {
 	Iterations int
 }
 
-// Evaluate runs the fixed point over the counters.
+// Evaluate runs the fixed point over the counters. It is the tolerant
+// wrapper around Converge: a non-converging input yields the last
+// iterate, matching the historical best-effort behavior.
 func (m ContentionModel) Evaluate(c *Counters) ContentionResult {
+	res, _ := m.Converge(c)
+	return res
+}
+
+// Converge runs the fixed point over the counters under the explicit
+// iteration cap (MaxIter) and convergence tolerance (Tol). If the
+// latencies are still moving by more than Tol cycles when the cap is
+// exhausted it returns the last iterate together with ErrNoConverge.
+func (m ContentionModel) Converge(c *Counters) (ContentionResult, error) {
 	m = m.defaults()
 	base := Model{Lat: m.Lat, Tech: m.Tech}
 	flat := base.RemoteReadStall(c)
 	if c.Refs.Total() == 0 {
-		return ContentionResult{Stall: flat, Inflation: 1}
+		return ContentionResult{Stall: flat, Inflation: 1}, nil
 	}
 
 	// Per-cluster event loads (events are spread across the clusters).
@@ -89,7 +121,8 @@ func (m ContentionModel) Evaluate(c *Counters) ContentionResult {
 	lat := m.Lat
 	var res ContentionResult
 	res.Inflation = 1
-	for iter := 0; iter < 50; iter++ {
+	converged := false
+	for iter := 0; iter < m.MaxIter && !converged; iter++ {
 		res.Iterations = iter + 1
 		stall := Model{Lat: lat, Tech: m.Tech}.RemoteReadStall(c)
 		// Wall-clock time in bus cycles: the per-processor share of the
@@ -105,18 +138,30 @@ func (m ContentionModel) Evaluate(c *Counters) ContentionResult {
 		next.CacheToCache = inflate(m.Lat.CacheToCache, busRho)
 		next.DRAMAccess = inflate(m.Lat.DRAMAccess, busRho)
 		next.RemoteAccess = inflate(m.Lat.RemoteAccess, netRho)
-		converged := next == lat
+		converged = within(next.CacheToCache, lat.CacheToCache, m.Tol) &&
+			within(next.DRAMAccess, lat.DRAMAccess, m.Tol) &&
+			within(next.RemoteAccess, lat.RemoteAccess, m.Tol)
 		lat = next
 		res.Stall = Model{Lat: lat, Tech: m.Tech}.RemoteReadStall(c)
 		res.BusRho, res.NetRho = busRho, netRho
-		if converged {
-			break
-		}
 	}
 	if flat.Total() > 0 {
 		res.Inflation = float64(res.Stall.Total()) / float64(flat.Total())
 	}
-	return res
+	if !converged {
+		return res, fmt.Errorf("%w after %d iterations (tol %d cycles)",
+			ErrNoConverge, res.Iterations, m.Tol)
+	}
+	return res, nil
+}
+
+// within reports whether two latency iterates agree to the tolerance.
+func within(a, b, tol int64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
 }
 
 // inflate applies the M/M/1 residence-time factor to a service time.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -275,6 +276,32 @@ func TestContentionModelHeavyLoadInflates(t *testing.T) {
 	// The utilization cap keeps the result finite.
 	if r.NetRho > 0.95+1e-9 {
 		t.Fatalf("rho exceeded cap: %v", r.NetRho)
+	}
+}
+
+func TestContentionModelNoConverge(t *testing.T) {
+	// One iteration cannot settle a heavily loaded system: Converge must
+	// surface ErrNoConverge while still returning its best iterate, and
+	// Evaluate must keep its always-answer contract on the same input.
+	m := ContentionModel{Lat: DefaultLatencies(), Tech: NCTechSRAM, MaxIter: 1}
+	var c Counters
+	c.Refs = OpCount{Read: 1_000_000}
+	c.RemoteByClass[Capacity] = OpCount{Read: 500_000}
+	c.L1Hits = OpCount{Read: 500_000}
+	res, err := m.Converge(&c)
+	if !errors.Is(err, ErrNoConverge) {
+		t.Fatalf("Converge with MaxIter 1: err %v, want ErrNoConverge", err)
+	}
+	if res.Iterations != 1 || res.Inflation <= 1 {
+		t.Fatalf("non-converged result not the best iterate: %+v", res)
+	}
+	if ev := m.Evaluate(&c); ev.Inflation != res.Inflation {
+		t.Fatalf("Evaluate %v disagrees with Converge's iterate %v", ev.Inflation, res.Inflation)
+	}
+	// A loose tolerance converges the same input within the budget.
+	m.Tol = 1 << 20
+	if _, err := m.Converge(&c); err != nil {
+		t.Fatalf("loose tolerance still failed: %v", err)
 	}
 }
 
