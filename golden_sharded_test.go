@@ -1,0 +1,136 @@
+package dsmnc
+
+// The sharded half of the equivalence corpus: every committed golden
+// cell is replayed on the parallel engine at shard counts 2 and 4 and
+// must reproduce the sequential corpus exactly — same reference count,
+// field-identical counters, and byte-identical sampler series (via the
+// committed SHA-256 digests). The event trace is the one instrument the
+// sharded engine cannot carry (a Tracer is order-serial and forces the
+// sequential fallback), so these replays attach the sampler only and
+// compare the trace-independent digest fields; the full five-field
+// digests stay pinned by the sequential TestDifferentialEquivalence.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"dsmnc/telemetry"
+	"dsmnc/workload"
+)
+
+// forceParallelism raises GOMAXPROCS to at least 4 for the duration of
+// the sweep: the engine degrades to its in-order path on a single
+// execution core, and this suite must drive the actual worker crews —
+// particularly under `make parallel-smoke`'s race detector — even on a
+// one-core CI box.
+func forceParallelism(t *testing.T) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < 4 {
+		runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
+// goldenShardCounts is the shard axis of the sweep. {2, 4} splits the
+// default 8-cluster machine two ways that both differ from sequential
+// scheduling; shard counts 1 and 8 are pinned by the metamorphic suite
+// in internal/sim.
+var goldenShardCounts = []int{2, 4}
+
+// runShardedCell replays one corpus cell on the parallel engine with
+// the corpus sampler attached (clockless, so the series bytes are
+// deterministic) and no tracer.
+func runShardedCell(sys System, benchName string, shards int) (diffOutcome, error) {
+	opt := DefaultOptions()
+	opt.Scale = workload.ScaleSmall
+	opt.Shards = shards
+	opt.Sampler = telemetry.NewSampler(diffSampleEvery, telemetry.DefaultCapacity)
+	bench := workload.ByName(benchName, opt.Scale)
+	if bench == nil {
+		return diffOutcome{}, fmt.Errorf("unknown workload %q", benchName)
+	}
+	// The sweep must actually exercise the parallel engine: a silent
+	// sequential fallback would make every comparison below vacuous.
+	if m, err := Build(bench, sys, opt); err != nil {
+		return diffOutcome{}, err
+	} else if !m.Sharded() {
+		return diffOutcome{}, fmt.Errorf("system %s did not attach the sharded engine", sys.Name)
+	}
+	res, err := Run(bench, sys, opt)
+	if err != nil {
+		return diffOutcome{}, err
+	}
+	var series bytes.Buffer
+	if err := opt.Sampler.WriteJSONL(&series); err != nil {
+		return diffOutcome{}, err
+	}
+	return diffOutcome{
+		Refs:       res.Refs,
+		Stats:      res.Counters,
+		SamplerLen: opt.Sampler.Len(),
+		SamplerSHA: shaHex(series.Bytes()),
+	}, nil
+}
+
+// TestGoldenStatsSharded replays the full golden corpus at every shard
+// count and diffs field-level counters against testdata/golden plus
+// SHA-256 digests against testdata/difftest. It never regenerates
+// anything: the sharded engine must match the corpus the sequential
+// engine committed, or it does not merge.
+func TestGoldenStatsSharded(t *testing.T) {
+	forceParallelism(t)
+	for _, shards := range goldenShardCounts {
+		for _, sys := range diffSystems() {
+			for _, benchName := range diffBenches(testing.Short()) {
+				shards, sys, benchName := shards, sys, benchName
+				t.Run(fmt.Sprintf("shards=%d/%s", shards, cellName(sys, benchName)), func(t *testing.T) {
+					t.Parallel()
+					got, err := runShardedCell(sys, benchName, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					goldenPath := filepath.Join("testdata", "golden", cellName(sys, benchName)+".json")
+					raw, err := os.ReadFile(goldenPath)
+					if err != nil {
+						t.Fatalf("no committed golden (generate with the sequential suite first): %v", err)
+					}
+					var want goldenCell
+					if err := json.Unmarshal(raw, &want); err != nil {
+						t.Fatalf("corrupt golden file %s: %v", goldenPath, err)
+					}
+					if got.Refs != want.Refs {
+						t.Errorf("Refs drifted from sequential corpus: got %d, want %d", got.Refs, want.Refs)
+					}
+					diffCounters(t, got.Stats, want.Stats)
+
+					digestPath := filepath.Join("testdata", "difftest", cellName(sys, benchName)+".json")
+					raw, err = os.ReadFile(digestPath)
+					if err != nil {
+						t.Fatalf("no committed digest: %v", err)
+					}
+					var wantDigest diffDigest
+					if err := json.Unmarshal(raw, &wantDigest); err != nil {
+						t.Fatalf("corrupt digest file %s: %v", digestPath, err)
+					}
+					gotDigest, err := got.digest()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotDigest.StatsSHA != wantDigest.StatsSHA {
+						t.Errorf("stats digest drifted from sequential corpus")
+					}
+					if gotDigest.SamplerLen != wantDigest.SamplerLen || gotDigest.SamplerSHA != wantDigest.SamplerSHA {
+						t.Errorf("sampler series drifted from sequential corpus: got %d samples sha %.12s, want %d samples sha %.12s",
+							gotDigest.SamplerLen, gotDigest.SamplerSHA, wantDigest.SamplerLen, wantDigest.SamplerSHA)
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+
+	"dsmnc/internal/cache"
+	"dsmnc/internal/cluster"
+	"dsmnc/internal/core"
+	"dsmnc/internal/pagecache"
+	"dsmnc/memsys"
+	"dsmnc/telemetry"
+	"dsmnc/trace"
+)
+
+// shardConfigs are the five principal organization shapes of the
+// shard-invariance suite, on an eight-cluster machine so shard counts
+// up to 8 genuinely subdivide. The invariant checker is off: it is one
+// of the documented sequential-fallback triggers.
+func shardConfigs() map[string]func() Config {
+	base := func() Config {
+		return Config{
+			Geometry: memsys.Geometry{Clusters: 8, ProcsPerCluster: 2},
+			L1:       cache.Config{Bytes: 4 * memsys.BlockBytes, Ways: 2},
+		}
+	}
+	ncBytes := 8 * memsys.BlockBytes
+	return map[string]func() Config{
+		"base": base,
+		"nc": func() Config {
+			cfg := base()
+			cfg.NewNC = func() (core.NC, error) { return core.NewRelaxed(ncBytes, 2) }
+			return cfg
+		},
+		"vb": func() Config {
+			cfg := base()
+			cfg.NewNC = func() (core.NC, error) {
+				return core.NewVictim(core.VictimConfig{Bytes: ncBytes, Ways: 2})
+			}
+			return cfg
+		},
+		"vp": func() Config {
+			cfg := base()
+			cfg.NewNC = func() (core.NC, error) {
+				return core.NewVictim(core.VictimConfig{Bytes: ncBytes, Ways: 4, Indexing: cache.ByPage})
+			}
+			return cfg
+		},
+		"vxp": func() Config {
+			cfg := base()
+			cfg.NewNC = func() (core.NC, error) {
+				return core.NewVictim(core.VictimConfig{
+					Bytes: ncBytes, Ways: 4, Indexing: cache.ByPage, SetCounters: true,
+				})
+			}
+			cfg.NewPC = func() (*pagecache.PageCache, error) {
+				return pagecache.New(3, pagecache.NewAdaptivePolicy(2))
+			}
+			cfg.Counters = cluster.CountersNCSet
+			cfg.DecrementCounters = true
+			return cfg
+		},
+	}
+}
+
+// forceParallelism raises GOMAXPROCS to at least 4 for the duration of
+// a test: the engine degrades to its in-order path on a single
+// execution core (see runWindow), and these suites must drive the
+// actual worker crews — particularly under the race detector — even on
+// a one-core CI box.
+func forceParallelism(t *testing.T) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < 4 {
+		runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
+// applyWindows drives refs through m in window-sized batches (the way
+// the facade delivers them) and fails the test on any error.
+func applyWindows(t *testing.T, m *System, refs []trace.Ref) {
+	t.Helper()
+	for i := 0; i < len(refs); i += ParWindow {
+		end := i + ParWindow
+		if end > len(refs) {
+			end = len(refs)
+		}
+		if _, err := m.ApplyBatch(refs[i:end]); err != nil {
+			t.Fatalf("ApplyBatch: %v", err)
+		}
+	}
+}
+
+// TestMetamorphicShardInvariance proves the headline property: for
+// every organization shape, the machine fingerprint after a synthetic
+// shared-traffic trace is identical at every shard count — including
+// the sharded engine with one shard — to the sequential engine's.
+func TestMetamorphicShardInvariance(t *testing.T) {
+	forceParallelism(t)
+	refs := synthTrace(16, 48, 60000, 99)
+	for name, mk := range shardConfigs() {
+		t.Run(name, func(t *testing.T) {
+			seq, err := New(mk())
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			applyWindows(t, seq, refs)
+			want, err := seq.Fingerprint()
+			if err != nil {
+				t.Fatalf("Fingerprint: %v", err)
+			}
+			for _, shards := range []int{1, 2, 4, 8} {
+				cfg := mk()
+				cfg.Shards = shards
+				m, err := New(cfg)
+				if err != nil {
+					t.Fatalf("New(shards=%d): %v", shards, err)
+				}
+				if !m.Sharded() {
+					t.Fatalf("shards=%d: engine not attached", shards)
+				}
+				applyWindows(t, m, refs)
+				got, err := m.Fingerprint()
+				if err != nil {
+					t.Fatalf("Fingerprint(shards=%d): %v", shards, err)
+				}
+				if got != want {
+					t.Fatalf("shards=%d: fingerprint diverged from sequential", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestShardInvarianceSnapshotSplit is the cross-engine checkpoint
+// property: run under N shards to a seeded random split point, snapshot,
+// restore under M shards, and continue — the final machine must be
+// bit-identical to the one-shot sequential run. This also exercises the
+// restore path's conservative touch-table rebuild (pages placed before
+// the engine attached are treated as contested).
+func TestShardInvarianceSnapshotSplit(t *testing.T) {
+	forceParallelism(t)
+	refs := synthTrace(16, 48, 50000, 41)
+	pairs := [][2]int{{0, 4}, {4, 0}, {1, 8}, {2, 8}, {8, 2}, {4, 1}}
+	for name, mk := range shardConfigs() {
+		t.Run(name, func(t *testing.T) {
+			seq, err := New(mk())
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			applyWindows(t, seq, refs)
+			want := fingerprintOf(t, seq)
+			for pi, pair := range pairs {
+				k := splitPoints(len(refs), 1, uint64(1000*pi+7))[1]
+				cfgA := mk()
+				cfgA.Shards = pair[0]
+				a, err := New(cfgA)
+				if err != nil {
+					t.Fatalf("pair %v: New: %v", pair, err)
+				}
+				applyWindows(t, a, refs[:k])
+				var buf bytes.Buffer
+				if err := a.Snapshot(&buf); err != nil {
+					t.Fatalf("pair %v: Snapshot at %d: %v", pair, k, err)
+				}
+				cfgB := mk()
+				cfgB.Shards = pair[1]
+				b, err := Restore(&buf, cfgB)
+				if err != nil {
+					t.Fatalf("pair %v: Restore: %v", pair, err)
+				}
+				if (pair[1] > 0) != b.Sharded() {
+					t.Fatalf("pair %v: restored Sharded()=%v", pair, b.Sharded())
+				}
+				applyWindows(t, b, refs[k:])
+				if got := fingerprintOf(t, b); got != want {
+					t.Fatalf("pair %v split %d: fingerprint diverged", pair, k)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedChunkCadence pins the chunk-boundary contract: however a
+// consumer slices the stream into ApplyBatch calls — including sizes
+// that straddle the engine's window barrier — the machine state,
+// applied count, and sampler cadence match per-ref Apply exactly.
+func TestShardedChunkCadence(t *testing.T) {
+	forceParallelism(t)
+	refs := synthTrace(16, 48, 2*ParWindow+300, 13)
+	mk := shardConfigs()["nc"]
+	// Reference: sequential, one ref at a time, sampling at a prime
+	// interval so chunk edges and sample edges interleave.
+	ref := mk()
+	refSampler := telemetry.NewSampler(997, 0)
+	ref.Sampler = refSampler
+	seq, err := New(ref)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	applyAll(t, seq, refs)
+	want := fingerprintOf(t, seq)
+	wantSamples := refSampler.Samples()
+	for _, chunk := range []int{1, 7, ParWindow - 1, ParWindow, ParWindow + 1} {
+		cfg := mk()
+		sampler := telemetry.NewSampler(997, 0)
+		cfg.Sampler = sampler
+		cfg.Shards = 4
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("chunk %d: New: %v", chunk, err)
+		}
+		var applied int
+		for i := 0; i < len(refs); i += chunk {
+			end := i + chunk
+			if end > len(refs) {
+				end = len(refs)
+			}
+			n, err := m.ApplyBatch(refs[i:end])
+			applied += n
+			if err != nil {
+				t.Fatalf("chunk %d: ApplyBatch at %d: %v", chunk, i, err)
+			}
+		}
+		if applied != len(refs) {
+			t.Fatalf("chunk %d: applied %d of %d", chunk, applied, len(refs))
+		}
+		if got := fingerprintOf(t, m); got != want {
+			t.Fatalf("chunk %d: fingerprint diverged from per-ref Apply", chunk)
+		}
+		got := sampler.Samples()
+		if len(got) != len(wantSamples) {
+			t.Fatalf("chunk %d: %d samples vs %d per-ref", chunk, len(got), len(wantSamples))
+		}
+		for i := range got {
+			if got[i] != wantSamples[i] {
+				t.Fatalf("chunk %d: sample %d diverged", chunk, i)
+			}
+		}
+	}
+}
+
+// TestShardedErrorPosition pins the truncation contract: a malformed
+// reference mid-stream surfaces from the sharded ApplyBatch with the
+// same applied count and error as the sequential engine, and the state
+// built from the valid prefix is identical.
+func TestShardedErrorPosition(t *testing.T) {
+	forceParallelism(t)
+	refs := synthTrace(16, 48, ParWindow+500, 23)
+	for _, bad := range []int{3, ParWindow - 1, ParWindow + 100} {
+		refs := append([]trace.Ref(nil), refs...)
+		refs[bad].PID = 9999 // invalid processor
+		seq, err := New(shardConfigs()["base"]())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		seqN, seqErr := seq.ApplyBatch(refs)
+		if seqErr == nil {
+			t.Fatalf("bad=%d: sequential ApplyBatch accepted invalid ref", bad)
+		}
+		cfg := shardConfigs()["base"]()
+		cfg.Shards = 4
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		n, batchErr := m.ApplyBatch(refs)
+		if batchErr == nil {
+			t.Fatalf("bad=%d: sharded ApplyBatch accepted invalid ref", bad)
+		}
+		if n != seqN || batchErr.Error() != seqErr.Error() {
+			t.Fatalf("bad=%d: sharded (%d, %v) vs sequential (%d, %v)",
+				bad, n, batchErr, seqN, seqErr)
+		}
+		if fingerprintOf(t, m) != fingerprintOf(t, seq) {
+			t.Fatalf("bad=%d: prefix state diverged", bad)
+		}
+	}
+}
+
+// TestShardedFallback pins the eligibility rules: order-serial
+// configurations silently ignore Shards and run sequentially.
+func TestShardedFallback(t *testing.T) {
+	mk := shardConfigs()["base"]
+	cases := map[string]func(*Config){
+		"check":     func(c *Config) { c.Check = true },
+		"tracer":    func(c *Config) { c.Tracer = telemetry.NewTracer(io.Discard, 0) },
+		"placement": func(c *Config) { c.Placement = memsys.RoundRobin{} },
+	}
+	for name, mut := range cases {
+		cfg := mk()
+		cfg.Shards = 4
+		mut(&cfg)
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		if m.Sharded() {
+			t.Fatalf("%s: expected sequential fallback, got sharded engine", name)
+		}
+	}
+	cfg := mk()
+	cfg.Shards = 4
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if !m.Sharded() || m.ShardCount() != 4 {
+		t.Fatalf("eligible config: Sharded()=%v ShardCount()=%d", m.Sharded(), m.ShardCount())
+	}
+}
+
+// TestShardedSamplerInvariance proves sample positions act as exact
+// fences: the recorded series is identical between the sequential and
+// sharded engines.
+func TestShardedSamplerInvariance(t *testing.T) {
+	forceParallelism(t)
+	refs := synthTrace(16, 48, 40000, 7)
+	mk := shardConfigs()["vxp"]
+	run := func(shards int) (*telemetry.Sampler, [32]byte) {
+		cfg := mk()
+		sampler := telemetry.NewSampler(1000, 0)
+		cfg.Sampler = sampler
+		cfg.Shards = shards
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		applyWindows(t, m, refs)
+		fp, err := m.Fingerprint()
+		if err != nil {
+			t.Fatalf("Fingerprint: %v", err)
+		}
+		return sampler, fp
+	}
+	seqS, seqFP := run(0)
+	for _, shards := range []int{1, 2, 4, 8} {
+		s, fp := run(shards)
+		if fp != seqFP {
+			t.Fatalf("shards=%d: fingerprint diverged", shards)
+		}
+		a, b := seqS.Samples(), s.Samples()
+		if len(a) != len(b) {
+			t.Fatalf("shards=%d: %d samples vs %d sequential", shards, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("shards=%d: sample %d diverged: %+v vs %+v", shards, i, b[i], a[i])
+			}
+		}
+	}
+}

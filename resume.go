@@ -119,7 +119,64 @@ func runCell(ctx context.Context, exp string, j runJob) (Result, error) {
 			}
 		}
 	}
-	if ck == nil && skip == 0 && opt.Progress == nil {
+	if machine.Sharded() {
+		// The parallel engine only fans out whole batches, so deliver
+		// engine-window-sized ones: accumulate emitted refs into a
+		// ParWindow buffer and flush it full. Skip, progress and
+		// checkpoint bookkeeping all move to window granularity —
+		// behavior is identical (ApplyBatch is bit-identical to a
+		// loop of Apply) and cancellation is polled once per flush.
+		buf := make([]trace.Ref, 0, sim.ParWindow)
+		flush := func() {
+			if firstErr != nil || len(buf) == 0 {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				firstErr = err
+				return
+			}
+			done, err := machine.ApplyBatch(buf)
+			n += int64(done)
+			if opt.Progress != nil {
+				opt.Progress.Refs.Add(int64(done))
+			}
+			buf = buf[:0]
+			if err != nil {
+				firstErr = err
+				return
+			}
+			if ck != nil {
+				if sinceCkpt += int64(done); sinceCkpt >= opt.CheckpointEvery {
+					sinceCkpt = 0
+					ck.save(machine)
+				}
+			}
+		}
+		b.EmitBatch(opt.Geometry, opt.Quantum, func(refs []trace.Ref) {
+			for firstErr == nil && len(refs) > 0 {
+				if seen < skip {
+					take := skip - seen
+					if take > int64(len(refs)) {
+						take = int64(len(refs))
+					}
+					seen += take
+					refs = refs[take:]
+					continue
+				}
+				take := cap(buf) - len(buf)
+				if take > len(refs) {
+					take = len(refs)
+				}
+				buf = append(buf, refs[:take]...)
+				seen += int64(take)
+				refs = refs[take:]
+				if len(buf) == cap(buf) {
+					flush()
+				}
+			}
+		})
+		flush()
+	} else if ck == nil && skip == 0 && opt.Progress == nil {
 		// The common fresh-run case: no prefix to skip, no checkpoint
 		// slot, no progress counter. Batch delivery drops the per-ref
 		// closure dispatch and the per-ref branches those features

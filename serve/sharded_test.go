@@ -1,0 +1,97 @@
+package serve
+
+// The sharded serving soak (make parallel-smoke): real golden-corpus
+// cells run concurrently on a worker pool whose machines use the
+// parallel engine — several sharded engines' goroutine crews live at
+// once under the race detector — and every result must still equal the
+// committed sequential corpus field for field. Requests override the
+// scheduler's default shard count both ways (more shards, forced
+// sequential) to exercise the per-request knob.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"dsmnc"
+	"dsmnc/stats"
+)
+
+func TestServeShardedSoak(t *testing.T) {
+	// The engine degrades to its in-order path on one execution core;
+	// the soak must run real sharded worker crews even on a one-core
+	// CI box, so give the scheduler's pool somewhere to fan out.
+	if old := runtime.GOMAXPROCS(0); old < 4 {
+		runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+	opt := dsmnc.DefaultOptions()
+	opt.Shards = 2 // scheduler-wide default: every job's machine shards
+	s := mustScheduler(t, Config{Workers: 4, QueueDepth: 64, Options: opt})
+	defer s.Drain(context.Background())
+
+	var ids []string
+	for _, bench := range []string{"FFT", "Ocean", "LU"} {
+		for _, req := range goldenRequests(bench) {
+			ids = append(ids, submit(t, s, req))
+		}
+	}
+	// Per-request overrides: 4 shards and forced-sequential must land
+	// on the same results (and the same coalesced job IDs would be
+	// wrong — shards is identity-free, so they dedup against the
+	// earlier submissions).
+	for _, shards := range []int{4, -1} {
+		req := Request{Bench: "Ocean", System: "vb", Shards: shards}
+		ids = append(ids, submit(t, s, req))
+	}
+
+	for _, id := range ids {
+		st, err := s.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("%s/%s finished as %s: %s", st.System, st.Bench, st.State, st.Error)
+		}
+		res, _, err := s.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(goldenFile(st))
+		if err != nil {
+			t.Fatalf("no committed golden for served cell: %v", err)
+		}
+		var want goldenCell
+		if err := json.Unmarshal(raw, &want); err != nil {
+			t.Fatalf("corrupt golden file: %v", err)
+		}
+		if res.Refs != want.Refs {
+			t.Errorf("%s/%s: Refs drifted: got %d, want %d", st.System, st.Bench, res.Refs, want.Refs)
+		}
+		for _, d := range stats.DiffCounters(res.Counters, want.Stats) {
+			t.Errorf("%s/%s: %s", st.System, st.Bench, d.String())
+		}
+	}
+}
+
+// TestShardsIdentityFree pins the coalescing contract: submissions
+// differing only in shard count are the same job.
+func TestShardsIdentityFree(t *testing.T) {
+	a := Request{Bench: "FFT", System: "base"}
+	b := Request{Bench: "FFT", System: "base", Shards: 4}
+	c := Request{Bench: "FFT", System: "base", Shards: -1}
+	if a.Fingerprint() != b.Fingerprint() || a.Fingerprint() != c.Fingerprint() {
+		t.Fatalf("shard count leaked into the request fingerprint")
+	}
+}
+
+func submit(t *testing.T, s *Scheduler, req Request) string {
+	t.Helper()
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", req.Bench, req.System, err)
+	}
+	return st.ID
+}
