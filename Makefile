@@ -4,7 +4,7 @@ BENCHTIME ?= 1x
 BENCH_OUT ?= BENCH_baseline.json
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build test race vet fuzz check resume-smoke serve-smoke crash-smoke chaos-smoke explore-smoke parallel-smoke telemetry bench bench-check cover ci
+.PHONY: build test race vet fuzz check resume-smoke serve-smoke crash-smoke fleet-smoke chaos-smoke explore-smoke parallel-smoke telemetry bench bench-check cover ci
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,9 @@ vet:
 
 # Fuzz the hardened decoders for a bounded burst each: the binary
 # trace reader, the snapshot loader, the job-request decoder, the
-# job-ledger loader, the status/readiness wire documents and the
-# design-space spec decoder.
+# job-ledger loader, the status/readiness wire documents, the fleet
+# wire protocol (task dispatch and result) and the design-space spec
+# decoder.
 fuzz:
 	$(GO) test -run '^FuzzReader$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./trace
 	$(GO) test -run '^FuzzSnapshot$$' -fuzz '^FuzzSnapshot$$' -fuzztime $(FUZZTIME) ./internal/sim
@@ -32,6 +33,8 @@ fuzz:
 	$(GO) test -run '^FuzzJobRequest$$' -fuzz '^FuzzJobRequest$$' -fuzztime $(FUZZTIME) ./serve
 	$(GO) test -run '^FuzzLedger$$' -fuzz '^FuzzLedger$$' -fuzztime $(FUZZTIME) ./serve
 	$(GO) test -run '^FuzzStatusJSON$$' -fuzz '^FuzzStatusJSON$$' -fuzztime $(FUZZTIME) ./serve
+	$(GO) test -run '^FuzzWireRequest$$' -fuzz '^FuzzWireRequest$$' -fuzztime $(FUZZTIME) ./serve
+	$(GO) test -run '^FuzzWireResult$$' -fuzz '^FuzzWireResult$$' -fuzztime $(FUZZTIME) ./serve
 	$(GO) test -run '^FuzzExploreSpace$$' -fuzz '^FuzzExploreSpace$$' -fuzztime $(FUZZTIME) ./explore
 
 # The checked acceptance matrix: every workload x every principal
@@ -75,6 +78,17 @@ crash-smoke:
 explore-smoke:
 	$(GO) test -run 'TestEngineEndToEnd|TestCrossValidation' -count=1 ./explore
 	$(GO) test -run 'TestExploreEndToEndBinary' -count=1 ./cmd/dsmserved
+
+# The fleet torture gate (docs/serving.md "Running a fleet"): build the
+# real dsmserved and dsmworker binaries race-instrumented, run a
+# coordinator over three worker processes, SIGKILL one and blackhole
+# another behind a partition proxy mid-sweep, and require zero lost
+# acknowledged jobs, zero duplicate completions, the full golden corpus
+# replayed through the fleet field-identical to testdata/golden, a
+# slow-but-answering worker keeping its leases, and a full worker
+# shedding 429 instead of growing.
+fleet-smoke:
+	$(GO) test -run 'TestFleetTorture' -count=1 -timeout 20m ./cmd/dsmserved
 
 # The chaos gate (docs/robustness.md §6): soak the lease fabric under
 # the race detector with seeded injection of every fault kind — crash,
@@ -136,8 +150,8 @@ cover:
 	}; \
 	floor ./internal/directory 45; \
 	floor ./internal/core 66; \
-	floor ./serve 70; \
+	floor ./serve 80; \
 	floor ./explore 70
 
 # Tier-1+ gate (ROADMAP.md): everything CI runs.
-ci: vet build test race fuzz resume-smoke serve-smoke crash-smoke chaos-smoke explore-smoke parallel-smoke telemetry cover
+ci: vet build test race fuzz resume-smoke serve-smoke crash-smoke fleet-smoke chaos-smoke explore-smoke parallel-smoke telemetry cover

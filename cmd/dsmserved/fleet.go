@@ -1,0 +1,129 @@
+package main
+
+// Fleet wiring: -fleet host:port,... turns this coordinator's executor
+// set into one RemoteExecutor fault domain per dsmworker node. The
+// serve package keeps net/http at arm's length (the httpimports lint),
+// so the HTTP leg of the wire protocol lives here as a WireClient the
+// RemoteExecutor drives.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"dsmnc/serve"
+)
+
+// fleetProbeAttempts x fleetProbeEvery bounds how long startup waits for
+// each worker's /readyz before giving up — long enough to ride out a
+// worker that is still binding its socket, short enough that a typo'd
+// address fails the boot in seconds.
+const (
+	fleetProbeAttempts = 20
+	fleetProbeEvery    = 500 * time.Millisecond
+)
+
+// httpWireClient carries the fleet wire protocol to one worker over
+// HTTP. Bodies are bounded by the caller (the RemoteExecutor passes
+// encoded wire documents and parses answers through the strict
+// decoder), so this is pure transport: method + path + bytes in,
+// status + bytes out.
+type httpWireClient struct {
+	base   string // http://host:port, no trailing slash
+	client *http.Client
+}
+
+func newHTTPWireClient(addr string) *httpWireClient {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &httpWireClient{
+		base: strings.TrimSuffix(base, "/"),
+		// Timeouts come from the caller's context (the RemoteExecutor
+		// bounds every round trip); the transport only needs sane
+		// connection reuse.
+		client: &http.Client{},
+	}
+}
+
+func (c *httpWireClient) Do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	ans, err := io.ReadAll(io.LimitReader(resp.Body, serve.MaxWireResultBytes+1))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, ans, nil
+}
+
+// buildFleet probes every worker address and returns one RemoteExecutor
+// per node plus the fleet-wide slot total. A worker that never answers
+// ready within the probe window fails the boot: a coordinator that
+// silently started with half its fleet would run the sweep at half
+// speed and nobody would know why.
+func buildFleet(addrs []string) ([]serve.Executor, int, error) {
+	execs := make([]serve.Executor, 0, len(addrs))
+	slots := 0
+	for _, addr := range addrs {
+		re := serve.NewRemoteExecutor(addr, newHTTPWireClient(addr))
+		var (
+			rd  serve.WireReady
+			err error
+		)
+		for i := 0; i < fleetProbeAttempts; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), fleetProbeEvery)
+			rd, err = re.Probe(ctx)
+			cancel()
+			if err == nil && rd.Ready {
+				break
+			}
+			time.Sleep(fleetProbeEvery)
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("fleet: worker %s unreachable: %w", addr, err)
+		}
+		if !rd.Ready {
+			return nil, 0, fmt.Errorf("fleet: worker %s not ready: %s", addr, rd.Reason)
+		}
+		log.Printf("fleet: worker %s ready (%d slots)", addr, rd.Slots)
+		execs = append(execs, re)
+		slots += rd.Slots
+	}
+	return execs, slots, nil
+}
+
+// parseFleet splits the -fleet flag into worker addresses, refusing
+// empty entries so "host1,,host2" fails loudly instead of dropping a
+// node.
+func parseFleet(spec string) ([]string, error) {
+	parts := strings.Split(spec, ",")
+	addrs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("fleet: empty worker address in %q", spec)
+		}
+		addrs = append(addrs, p)
+	}
+	return addrs, nil
+}

@@ -12,6 +12,7 @@
 //	          [-max-timeout 0] [-keep 1024] [-drain 30s] [-q]
 //	          [-ledger path] [-ledger-compact N] [-watchdog 3]
 //	          [-lease 15s] [-retries 2] [-chaos seed]
+//	          [-fleet host:port,host:port,...]
 //
 // With -ledger the server is crash-safe: every acknowledged job is
 // durably journaled before the client sees its ID, and a restart
@@ -28,6 +29,19 @@
 // reassignments, and -chaos (dev/test only) adds a second executor that
 // injects seeded crash/stall/slow/drop/duplicate faults so the fabric
 // can be exercised end to end.
+//
+// With -fleet the coordinator stops running cells itself and dispatches
+// them to dsmworker nodes over the fleet wire protocol, one
+// RemoteExecutor fault domain per node. Jobs route to nodes by
+// consistent hash of their idempotent fingerprint (any coordinator
+// replica routes the same spec to the same node; a node join/leave
+// reroutes only ~1/N of fingerprints), a node that goes silent past
+// -lease loses its leases and the work reassigns elsewhere, and the
+// fleet-wide slot total sizes both the dispatch pool (when -workers is
+// unset) and the Retry-After estimate on 429s. The fleet torture suite
+// (make fleet-smoke) SIGKILLs and partitions real worker processes
+// under this wiring and verifies no acknowledged job is lost and the
+// golden corpus replays byte-identically.
 //
 // API:
 //
@@ -86,6 +100,7 @@ func main() {
 		leaseTTL   = flag.Duration("lease", 15*time.Second, "executor lease TTL: a running attempt silent this long is revoked and reassigned; 0 disables leases")
 		retries    = flag.Int("retries", 2, "reassignments after lease losses before a job fails; 0 disables retries")
 		shards     = flag.Int("shards", 0, "default parallel engine shards per job (requests may override); 0 sequential, -1 auto")
+		fleet      = flag.String("fleet", "", "comma-separated dsmworker addresses (host:port,...); execution moves to the fleet, one fault domain per node")
 		chaosSeed  = flag.Int64("chaos", 0, "DEV ONLY: add a chaos executor injecting seeded crash/stall/slow/drop/duplicate faults; 0 disables")
 		quiet      = flag.Bool("q", false, "suppress the startup and shutdown log lines")
 	)
@@ -134,12 +149,37 @@ func main() {
 	if *retries == 0 {
 		cfg.MaxRetries = -1
 	}
+	if *chaosSeed != 0 && *fleet != "" {
+		log.Fatal("-chaos and -fleet are mutually exclusive: chaos faults belong on a local executor, not a live fleet")
+	}
 	if *chaosSeed != 0 {
 		cfg.Executors = []serve.Executor{
 			serve.Local("local"),
 			serve.NewChaosExecutor(serve.Local("chaos"), serve.ChaosConfig{Seed: *chaosSeed}),
 		}
 		log.Printf("CHAOS MODE (dev/test only): half the dispatches land on an executor injecting seeded faults (seed %d)", *chaosSeed)
+	}
+	if *fleet != "" {
+		addrs, err := parseFleet(*fleet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		execs, slots, err := buildFleet(addrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Executors = execs
+		// Jobs route by fingerprint hash so any coordinator replica sends
+		// the same spec to the same node, and a join/leave reroutes only
+		// its own share.
+		cfg.HashRouting = true
+		// Unless pinned, size the dispatch pool to what the fleet can
+		// actually run: local goroutines beyond the remote slot total
+		// would just queue on workers and be shed back.
+		if *workers == 0 && slots > 0 {
+			cfg.Workers = slots
+		}
+		log.Printf("fleet: %d workers, %d slots, hash routing on", len(execs), slots)
 	}
 	sched, err := serve.New(cfg)
 	if err != nil {

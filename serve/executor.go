@@ -37,6 +37,10 @@ type Task struct {
 	ID      string  `json:"id"`
 	Attempt int     `json:"attempt"`
 	Request Request `json:"request"`
+	// Fingerprint is the coordinator's options fingerprint for this
+	// job — the identity half a remote worker verifies by recompiling
+	// Request against its own base options.
+	Fingerprint string `json:"fingerprint"`
 
 	// job is the local fast path: the scheduler's own record with the
 	// compiled bench/system/options. A remote transport serializes
@@ -208,22 +212,39 @@ func (es *execState) noteLostLocked(k int, quarantineFor time.Duration, now time
 
 // pickExecutorLocked chooses the fault domain for a dispatch: healthy
 // executors first, preferring one other than the domain that just lost
-// the job's lease (avoid), round-robin among candidates. When every
-// executor is quarantined the scheduler still serves — availability
-// over purity — on the one whose quarantine expires soonest.
-func (s *Scheduler) pickExecutorLocked(avoid string) *execState {
+// the job's lease (avoid = j.lastExec). Candidates are walked in
+// routing order — the job ID's consistent-hash ring walk under hash
+// routing (so duplicate submissions land on the same node and a
+// join/leave moves only ~1/N of the fingerprints), round-robin
+// otherwise. When every executor is quarantined the scheduler still
+// serves — availability over purity — on the one whose quarantine
+// expires soonest.
+func (s *Scheduler) pickExecutorLocked(j *job) *execState {
 	now := time.Now()
+	avoid := j.lastExec
 	n := len(s.execs)
-	pick := func(allowAvoid bool) *execState {
+	var candidates []*execState
+	if s.ring != nil {
+		for _, name := range s.ring.order(j.id) {
+			candidates = append(candidates, s.execByName[name])
+		}
+	} else {
+		candidates = make([]*execState, 0, n)
 		for i := 0; i < n; i++ {
-			es := s.execs[(s.rrNext+i)%n]
+			candidates = append(candidates, s.execs[(s.rrNext+i)%n])
+		}
+	}
+	pick := func(allowAvoid bool) *execState {
+		for i, es := range candidates {
 			if !es.healthyLocked(now) {
 				continue
 			}
 			if !allowAvoid && n > 1 && es.name == avoid {
 				continue
 			}
-			s.rrNext = (s.rrNext + i + 1) % n
+			if s.ring == nil {
+				s.rrNext = (s.rrNext + i + 1) % n
+			}
 			return es
 		}
 		return nil
@@ -241,6 +262,28 @@ func (s *Scheduler) pickExecutorLocked(avoid string) *execState {
 		}
 	}
 	return best
+}
+
+// slotsReporter is implemented by executors that know their node's
+// slot capacity (RemoteExecutor, from its readiness probe); the
+// scheduler sums these into the fleet-wide capacity behind RetryAfter.
+type slotsReporter interface {
+	Slots() int
+}
+
+// fleetSlots sums the probed slot capacity of every slot-reporting
+// executor; 0 when no executor reports (an all-local fleet, or probes
+// that have not answered yet).
+func (s *Scheduler) fleetSlots() int {
+	total := 0
+	for _, es := range s.execs {
+		if sr, ok := es.exec.(slotsReporter); ok {
+			if n := sr.Slots(); n > 0 {
+				total += n
+			}
+		}
+	}
+	return total
 }
 
 // retryDelay computes the backoff before a reassigned job re-enters the

@@ -52,6 +52,8 @@ func (s *Scheduler) RegisterMetrics(r *telemetry.Registry) error {
 			func() float64 { return float64(s.staleResults.Load()) }),
 		r.Gauge("dsmnc_serve_executors", "Executor fault domains configured.",
 			func() float64 { return float64(len(s.execs)) }),
+		r.Gauge("dsmnc_serve_fleet_slots", "Fleet-wide worker slot total from readiness probes; 0 when no remote executor has reported.",
+			func() float64 { return float64(s.fleetSlots()) }),
 		r.Gauge("dsmnc_serve_executors_quarantined", "Executor fault domains currently quarantined.",
 			func() float64 {
 				s.mu.Lock()

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -432,6 +433,92 @@ func TestRetryAfterEstimate(t *testing.T) {
 	if err := s.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestRetryAfterFleetCapacity is the regression for the remote-capacity
+// bug: the estimate used to divide by the dispatch pool size alone,
+// promising fast drains a small fleet cannot deliver. Capacity is now
+// min(pool, fleet-wide worker slots) once remote executors have
+// reported their probes.
+func TestRetryAfterFleetCapacity(t *testing.T) {
+	// loadFleet builds a coordinator over gated worker nodes, submits
+	// jobs until `pool` are in flight and `depth` are waiting, and
+	// returns the scheduler with the queue pinned at that depth.
+	loadFleet := func(pool, nodes, slots, depth int) (*Scheduler, chan struct{}) {
+		gate := make(chan struct{})
+		blocked := func(ctx context.Context, wt *workerTask) (dsmnc.Result, error) {
+			select {
+			case <-gate:
+				return dsmnc.Result{Refs: 1}, nil
+			case <-ctx.Done():
+				return dsmnc.Result{}, ctx.Err()
+			}
+		}
+		var execs []Executor
+		for n := 0; n < nodes; n++ {
+			w, err := NewWorker(WorkerConfig{Slots: slots, QueueDepth: pool, runFn: blocked})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := NewRemoteExecutor(fmt.Sprintf("node-%d", n), &workerClient{w: w})
+			if _, err := e.Probe(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			execs = append(execs, e)
+		}
+		s, err := New(Config{Workers: pool, Executors: execs, LeaseTTL: 200 * time.Millisecond,
+			runFn: func(ctx context.Context, j *job) (dsmnc.Result, error) { return dsmnc.Result{}, nil }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < pool+depth; n++ {
+			if _, err := s.Submit(req(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if d, _ := s.QueueDepth(); d == depth && int(s.inflight.Load()) == pool {
+				return s, gate
+			}
+			if time.Now().After(deadline) {
+				d, _ := s.QueueDepth()
+				t.Fatalf("queue never settled: depth %d (want %d), inflight %d (want %d)",
+					d, depth, s.inflight.Load(), pool)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	drain := func(s *Scheduler, gate chan struct{}) {
+		close(gate)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A 16-goroutine pool over two 3-slot nodes drains 6 cells at a
+	// time: 12 waiting × 30s ÷ 6 slots = 60s. The old pool-only
+	// division promised ceil(12 × 30 ÷ 16) = 23s.
+	s, gate := loadFleet(16, 2, 3, 12)
+	if got := s.fleetSlots(); got != 6 {
+		t.Fatalf("fleetSlots = %d; want 2 nodes x 3 slots", got)
+	}
+	s.runHist.Observe(30)
+	if got := s.RetryAfter(); got != 60*time.Second {
+		t.Errorf("fleet RetryAfter = %v; want the slot-bound 60s estimate", got)
+	}
+	drain(s, gate)
+
+	// A fleet larger than the pool is bounded by the pool: capacity is
+	// the minimum of the two. 4 waiting × 10s ÷ min(2, 64) = 20s.
+	s2, gate2 := loadFleet(2, 1, 64, 4)
+	s2.runHist.Observe(10)
+	if got := s2.RetryAfter(); got != 20*time.Second {
+		t.Errorf("pool-bound RetryAfter = %v; want 20s", got)
+	}
+	drain(s2, gate2)
 }
 
 // TestRecoveryMetrics wires the new counters onto a registry and checks

@@ -1,0 +1,249 @@
+package serve
+
+// RemoteExecutor implements the Executor interface over the fleet wire
+// protocol: one instance is one worker node, one fault domain. The
+// transport itself is injected as a WireClient — net/http stays
+// confined to cmd/ (AST-enforced), and tests drive the executor against
+// an in-process worker with zero sockets.
+//
+// Failure detection is poll-driven: the executor dispatches the task,
+// then polls the worker every lease.heartbeatEvery() and renews the
+// coordinator's lease only when a poll answers. A partitioned or dead
+// worker stops answering, the lease expires at the TTL, the monitor
+// cancels the attempt, and Execute returns ErrLeaseLost — while a slow
+// but reachable worker keeps answering polls and keeps its lease
+// (slow-is-not-dead; the fleet torture suite proves the distinction
+// with a heartbeat-blackholing proxy). Every infrastructure failure —
+// refused dispatch, shed (429), draining (503), restart (404), stale
+// epoch, unreachable node — surfaces as ErrLeaseLost, so the
+// scheduler's retry budget, quarantine breaker and ledger apply to
+// remote nodes unchanged. Only a config mismatch (412), a request the
+// worker cannot compile (400), or a task the worker reports failed is
+// permanent.
+
+import (
+	"dsmnc"
+
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// WireClient is the transport seam a RemoteExecutor drives: one
+// round trip of the wire protocol to one worker node. cmd/dsmserved
+// implements it over net/http; tests implement it in-process. Do
+// returns the wire status code and body for any answered exchange
+// (whatever the code), and an error only when the exchange itself
+// failed — connection refused, partition, timeout.
+type WireClient interface {
+	Do(ctx context.Context, method, path string, body []byte) (status int, respBody []byte, err error)
+}
+
+// remotePollFloor is the poll cadence when leases are disabled (no TTL
+// to derive a heartbeat interval from).
+const remotePollFloor = 500 * time.Millisecond
+
+// remoteCallTimeout bounds one wire round trip when leases are
+// disabled; with leases on, the TTL bounds it.
+const remoteCallTimeout = 30 * time.Second
+
+// remoteCancelTimeout bounds the best-effort cancel sent to a worker
+// when the coordinator abandons an attempt.
+const remoteCancelTimeout = 2 * time.Second
+
+// RemoteExecutor runs tasks on one worker node over the wire protocol.
+// Create one per node with NewRemoteExecutor; the scheduler treats each
+// as an independent fault domain.
+type RemoteExecutor struct {
+	name   string
+	client WireClient
+	slots  atomic.Int64 // last probed slot capacity; 0 until probed
+}
+
+// NewRemoteExecutor binds one worker node as an executor fault domain.
+// The name identifies the node in statuses, readiness and logs (the
+// fleet wiring uses the node's address).
+func NewRemoteExecutor(name string, client WireClient) *RemoteExecutor {
+	return &RemoteExecutor{name: name, client: client}
+}
+
+// Name identifies the fault domain.
+func (e *RemoteExecutor) Name() string { return e.name }
+
+// Slots returns the worker's last probed slot capacity, 0 if the node
+// has never answered a probe. The scheduler sums these into the
+// fleet-wide capacity its Retry-After estimate divides by.
+func (e *RemoteExecutor) Slots() int { return int(e.slots.Load()) }
+
+// Probe asks the worker's readiness endpoint for its capacity account
+// and caches the slot count. It returns the document (even from a
+// draining worker, which answers 503 with a valid body) or an error
+// when the node is unreachable or answered garbage.
+func (e *RemoteExecutor) Probe(ctx context.Context) (WireReady, error) {
+	status, body, err := e.client.Do(ctx, "GET", "/readyz", nil)
+	if err != nil {
+		return WireReady{}, fmt.Errorf("serve: probing worker %s: %w", e.name, err)
+	}
+	rd, perr := ParseWireReady(body)
+	if perr != nil {
+		return WireReady{}, fmt.Errorf("serve: worker %s readiness (status %d): %w", e.name, status, perr)
+	}
+	if rd.Slots > 0 {
+		e.slots.Store(int64(rd.Slots))
+	}
+	return rd, nil
+}
+
+// callTimeout bounds one wire round trip: the lease TTL when leases are
+// on (a call slower than the TTL is indistinguishable from a partition
+// anyway), a fixed bound otherwise.
+func callTimeout(lease *Lease) time.Duration {
+	if ttl := lease.TTL(); ttl > 0 {
+		return ttl
+	}
+	return remoteCallTimeout
+}
+
+// do runs one bounded wire round trip under the attempt's context.
+func (e *RemoteExecutor) do(ctx context.Context, lease *Lease, method, path string, body []byte) (int, []byte, error) {
+	cctx, cancel := context.WithTimeout(ctx, callTimeout(lease))
+	defer cancel()
+	return e.client.Do(cctx, method, path, body)
+}
+
+// cancelRemote tells the worker to abandon the attempt, best effort on
+// a background context: the attempt's own context is already canceled
+// by the time the coordinator gives up on it.
+func (e *RemoteExecutor) cancelRemote(id string, epoch uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), remoteCancelTimeout)
+	defer cancel()
+	_, _, _ = e.client.Do(ctx, "DELETE", taskPath(id, epoch), nil)
+}
+
+// taskPath renders the wire path of one task at one epoch.
+func taskPath(id string, epoch uint64) string {
+	return fmt.Sprintf("/v1/tasks/%s?epoch=%d", id, epoch)
+}
+
+// Execute dispatches one attempt to the worker node and polls it to
+// completion, renewing the coordinator's lease on every answered poll.
+func (e *RemoteExecutor) Execute(ctx context.Context, task *Task, lease *Lease) (res dsmnc.Result, err error) {
+	wr := WireRequest{
+		ID:          task.ID,
+		Attempt:     task.Attempt,
+		Epoch:       lease.epoch,
+		Fingerprint: task.Fingerprint,
+		Request:     task.Request,
+	}
+	body, err := wr.Encode()
+	if err != nil {
+		return dsmnc.Result{}, err
+	}
+	status, ans, derr := e.do(ctx, lease, "POST", "/v1/tasks", body)
+	if derr != nil {
+		return dsmnc.Result{}, fmt.Errorf("%w: dispatching %s to worker %s: %v", ErrLeaseLost, task.ID, e.name, derr)
+	}
+	switch {
+	case status == 200 || status == 202:
+		// Admitted (202) or joined onto a task the worker already held
+		// (200) — either way the poll loop takes it from here. The
+		// dispatch answer may already be terminal (a healed partition
+		// re-dispatching a finished task); handle it like a poll answer.
+		if out, done, herr := e.handlePollAnswer(task, lease, ans); done {
+			return out, herr
+		}
+	case status == 400 || status == 412:
+		// Permanent: the worker cannot compile this request, or its base
+		// options do not reproduce the coordinator's fingerprint. A
+		// retry elsewhere would burn the budget on the same answer only
+		// if every node is misconfigured — and a misconfigured fleet
+		// must fail loudly, not quietly absorb the job.
+		return dsmnc.Result{}, fmt.Errorf("serve: worker %s refused %s (status %d): %s", e.name, task.ID, status, wireErrorText(ans))
+	default:
+		// Shed (429), draining (503), stale epoch (409), a restarted
+		// worker (404), or any other infrastructure answer: surrender
+		// the lease and let the scheduler reassign with backoff.
+		return dsmnc.Result{}, fmt.Errorf("%w: worker %s answered %s with status %d: %s", ErrLeaseLost, e.name, task.ID, status, wireErrorText(ans))
+	}
+
+	every := lease.heartbeatEvery()
+	if every <= 0 {
+		every = remotePollFloor
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			// The scheduler gave up on this attempt (lease revoked, job
+			// canceled, drain): tell the worker to stop, best effort.
+			e.cancelRemote(task.ID, lease.epoch)
+			return dsmnc.Result{}, fmt.Errorf("%w: attempt on worker %s abandoned: %v", ErrLeaseLost, e.name, context.Cause(ctx))
+		case <-tick.C:
+			status, ans, derr := e.do(ctx, lease, "GET", taskPath(task.ID, lease.epoch), nil)
+			if derr != nil {
+				// Unreachable this round: no heartbeat. The worker may be
+				// slow, partitioned or dead — the lease TTL, not this
+				// poll, decides which; keep polling until the scheduler
+				// decides.
+				continue
+			}
+			if status != 200 {
+				// 404 (restarted or evicted), 409 (a newer attempt holds
+				// the task): the worker no longer holds this attempt.
+				return dsmnc.Result{}, fmt.Errorf("%w: worker %s lost %s (status %d): %s", ErrLeaseLost, e.name, task.ID, status, wireErrorText(ans))
+			}
+			if out, done, herr := e.handlePollAnswer(task, lease, ans); done {
+				return out, herr
+			}
+		}
+	}
+}
+
+// handlePollAnswer interprets one answered poll (or dispatch) body:
+// renew the lease for a live task, surface a terminal one. done reports
+// whether Execute should return (out, err).
+func (e *RemoteExecutor) handlePollAnswer(task *Task, lease *Lease, body []byte) (out dsmnc.Result, done bool, err error) {
+	pr, perr := ParseWireResult(body)
+	if perr != nil {
+		// A worker speaking garbage is as lost as a dead one.
+		return dsmnc.Result{}, true, fmt.Errorf("%w: worker %s: %v", ErrLeaseLost, e.name, perr)
+	}
+	if pr.ID != task.ID {
+		return dsmnc.Result{}, true, fmt.Errorf("%w: worker %s answered for task %s, not %s", ErrLeaseLost, e.name, pr.ID, task.ID)
+	}
+	switch pr.State {
+	case StateQueued, StateRunning:
+		if !lease.Heartbeat() {
+			// The lease is no longer current — revoked or superseded.
+			// Stop the worker's attempt, best effort, and stand down.
+			e.cancelRemote(task.ID, lease.epoch)
+			return dsmnc.Result{}, true, fmt.Errorf("%w: lease for %s no longer current", ErrLeaseLost, task.ID)
+		}
+		return dsmnc.Result{}, false, nil
+	case StateDone:
+		return *pr.Result, true, nil
+	case StateFailed:
+		return dsmnc.Result{}, true, fmt.Errorf("serve: worker %s failed %s: %s", e.name, task.ID, pr.Error)
+	default: // StateCanceled: the worker drained or was told to stop.
+		return dsmnc.Result{}, true, fmt.Errorf("%w: worker %s canceled %s: %s", ErrLeaseLost, e.name, task.ID, pr.Error)
+	}
+}
+
+// wireErrorText extracts the human half of a wire error body for log
+// and error messages, falling back to the raw bytes.
+func wireErrorText(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := decodeStrict(body, MaxWireResultBytes, "error body", &e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	if len(body) > 120 {
+		body = body[:120]
+	}
+	return string(body)
+}
+
+var _ Executor = (*RemoteExecutor)(nil)

@@ -147,6 +147,15 @@ type Config struct {
 	// among the healthy ones. Nil means one in-process Local executor.
 	// Names must be unique.
 	Executors []Executor
+	// HashRouting routes jobs to executors by consistent-hashing their
+	// idempotent ID over the executor names (128 virtual nodes per
+	// name) instead of round-robin: duplicate submissions land on the
+	// same node fleet-wide, a node joining or leaving moves only ~1/N
+	// of the fingerprints, and any coordinator replica configured with
+	// the same names routes identically. Unhealthy or just-lost domains
+	// fall back along the ring walk; the quarantine breaker and retry
+	// budget apply unchanged.
+	HashRouting bool
 	// LeaseTTL is how long a running attempt may go without a
 	// heartbeat before its lease is revoked and the job reassigned.
 	// 0 means 15s; negative disables leases (the watchdog is then the
@@ -222,10 +231,10 @@ type job struct {
 // mu.
 func (j *job) statusLocked() Status {
 	st := Status{
-		ID:     j.id,
-		Bench:  j.req.Bench,
-		System: j.sys.Name,
-		State:  j.state,
+		ID:      j.id,
+		Bench:   j.req.Bench,
+		System:  j.sys.Name,
+		State:   j.state,
 		Attempt: j.attempt, Executor: j.lastExec,
 		Queued: j.queued, Started: j.started, Finished: j.finished,
 	}
@@ -253,6 +262,8 @@ type Scheduler struct {
 	doneOrder    []string // terminal job IDs, oldest first, for eviction
 	draining     bool
 	execs        []*execState // executor fault domains, fixed at New
+	execByName   map[string]*execState
+	ring         *ring        // consistent-hash routing; nil under round-robin
 	rrNext       int          // round-robin cursor over execs
 	retryPending []retryEntry // reassigned jobs waiting out backoff
 	retryRNG     *rand.Rand   // seeded jitter source, under mu
@@ -394,19 +405,27 @@ func New(cfg Config) (*Scheduler, error) {
 		runHist:      runHist,
 		waitHist:     waitHist,
 	}
-	seen := map[string]bool{}
+	s.execByName = map[string]*execState{}
 	for _, e := range cfg.Executors {
 		if e == nil || e.Name() == "" {
 			return nil, fmt.Errorf("%w: executors must be non-nil and named", dsmnc.ErrConfig)
 		}
-		if seen[e.Name()] {
+		if _, dup := s.execByName[e.Name()]; dup {
 			return nil, fmt.Errorf("%w: duplicate executor name %q", dsmnc.ErrConfig, e.Name())
 		}
-		seen[e.Name()] = true
 		if b, ok := e.(schedulerBound); ok {
 			b.bind(s)
 		}
-		s.execs = append(s.execs, &execState{exec: e, name: e.Name()})
+		es := &execState{exec: e, name: e.Name()}
+		s.execs = append(s.execs, es)
+		s.execByName[es.name] = es
+	}
+	if cfg.HashRouting {
+		names := make([]string, 0, len(s.execs))
+		for _, es := range s.execs {
+			names = append(names, es.name)
+		}
+		s.ring = newRing(names)
 	}
 	s.runFn = func(ctx context.Context, j *job) (dsmnc.Result, error) {
 		return dsmnc.RunCell(ctx, "serve/"+j.id, j.bench, j.sys, j.opt)
@@ -727,7 +746,7 @@ func (s *Scheduler) dispatch(j *job) {
 		s.mu.Unlock()
 		return
 	}
-	es := s.pickExecutorLocked(j.lastExec)
+	es := s.pickExecutorLocked(j)
 	j.exec = es
 	j.lastExec = es.name
 	j.state = StateRunning
@@ -747,7 +766,7 @@ func (s *Scheduler) dispatch(j *job) {
 			s.ledgerErrs.Add(1)
 		}
 	}
-	task := &Task{ID: j.id, Attempt: j.attempt, Request: j.req, job: j}
+	task := &Task{ID: j.id, Attempt: j.attempt, Request: j.req, Fingerprint: j.opt.Fingerprint(), job: j}
 	lease := &Lease{s: s, j: j, epoch: epoch}
 	exec := es.exec
 	firstAttempt := j.attempt == 1
@@ -1242,14 +1261,21 @@ func (s *Scheduler) QueueDepth() (depth, capacity int) {
 }
 
 // RetryAfter estimates how long a shed client should wait before
-// retrying: the time for enough queue positions to drain at the pool's
-// observed throughput — queue depth × mean run latency ÷ workers —
-// ceiled to whole seconds and clamped to [1s, 60s]. Before any run has
-// completed the mean is zero and the floor answers. The HTTP binding
-// renders it as the Retry-After of every 429.
+// retrying: the time for enough queue positions to drain at the
+// observed throughput — queue depth × mean run latency ÷ capacity —
+// ceiled to whole seconds and clamped to [1s, 60s]. Capacity is the
+// real parallelism bound: the dispatch pool, capped by the fleet-wide
+// worker slot total when remote executors have reported one — a
+// 64-goroutine pool over two 4-slot nodes drains 8 cells at a time,
+// not 64. Before any run has completed the mean is zero and the floor
+// answers. The HTTP binding renders it as the Retry-After of every 429.
 func (s *Scheduler) RetryAfter() time.Duration {
 	depth, _ := s.QueueDepth()
-	return retryAfter(depth, s.cfg.Workers, s.runHist.Mean())
+	capacity := s.cfg.Workers
+	if fleet := s.fleetSlots(); fleet > 0 && fleet < capacity {
+		capacity = fleet
+	}
+	return retryAfter(depth, capacity, s.runHist.Mean())
 }
 
 // retryAfter is the pure estimate behind RetryAfter.

@@ -46,6 +46,13 @@ var ErrUnknownJob = errors.New("serve: unknown job")
 // The loader never panics, whatever the bytes — FuzzLedger enforces it.
 var ErrBadLedger = errors.New("serve: malformed job ledger")
 
+// ErrBadWire marks a fleet wire document that could not be decoded or
+// validated: a malformed task dispatch, a result that claims to be done
+// without carrying one, an ID that is not a job fingerprint. Like the
+// other hardened decoders the wire codec never panics, whatever the
+// bytes — FuzzWireRequest and FuzzWireResult enforce it.
+var ErrBadWire = errors.New("serve: malformed wire document")
+
 // ErrLeaseLost marks a transient executor failure: an attempt's lease
 // expired without renewal (worker crash, stall, dropped result) or the
 // executor surrendered it. Unlike engine or config errors it does not

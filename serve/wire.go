@@ -1,0 +1,242 @@
+package serve
+
+// The fleet wire protocol: the compact documents a coordinator and its
+// worker nodes exchange. A dispatch (WireRequest) carries the job's
+// idempotent identity — ID, attempt, per-dispatch epoch, the canonical
+// Request and the coordinator's options fingerprint — so a worker can
+// recompile the cell from its own base options and refuse the task if
+// the two machines would not compute the same thing. A poll answer
+// (WireResult) carries the task's state and, once terminal, the full
+// result or error. The readiness document (WireReady) is what a
+// coordinator probes to learn a worker's slot capacity.
+//
+// Both decoders are strict and fuzz-hardened: any input bytes produce
+// either a valid document or an ErrBadWire-wrapped error, never a panic
+// (FuzzWireRequest, FuzzWireResult). The codec is pure bytes — the HTTP
+// framing lives in cmd/dsmworker and cmd/dsmserved, so the protocol is
+// testable (and fuzzable) without a socket.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dsmnc"
+)
+
+// MaxWireRequestBytes bounds a task dispatch document: a job request
+// plus its identity fields.
+const MaxWireRequestBytes = 1 << 16
+
+// MaxWireResultBytes bounds a poll answer: a full Result carries the
+// aggregate counters plus one account per cluster.
+const MaxWireResultBytes = 1 << 20
+
+// MaxWireReadyBytes bounds a readiness document.
+const MaxWireReadyBytes = 1 << 12
+
+// maxWireAttempt bounds the attempt counter a dispatch may claim; real
+// attempts are bounded by MaxRetries+1, so anything huge is garbage.
+const maxWireAttempt = 1 << 20
+
+// WireRequest is one task dispatch: the coordinator's grant of one
+// attempt of one job to one worker node. ID and Fingerprint pin the
+// job's identity (the worker recomputes both from Request and refuses
+// a mismatch rather than serve a result under a wrong name); Epoch is
+// the per-dispatch lease epoch that makes completion exactly-once —
+// a dispatch, poll or cancel carrying a stale epoch is refused.
+type WireRequest struct {
+	ID          string  `json:"id"`
+	Attempt     int     `json:"attempt"`
+	Epoch       uint64  `json:"epoch"`
+	Fingerprint string  `json:"fingerprint"`
+	Request     Request `json:"request"`
+}
+
+// WireResult is one poll answer: the task's current state, and — once
+// terminal — its result or error. A worker reports StateCanceled for
+// attempts it abandoned (drain, coordinator cancel); the coordinator
+// treats that as a lease surrender, not a job failure.
+type WireResult struct {
+	ID     string        `json:"id"`
+	Epoch  uint64        `json:"epoch"`
+	State  State         `json:"state"`
+	Result *dsmnc.Result `json:"result,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// WireReady is a worker's readiness document: whether it should receive
+// fresh dispatches, and its capacity account — Slots bounds concurrent
+// runs, Busy and Queued say how much of the bound is spent. The
+// coordinator's Retry-After estimate derives from the fleet-wide slot
+// sum.
+type WireReady struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason"`
+	Slots  int    `json:"slots"`
+	Busy   int    `json:"busy"`
+	Queued int    `json:"queued"`
+}
+
+// decodeStrict is the shared strict-JSON front end of the wire codec:
+// bounded size, unknown fields rejected, trailing garbage rejected.
+func decodeStrict(data []byte, limit int, what string, v any) error {
+	if len(data) > limit {
+		return fmt.Errorf("%w: %s over %d bytes", ErrBadWire, what, limit)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadWire, what, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after the %s", ErrBadWire, what)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after the %s", ErrBadWire, what)
+	}
+	return nil
+}
+
+// validWireID reports whether s has the shape of a job ID or options
+// fingerprint: exactly 16 lowercase hex digits. Everything the fleet
+// names is an FNV-64a fingerprint, so anything else is garbage.
+func validWireID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseWireRequest decodes and validates one task dispatch. Every
+// failure — oversized input, malformed JSON, unknown fields, a
+// non-fingerprint ID, an out-of-range attempt or epoch, an embedded
+// request that does not validate — is an ErrBadWire-wrapped error.
+func ParseWireRequest(data []byte) (WireRequest, error) {
+	var wr WireRequest
+	if err := decodeStrict(data, MaxWireRequestBytes, "task dispatch", &wr); err != nil {
+		return WireRequest{}, err
+	}
+	if !validWireID(wr.ID) {
+		return WireRequest{}, fmt.Errorf("%w: task id %q is not a job fingerprint", ErrBadWire, wr.ID)
+	}
+	if !validWireID(wr.Fingerprint) {
+		return WireRequest{}, fmt.Errorf("%w: options fingerprint %q is not a fingerprint", ErrBadWire, wr.Fingerprint)
+	}
+	if wr.Attempt < 1 || wr.Attempt > maxWireAttempt {
+		return WireRequest{}, fmt.Errorf("%w: attempt %d outside [1, %d]", ErrBadWire, wr.Attempt, maxWireAttempt)
+	}
+	if wr.Epoch < 1 {
+		return WireRequest{}, fmt.Errorf("%w: epoch 0 (dispatch epochs start at 1)", ErrBadWire)
+	}
+	wr.Request = wr.Request.normalized()
+	if err := wr.Request.validate(); err != nil {
+		return WireRequest{}, fmt.Errorf("%w: embedded request: %v", ErrBadWire, err)
+	}
+	return wr, nil
+}
+
+// Encode renders the dispatch in its canonical wire form.
+func (wr WireRequest) Encode() ([]byte, error) {
+	data, err := json.Marshal(wr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding task dispatch: %v", ErrBadWire, err)
+	}
+	return data, nil
+}
+
+// ParseWireResult decodes and validates one poll answer. The state
+// machine is enforced on the wire: done must carry a result and no
+// error, failed must carry an error and no result, live states carry
+// neither. Garbage is an ErrBadWire-wrapped error, never a panic.
+func ParseWireResult(data []byte) (WireResult, error) {
+	var wr WireResult
+	if err := decodeStrict(data, MaxWireResultBytes, "task result", &wr); err != nil {
+		return WireResult{}, err
+	}
+	if !validWireID(wr.ID) {
+		return WireResult{}, fmt.Errorf("%w: task id %q is not a job fingerprint", ErrBadWire, wr.ID)
+	}
+	if wr.Epoch < 1 {
+		return WireResult{}, fmt.Errorf("%w: epoch 0 (dispatch epochs start at 1)", ErrBadWire)
+	}
+	switch wr.State {
+	case StateQueued, StateRunning:
+		if wr.Result != nil || wr.Error != "" {
+			return WireResult{}, fmt.Errorf("%w: live task %s carries a result or error", ErrBadWire, wr.ID)
+		}
+	case StateDone:
+		if wr.Result == nil {
+			return WireResult{}, fmt.Errorf("%w: done task %s carries no result", ErrBadWire, wr.ID)
+		}
+		if wr.Error != "" {
+			return WireResult{}, fmt.Errorf("%w: done task %s carries an error", ErrBadWire, wr.ID)
+		}
+		if wr.Result.Refs < 0 {
+			return WireResult{}, fmt.Errorf("%w: result of %s claims %d refs", ErrBadWire, wr.ID, wr.Result.Refs)
+		}
+	case StateFailed:
+		if wr.Error == "" {
+			return WireResult{}, fmt.Errorf("%w: failed task %s carries no error", ErrBadWire, wr.ID)
+		}
+		if wr.Result != nil {
+			return WireResult{}, fmt.Errorf("%w: failed task %s carries a result", ErrBadWire, wr.ID)
+		}
+	case StateCanceled:
+		if wr.Result != nil {
+			return WireResult{}, fmt.Errorf("%w: canceled task %s carries a result", ErrBadWire, wr.ID)
+		}
+	default:
+		return WireResult{}, fmt.Errorf("%w: unknown task state %q", ErrBadWire, wr.State)
+	}
+	return wr, nil
+}
+
+// Encode renders the poll answer in its canonical wire form.
+func (wr WireResult) Encode() ([]byte, error) {
+	data, err := json.Marshal(wr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding task result: %v", ErrBadWire, err)
+	}
+	return data, nil
+}
+
+// ParseWireReady decodes and validates one readiness document.
+func ParseWireReady(data []byte) (WireReady, error) {
+	var rd WireReady
+	if err := decodeStrict(data, MaxWireReadyBytes, "readiness document", &rd); err != nil {
+		return WireReady{}, err
+	}
+	if rd.Slots < 0 || rd.Busy < 0 || rd.Queued < 0 {
+		return WireReady{}, fmt.Errorf("%w: negative capacity account", ErrBadWire)
+	}
+	if rd.Slots > 1<<20 {
+		return WireReady{}, fmt.Errorf("%w: %d slots is not a machine", ErrBadWire, rd.Slots)
+	}
+	return rd, nil
+}
+
+// Encode renders the readiness document in its canonical wire form.
+func (rd WireReady) Encode() ([]byte, error) {
+	data, err := json.Marshal(rd)
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding readiness document: %v", ErrBadWire, err)
+	}
+	return data, nil
+}
+
+// wireError renders the JSON error body 4xx/5xx wire answers carry.
+func wireError(err error) []byte {
+	data, merr := json.Marshal(map[string]string{"error": err.Error()})
+	if merr != nil {
+		return []byte(`{"error":"unencodable error"}`)
+	}
+	return data
+}

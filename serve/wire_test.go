@@ -1,0 +1,237 @@
+package serve
+
+// Tests and fuzzers for the fleet wire codec: valid documents round-trip
+// through Encode/Parse unchanged, every malformed input is an
+// ErrBadWire-wrapped error, and — the fuzzers' contract — the decoders
+// never panic, whatever the bytes.
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"dsmnc"
+)
+
+func validWireRequest() WireRequest {
+	return WireRequest{
+		ID:          "0123456789abcdef",
+		Attempt:     1,
+		Epoch:       3,
+		Fingerprint: "fedcba9876543210",
+		Request:     Request{Bench: "FFT", System: "nc", NCBytes: 16384},
+	}
+}
+
+func TestWireRequestRoundTrip(t *testing.T) {
+	want := validWireRequest()
+	data, err := want.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := ParseWireRequest(data)
+	if err != nil {
+		t.Fatalf("ParseWireRequest: %v", err)
+	}
+	// Parse normalizes the embedded request; normalize the expectation
+	// the same way before comparing.
+	want.Request = want.Request.normalized()
+	if got != want {
+		t.Fatalf("round trip changed the dispatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWireRequestRejects(t *testing.T) {
+	enc := func(mut func(*WireRequest)) []byte {
+		wr := validWireRequest()
+		mut(&wr)
+		data, err := wr.Encode()
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		return data
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte("\x00\xff\xfe")},
+		{"empty", nil},
+		{"not an object", []byte(`[1,2,3]`)},
+		{"unknown field", []byte(`{"id":"0123456789abcdef","attempt":1,"epoch":1,"fingerprint":"fedcba9876543210","request":{"bench":"FFT","system":"base"},"extra":1}`)},
+		{"trailing data", append(enc(func(wr *WireRequest) {}), []byte(`{"id":"x"}`)...)},
+		{"oversized", []byte(`{"id":"` + strings.Repeat("a", MaxWireRequestBytes) + `"}`)},
+		{"short id", enc(func(wr *WireRequest) { wr.ID = "abc" })},
+		{"uppercase id", enc(func(wr *WireRequest) { wr.ID = "0123456789ABCDEF" })},
+		{"non-hex fingerprint", enc(func(wr *WireRequest) { wr.Fingerprint = "zzzzzzzzzzzzzzzz" })},
+		{"zero attempt", enc(func(wr *WireRequest) { wr.Attempt = 0 })},
+		{"negative attempt", enc(func(wr *WireRequest) { wr.Attempt = -1 })},
+		{"huge attempt", enc(func(wr *WireRequest) { wr.Attempt = maxWireAttempt + 1 })},
+		{"zero epoch", enc(func(wr *WireRequest) { wr.Epoch = 0 })},
+		{"bad embedded request", enc(func(wr *WireRequest) { wr.Request.Bench = "NoSuchBench" })},
+		{"out-of-range request field", enc(func(wr *WireRequest) { wr.Request.NCBytes = -5 })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseWireRequest(tc.data); !errors.Is(err, ErrBadWire) {
+				t.Fatalf("want ErrBadWire, got %v", err)
+			}
+		})
+	}
+}
+
+func TestWireResultStateMachine(t *testing.T) {
+	res := &dsmnc.Result{System: "nc", Bench: "FFT", Refs: 100}
+	ok := []WireResult{
+		{ID: "0123456789abcdef", Epoch: 1, State: StateQueued},
+		{ID: "0123456789abcdef", Epoch: 2, State: StateRunning},
+		{ID: "0123456789abcdef", Epoch: 2, State: StateDone, Result: res},
+		{ID: "0123456789abcdef", Epoch: 2, State: StateFailed, Error: "engine exploded"},
+		{ID: "0123456789abcdef", Epoch: 2, State: StateCanceled, Error: "context canceled"},
+		{ID: "0123456789abcdef", Epoch: 2, State: StateCanceled},
+	}
+	for _, wr := range ok {
+		data, err := wr.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", wr.State, err)
+		}
+		got, err := ParseWireResult(data)
+		if err != nil {
+			t.Fatalf("ParseWireResult(%v): %v", wr.State, err)
+		}
+		if got.State != wr.State || got.ID != wr.ID || got.Epoch != wr.Epoch {
+			t.Fatalf("round trip changed the result: got %+v want %+v", got, wr)
+		}
+		if wr.Result != nil && (got.Result == nil || got.Result.Refs != wr.Result.Refs) {
+			t.Fatalf("round trip lost the payload: got %+v", got.Result)
+		}
+	}
+	bad := []WireResult{
+		{ID: "0123456789abcdef", Epoch: 1, State: StateQueued, Error: "noise"},
+		{ID: "0123456789abcdef", Epoch: 1, State: StateRunning, Result: res},
+		{ID: "0123456789abcdef", Epoch: 1, State: StateDone},
+		{ID: "0123456789abcdef", Epoch: 1, State: StateDone, Result: res, Error: "and an error"},
+		{ID: "0123456789abcdef", Epoch: 1, State: StateDone, Result: &dsmnc.Result{Refs: -1}},
+		{ID: "0123456789abcdef", Epoch: 1, State: StateFailed},
+		{ID: "0123456789abcdef", Epoch: 1, State: StateFailed, Result: res, Error: "both"},
+		{ID: "0123456789abcdef", Epoch: 1, State: StateCanceled, Result: res},
+		{ID: "0123456789abcdef", Epoch: 1, State: State("exploded")},
+		{ID: "nope", Epoch: 1, State: StateQueued},
+		{ID: "0123456789abcdef", Epoch: 0, State: StateQueued},
+	}
+	for _, wr := range bad {
+		data, err := json.Marshal(wr)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if _, err := ParseWireResult(data); !errors.Is(err, ErrBadWire) {
+			t.Fatalf("%s (%+v): want ErrBadWire, got %v", wr.State, wr, err)
+		}
+	}
+}
+
+func TestWireReady(t *testing.T) {
+	rd := WireReady{Ready: true, Reason: "ok", Slots: 8, Busy: 3, Queued: 2}
+	data, err := rd.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := ParseWireReady(data)
+	if err != nil {
+		t.Fatalf("ParseWireReady: %v", err)
+	}
+	if got != rd {
+		t.Fatalf("round trip changed the document: got %+v want %+v", got, rd)
+	}
+	for _, bad := range []string{
+		`{"ready":true,"reason":"ok","slots":-1,"busy":0,"queued":0}`,
+		`{"ready":true,"reason":"ok","slots":0,"busy":-2,"queued":0}`,
+		`{"ready":true,"reason":"ok","slots":2097152,"busy":0,"queued":0}`,
+		`{"ready":"yes"}`,
+		`not json`,
+	} {
+		if _, err := ParseWireReady([]byte(bad)); !errors.Is(err, ErrBadWire) {
+			t.Fatalf("%s: want ErrBadWire, got %v", bad, err)
+		}
+	}
+}
+
+// FuzzWireRequest: the dispatch decoder never panics and classifies
+// every input as either a valid, re-encodable dispatch or ErrBadWire.
+func FuzzWireRequest(f *testing.F) {
+	if valid, err := validWireRequest().Encode(); err == nil {
+		f.Add(valid)
+	}
+	seeds := []string{
+		`{"id":"0123456789abcdef","attempt":1,"epoch":1,"fingerprint":"fedcba9876543210","request":{"bench":"FFT","system":"base"}}`,
+		`{"id":"0123456789abcdef","attempt":0,"epoch":0,"fingerprint":"x","request":{}}`,
+		`{"id":"0123456789abcdef"}`,
+		`{"attempt":1e99}`,
+		`[{"id":"0123456789abcdef"}]`,
+		`{}`,
+		`{"id":"0123456789abcdef","attempt":1,"epoch":1,"fingerprint":"fedcba9876543210","request":{"bench":"FFT","system":"base"}}tail`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wr, err := ParseWireRequest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadWire) {
+				t.Fatalf("non-sentinel error %v (%[1]T)", err)
+			}
+			return
+		}
+		reenc, err := wr.Encode()
+		if err != nil {
+			t.Fatalf("valid dispatch fails to re-encode: %v", err)
+		}
+		again, err := ParseWireRequest(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded dispatch fails to re-parse: %v", err)
+		}
+		if again != wr {
+			t.Fatalf("re-encode is not a fixed point:\n got %+v\nwant %+v", again, wr)
+		}
+	})
+}
+
+// FuzzWireResult: the poll-answer decoder never panics; garbage is
+// ErrBadWire; valid answers re-encode to a parseable fixed point.
+func FuzzWireResult(f *testing.F) {
+	seeds := []string{
+		`{"id":"0123456789abcdef","epoch":1,"state":"queued"}`,
+		`{"id":"0123456789abcdef","epoch":2,"state":"running"}`,
+		`{"id":"0123456789abcdef","epoch":2,"state":"done","result":{"system":"nc","bench":"FFT","refs":10}}`,
+		`{"id":"0123456789abcdef","epoch":2,"state":"failed","error":"boom"}`,
+		`{"id":"0123456789abcdef","epoch":2,"state":"canceled"}`,
+		`{"id":"0123456789abcdef","epoch":2,"state":"done"}`,
+		`{"id":"0123456789abcdef","epoch":2,"state":"done","result":{"refs":-1}}`,
+		`{"id":"0123456789abcdef","epoch":0,"state":"queued"}`,
+		`{"state":"queued"}`,
+		`{}`,
+		`null`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wr, err := ParseWireResult(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadWire) {
+				t.Fatalf("non-sentinel error %v (%[1]T)", err)
+			}
+			return
+		}
+		reenc, err := wr.Encode()
+		if err != nil {
+			t.Fatalf("valid result fails to re-encode: %v", err)
+		}
+		if _, err := ParseWireResult(reenc); err != nil {
+			t.Fatalf("re-encoded result fails to re-parse: %v", err)
+		}
+	})
+}
